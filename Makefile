@@ -1,0 +1,44 @@
+# Convenience targets for the tracex repository (Go stdlib only; no
+# external dependencies).
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples csv clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One iteration of every exhibit benchmark (Table/Figure regeneration).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table, figure, ablation and extension (~1 minute).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# Export exhibit data as CSV into ./csv for external plotting.
+csv:
+	$(GO) run ./cmd/experiments -run all -csv csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cachedesign
+	$(GO) run ./examples/clustering
+	$(GO) run ./examples/energy
+	$(GO) run ./examples/calibration
+	$(GO) run ./examples/specfem3d
+	$(GO) run ./examples/uh3d
+
+clean:
+	rm -rf csv test_output.txt bench_output.txt

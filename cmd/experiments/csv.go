@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tracex/internal/expt"
+)
+
+// csvDir is set by the -csv flag; when non-empty every experiment also
+// writes its rows as <csvDir>/<exhibit>.csv so figures can be regenerated
+// with any plotting tool.
+var csvDir string
+
+// writeCSV writes one exhibit's data file. A nil csvDir disables export.
+func writeCSV(name string, header []string, rows [][]string) error {
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", filepath.Join(csvDir, name+".csv"))
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// csvTable1 exports Table I.
+func csvTable1(rows []expt.Table1Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.App, itoa(r.CoreCount), r.TraceType,
+			ftoa(r.Predicted), ftoa(r.Measured), ftoa(r.PctError)})
+	}
+	return writeCSV("table1",
+		[]string{"app", "cores", "trace", "predicted_s", "measured_s", "pct_error"}, out)
+}
+
+// csvTable2 exports Table II.
+func csvTable2(rows []expt.Table2Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{itoa(r.CoreCount), ftoa(r.L1), ftoa(r.L2), ftoa(r.L3)})
+	}
+	return writeCSV("table2", []string{"cores", "l1_pct", "l2_pct", "l3_pct"}, out)
+}
+
+// csvTable3 exports Table III.
+func csvTable3(rows []expt.Table3Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{itoa(r.CoreCount), ftoa(r.SystemA), ftoa(r.SystemB)})
+	}
+	return writeCSV("table3", []string{"cores", "systemA_12KB_pct", "systemB_56KB_pct"}, out)
+}
+
+// csvFigure1 exports the MultiMAPS surface.
+func csvFigure1(rows []expt.Figure1Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		hr := make([]string, 0, len(r.HitRates))
+		for _, h := range r.HitRates {
+			hr = append(hr, ftoa(h))
+		}
+		out = append(out, append([]string{
+			strconv.FormatUint(r.WorkingSetBytes, 10),
+			strconv.FormatUint(r.StrideBytes, 10),
+			ftoa(r.ResidentFraction),
+			ftoa(r.BandwidthGBs),
+		}, hr...))
+	}
+	return writeCSV("figure1",
+		[]string{"working_set_bytes", "stride_bytes", "resident_fraction", "bandwidth_gbs", "hr_l1", "hr_l2"}, out)
+}
+
+// csvFitSeries exports a Figure 4/5-style series with all form fits.
+func csvFitSeries(name string, fs *expt.FitSeries) error {
+	forms := make([]string, 0, len(fs.FitValues))
+	for f := range fs.FitValues {
+		forms = append(forms, f)
+	}
+	// Stable order.
+	for i := 0; i < len(forms); i++ {
+		for j := i + 1; j < len(forms); j++ {
+			if forms[j] < forms[i] {
+				forms[i], forms[j] = forms[j], forms[i]
+			}
+		}
+	}
+	header := append([]string{"cores", "measured"}, forms...)
+	out := make([][]string, 0, len(fs.Counts))
+	for i, x := range fs.Counts {
+		row := []string{ftoa(x), ftoa(fs.Measured[i])}
+		for _, f := range forms {
+			row = append(row, ftoa(fs.FitValues[f][i]))
+		}
+		out = append(out, row)
+	}
+	return writeCSV(name, header, out)
+}
+
+// csvScalingCurve exports the scaling-curve extension.
+func csvScalingCurve(rows []expt.ScalingCurveRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{itoa(r.CoreCount), ftoa(r.Predicted),
+			ftoa(r.Measured), ftoa(r.PctError), ftoa(r.Efficiency)})
+	}
+	return writeCSV("scaling_curve",
+		[]string{"cores", "predicted_s", "measured_s", "pct_error", "efficiency"}, out)
+}
+
+// csvGeneric exports arbitrary labeled rows (used for ablations).
+func csvGeneric(name string, header []string, rows [][]string) error {
+	return writeCSV(strings.ReplaceAll(name, "-", "_"), header, rows)
+}

@@ -1,0 +1,84 @@
+// Command multimaps runs the MultiMAPS memory benchmark against a machine's
+// simulated memory system and writes the resulting machine profile (the
+// bandwidth surface of Figure 1 plus machine rates) as JSON.
+//
+// Usage:
+//
+//	multimaps -machine bluewaters -out bluewaters.profile.json
+//	multimaps -machine opteron2 -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracex/internal/machine"
+	"tracex/internal/multimaps"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("multimaps", flag.ContinueOnError)
+	machineName := fs.String("machine", "bluewaters", "machine configuration (see 'tracex machines')")
+	out := fs.String("out", "", "output profile path (JSON)")
+	print := fs.Bool("print", false, "print the surface to stdout")
+	refs := fs.Int("refs", 0, "references per probe (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := machine.ByName(*machineName)
+	if err != nil {
+		return err
+	}
+	opt := multimaps.DefaultOptions(cfg)
+	if *refs > 0 {
+		opt.RefsPerProbe = *refs
+	}
+	prof, err := multimaps.Run(cfg, opt)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := machine.SaveProfile(prof, *out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d surface points for %s to %s\n", len(prof.Surface), cfg.Name, *out)
+	}
+	if *print || *out == "" {
+		fmt.Fprintf(w, "%-12s %-8s %-6s", "working_set", "stride", "mixed")
+		for _, lv := range cfg.Caches {
+			fmt.Fprintf(w, " %8s", lv.Name+" HR")
+		}
+		fmt.Fprintf(w, " %10s\n", "BW (GB/s)")
+		for _, sp := range prof.Surface {
+			stride := fmt.Sprintf("%d", sp.StrideBytes)
+			if sp.StrideBytes == 0 && sp.ResidentFraction == 0 {
+				stride = "rand"
+			}
+			mixed := "-"
+			if sp.ResidentFraction > 0 {
+				mixed = fmt.Sprintf("%.3f", sp.ResidentFraction)
+			}
+			fmt.Fprintf(w, "%-12d %-8s %-6s", sp.WorkingSetBytes, stride, mixed)
+			for _, h := range sp.HitRates {
+				fmt.Fprintf(w, " %7.2f%%", 100*h)
+			}
+			fmt.Fprintf(w, " %10.2f\n", sp.BandwidthGBs)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "multimaps: %v\n", err)
+	os.Exit(1)
+}

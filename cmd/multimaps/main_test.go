@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracex/internal/machine"
+)
+
+func TestRunPrintsSurface(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "opteron2", "-refs", "20000"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BW (GB/s)") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "rand") {
+		t.Error("missing random probe rows")
+	}
+	if strings.Count(out, "\n") < 20 {
+		t.Errorf("suspiciously few rows:\n%s", out)
+	}
+}
+
+func TestRunWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "opteron2", "-refs", "20000", "-out", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	prof, err := machine.LoadProfile(path)
+	if err != nil {
+		t.Fatalf("LoadProfile: %v", err)
+	}
+	if prof.Machine.Name != "opteron2" || len(prof.Surface) == 0 {
+		t.Errorf("bad profile: %s, %d points", prof.Machine.Name, len(prof.Surface))
+	}
+}
+
+func TestRunUnknownMachine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "nope"}, &buf); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

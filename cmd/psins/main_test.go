@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReplaysApplication(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-app", "stencil3d", "-cores", "64", "-sample", "30000"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"replayed stencil3d at 64 cores",
+		"predicted runtime",
+		"point-to-point messages",
+		"slowest 4 ranks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "stencil3d"}, &buf); err == nil {
+		t.Error("missing -cores accepted")
+	}
+	if err := run([]string{"-app", "nope", "-cores", "64"}, &buf); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-app", "stencil3d", "-cores", "64", "-sig", "/no/such.json"}, &buf); err == nil {
+		t.Error("missing signature accepted")
+	}
+}

@@ -1,0 +1,295 @@
+// Command tracex drives the trace-extrapolation pipeline from the shell:
+// collect application signatures at a series of core counts, extrapolate
+// them to a larger count, predict runtime with the PMaC-style convolution
+// and replay, and compare extrapolated traces against collected ones.
+//
+// Usage:
+//
+//	tracex trace   -app uh3d -cores 1024 -machine bluewaters -out sig1024.json
+//	tracex extrap  -in sig1024.json,sig2048.json,sig4096.json -target 8192 -out sig8192.json
+//	tracex predict -sig sig8192.json -app uh3d [-profile prof.json]
+//	tracex measure -app uh3d -cores 8192 -machine bluewaters
+//	tracex compare -extrap sig8192.json -collected real8192.json
+//	tracex report  -app uh3d -out report.md
+//	tracex apps | machines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tracex"
+	"tracex/internal/extrap"
+	"tracex/internal/machine"
+	"tracex/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "extrap":
+		err = cmdExtrap(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "measure":
+		err = cmdMeasure(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "apps":
+		for _, a := range tracex.Apps() {
+			fmt.Println(a)
+		}
+	case "machines":
+		for _, m := range tracex.Machines() {
+			fmt.Println(m)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tracex: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracex: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tracex <command> [flags]
+
+commands:
+  trace    collect an application signature at one core count
+  extrap   extrapolate signatures to a larger core count
+  predict  predict runtime from a signature and a machine profile
+  measure  run the detailed execution simulation (ground truth)
+  compare  compare an extrapolated trace against a collected one
+  report   run the full pipeline and write a markdown report
+  apps     list available proxy applications
+  machines list available machine configurations`)
+}
+
+// loadSignature reads a signature from a file (.json/.bin) or a per-rank
+// signature directory.
+func loadSignature(path string) (*tracex.Signature, error) {
+	if trace.IsSignatureDir(path) {
+		return trace.LoadDir(path)
+	}
+	return trace.Load(path)
+}
+
+func loadAppMachine(appName, machineName string) (*tracex.App, tracex.MachineConfig, error) {
+	app, err := tracex.LoadApp(appName)
+	if err != nil {
+		return nil, tracex.MachineConfig{}, err
+	}
+	cfg, err := tracex.LoadMachine(machineName)
+	if err != nil {
+		return nil, tracex.MachineConfig{}, err
+	}
+	return app, cfg, nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	appName := fs.String("app", "", "application name (see 'tracex apps')")
+	cores := fs.Int("cores", 0, "core count to trace")
+	machineName := fs.String("machine", "bluewaters", "target machine")
+	out := fs.String("out", "", "output signature path (.json or .bin), or a directory with -perrank")
+	sample := fs.Int("sample", 0, "per-block simulated references (0 = default)")
+	perRank := fs.Bool("perrank", false, "write a signature directory with one trace file per rank (the paper's layout)")
+	binary := fs.Bool("binary", false, "use the compact binary encoding for per-rank files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *appName == "" || *cores <= 0 || *out == "" {
+		return fmt.Errorf("trace requires -app, -cores and -out")
+	}
+	app, cfg, err := loadAppMachine(*appName, *machineName)
+	if err != nil {
+		return err
+	}
+	sig, err := tracex.CollectSignature(app, *cores, cfg, tracex.CollectOptions{SampleRefs: *sample})
+	if err != nil {
+		return err
+	}
+	if *perRank {
+		err = trace.SaveDir(sig, *out, *binary)
+	} else {
+		err = trace.Save(sig, *out)
+	}
+	if err != nil {
+		return err
+	}
+	dom := sig.DominantTrace()
+	fmt.Printf("traced %s at %d cores on %s: %d ranks, %d blocks, dominant rank %d → %s\n",
+		sig.App, sig.CoreCount, sig.Machine, len(sig.Traces), len(dom.Blocks), dom.Rank, *out)
+	return nil
+}
+
+func cmdExtrap(args []string) error {
+	fs := flag.NewFlagSet("extrap", flag.ExitOnError)
+	in := fs.String("in", "", "comma-separated input signature paths")
+	target := fs.Int("target", 0, "target core count")
+	out := fs.String("out", "", "output signature path")
+	extended := fs.Bool("extended", false, "include power and quadratic forms")
+	verbose := fs.Bool("v", false, "print per-element fits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := strings.Split(*in, ",")
+	if *in == "" || len(paths) < 2 || *target <= 0 || *out == "" {
+		return fmt.Errorf("extrap requires -in (≥2 paths), -target and -out")
+	}
+	var inputs []*tracex.Signature
+	for _, p := range paths {
+		sig, err := loadSignature(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, sig)
+	}
+	opt := tracex.ExtrapOptions{}
+	if *extended {
+		opt.Forms = tracex.ExtendedForms()
+	}
+	res, err := tracex.Extrapolate(inputs, *target, opt)
+	if err != nil {
+		return err
+	}
+	if err := trace.Save(res.Signature, *out); err != nil {
+		return err
+	}
+	fmt.Printf("extrapolated %s to %d cores (%d blocks, %d fits) → %s\n",
+		res.Signature.App, *target, len(res.Signature.Traces[0].Blocks), len(res.Fits), *out)
+	if len(res.SkippedBlocks) > 0 {
+		fmt.Printf("skipped blocks missing from some inputs: %v\n", res.SkippedBlocks)
+	}
+	if *verbose {
+		for _, f := range res.Fits {
+			fmt.Printf("  block %-4d %-18s %-12s → %.6g (R²=%.4f)\n",
+				f.BlockID, f.Element, f.Form, f.Extrapolated, f.R2)
+		}
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	sigPath := fs.String("sig", "", "signature path")
+	appName := fs.String("app", "", "application (for the communication event trace)")
+	profPath := fs.String("profile", "", "machine profile path (default: run MultiMAPS on the signature's machine)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sigPath == "" || *appName == "" {
+		return fmt.Errorf("predict requires -sig and -app")
+	}
+	sig, err := loadSignature(*sigPath)
+	if err != nil {
+		return err
+	}
+	app, err := tracex.LoadApp(*appName)
+	if err != nil {
+		return err
+	}
+	var prof *tracex.Profile
+	if *profPath != "" {
+		prof, err = machine.LoadProfile(*profPath)
+	} else {
+		var cfg tracex.MachineConfig
+		cfg, err = tracex.LoadMachine(sig.Machine)
+		if err != nil {
+			return err
+		}
+		prof, err = tracex.BuildProfile(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	pred, err := tracex.Predict(sig, prof, app)
+	if err != nil {
+		return err
+	}
+	printPrediction("predicted", pred)
+	return nil
+}
+
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	appName := fs.String("app", "", "application name")
+	cores := fs.Int("cores", 0, "core count")
+	machineName := fs.String("machine", "bluewaters", "target machine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *appName == "" || *cores <= 0 {
+		return fmt.Errorf("measure requires -app and -cores")
+	}
+	app, cfg, err := loadAppMachine(*appName, *machineName)
+	if err != nil {
+		return err
+	}
+	pred, err := tracex.Measure(app, *cores, cfg, tracex.CollectOptions{})
+	if err != nil {
+		return err
+	}
+	printPrediction("measured", pred)
+	return nil
+}
+
+func printPrediction(kind string, p *tracex.Prediction) {
+	fmt.Printf("%s runtime of %s at %d cores on %s: %.2f s\n",
+		kind, p.App, p.CoreCount, p.Machine, p.Runtime)
+	fmt.Printf("  dominant rank: compute %.2f s (mem %.2f s, fp %.2f s), comm %.2f s\n",
+		p.ComputeSeconds, p.MemSeconds, p.FPSeconds, p.CommSeconds)
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	extrapPath := fs.String("extrap", "", "extrapolated signature path")
+	collPath := fs.String("collected", "", "collected signature path")
+	all := fs.Bool("all", false, "print every element (default: influential only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *extrapPath == "" || *collPath == "" {
+		return fmt.Errorf("compare requires -extrap and -collected")
+	}
+	es, err := loadSignature(*extrapPath)
+	if err != nil {
+		return err
+	}
+	cs, err := loadSignature(*collPath)
+	if err != nil {
+		return err
+	}
+	errs, err := tracex.CompareTraces(&es.Traces[0], cs.DominantTrace())
+	if err != nil {
+		return err
+	}
+	shown := errs
+	if !*all {
+		shown = extrap.InfluentialErrors(errs)
+	}
+	fmt.Printf("%-24s %-18s %14s %14s %9s\n", "Block", "Element", "Extrapolated", "Collected", "AbsRelErr")
+	for _, e := range shown {
+		fmt.Printf("%-24s %-18s %14.6g %14.6g %8.2f%%\n",
+			e.Func, e.Element, e.Extrapolated, e.Collected, 100*e.AbsRelErr)
+	}
+	fmt.Printf("max influential element error: %s\n",
+		strconv.FormatFloat(100*extrap.MaxInfluentialError(errs), 'f', 2, 64)+"%")
+	return nil
+}

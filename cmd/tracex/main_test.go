@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracex/internal/trace"
+)
+
+// The CLI subcommands are plain functions from argument slices to errors,
+// so the whole tool surface is testable without spawning processes.
+
+func tmp(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+// collectArgs builds a fast trace invocation.
+func collectArgs(out string, cores int, extra ...string) []string {
+	args := []string{
+		"-app", "stencil3d", "-cores", fmt.Sprint(cores),
+		"-machine", "bluewaters", "-out", out, "-sample", "30000",
+	}
+	return append(args, extra...)
+}
+
+func TestCmdTraceAndPredictFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline flow in -short mode")
+	}
+	dir := t.TempDir()
+	paths := make([]string, 0, 3)
+	for _, cores := range []int{64, 128, 256} {
+		p := filepath.Join(dir, fmt.Sprintf("sig%d.json", cores))
+		if err := cmdTrace(collectArgs(p, cores)); err != nil {
+			t.Fatalf("trace %d: %v", cores, err)
+		}
+		paths = append(paths, p)
+	}
+	out := filepath.Join(dir, "sig512.json")
+	err := cmdExtrap([]string{
+		"-in", paths[0] + "," + paths[1] + "," + paths[2],
+		"-target", "512", "-out", out,
+	})
+	if err != nil {
+		t.Fatalf("extrap: %v", err)
+	}
+	sig, err := trace.Load(out)
+	if err != nil {
+		t.Fatalf("loading extrapolated signature: %v", err)
+	}
+	if sig.CoreCount != 512 {
+		t.Errorf("extrapolated core count %d", sig.CoreCount)
+	}
+	if err := cmdPredict([]string{"-sig", out, "-app", "stencil3d"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	// Compare against a collected 512-core signature.
+	real512 := filepath.Join(dir, "real512.json")
+	if err := cmdTrace(collectArgs(real512, 512)); err != nil {
+		t.Fatalf("trace 512: %v", err)
+	}
+	if err := cmdCompare([]string{"-extrap", out, "-collected", real512}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+}
+
+func TestCmdTracePerRankDirectory(t *testing.T) {
+	dir := tmp(t, "sigdir")
+	if err := cmdTrace(collectArgs(dir, 64, "-perrank", "-binary")); err != nil {
+		t.Fatalf("trace -perrank: %v", err)
+	}
+	if !trace.IsSignatureDir(dir) {
+		t.Fatal("output is not a signature directory")
+	}
+	sig, err := loadSignature(dir)
+	if err != nil {
+		t.Fatalf("loadSignature(dir): %v", err)
+	}
+	if sig.CoreCount != 64 {
+		t.Errorf("core count %d", sig.CoreCount)
+	}
+}
+
+func TestCmdValidation(t *testing.T) {
+	if err := cmdTrace([]string{"-app", "stencil3d"}); err == nil {
+		t.Error("trace without -cores/-out accepted")
+	}
+	if err := cmdTrace(collectArgs(tmp(t, "x.json"), 64, "-app", "nope")); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := cmdExtrap([]string{"-in", "only-one.json", "-target", "512", "-out", "x"}); err == nil {
+		t.Error("single input accepted")
+	}
+	if err := cmdExtrap([]string{"-in", "a.json,b.json", "-target", "512", "-out", tmp(t, "o.json")}); err == nil {
+		t.Error("missing input files accepted")
+	}
+	if err := cmdPredict([]string{"-app", "uh3d"}); err == nil {
+		t.Error("predict without -sig accepted")
+	}
+	if err := cmdMeasure([]string{"-app", "uh3d"}); err == nil {
+		t.Error("measure without -cores accepted")
+	}
+	if err := cmdCompare([]string{"-extrap", "x"}); err == nil {
+		t.Error("compare without -collected accepted")
+	}
+	if err := cmdReport([]string{}); err == nil {
+		t.Error("report without -app accepted")
+	}
+	if err := cmdReport([]string{"-app", "stencil3d", "-counts", "abc"}); err == nil {
+		t.Error("malformed counts accepted")
+	}
+}
+
+func TestCmdMeasureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measure in -short mode")
+	}
+	if err := cmdMeasure([]string{"-app", "stencil3d", "-cores", "64"}); err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+}
+
+func TestCmdReportToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report in -short mode")
+	}
+	out := tmp(t, "report.md")
+	err := cmdReport([]string{
+		"-app", "stencil3d", "-counts", "64,128,256", "-target", "512",
+		"-out", out, "-sample", "30000",
+	})
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Trace extrapolation report",
+		"## Runtime prediction",
+		"## Influential-element audit",
+		"## Energy",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+}
+
+func TestReportScaleDefaults(t *testing.T) {
+	counts, target, err := reportScale("uh3d", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != 8192 || len(counts) != 3 {
+		t.Errorf("uh3d defaults: %v → %d", counts, target)
+	}
+	if _, _, err := reportScale("mystery", "", 0); err == nil {
+		t.Error("unknown app without -counts accepted")
+	}
+	counts, target, err = reportScale("mystery", "10,20", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 || target != 40 {
+		t.Errorf("explicit scale: %v → %d", counts, target)
+	}
+}

@@ -1,0 +1,58 @@
+package tracex
+
+import (
+	"tracex/internal/energy"
+	"tracex/internal/psins"
+)
+
+// Energy-model re-exports: the paper motivates its feature vector as
+// capturing what matters "for both performance and energy"; these wrap the
+// internal/energy package over the dominant task of a signature.
+type (
+	// EnergyModel holds linear power-model coefficients for a machine.
+	EnergyModel = energy.Model
+	// EnergyReport is a per-task energy estimate.
+	EnergyReport = energy.Report
+	// FrequencyPoint is one entry of a DVFS sweep.
+	FrequencyPoint = energy.FrequencyPoint
+)
+
+// DefaultEnergyModel returns plausible power coefficients for cfg.
+func DefaultEnergyModel(cfg MachineConfig) EnergyModel { return energy.DefaultModel(cfg) }
+
+// convolveDominant convolves the signature's dominant task with the profile.
+func convolveDominant(sig *Signature, prof *Profile) (*Trace, *psins.Computation, error) {
+	dom := sig.DominantTrace()
+	comp, err := psins.Convolve(dom, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dom, comp, nil
+}
+
+// EstimateEnergy prices the dominant task's computation energy from a
+// signature (collected or extrapolated) and a machine profile.
+func EstimateEnergy(sig *Signature, prof *Profile, m EnergyModel) (*EnergyReport, error) {
+	dom, comp, err := convolveDominant(sig, prof)
+	if err != nil {
+		return nil, err
+	}
+	return energy.Estimate(dom, comp, m)
+}
+
+// DVFSSweep evaluates the dominant task's time, energy and energy-delay
+// product across relative core frequencies (memory time is frequency-
+// invariant, compute time scales as 1/f, dynamic power as f³).
+func DVFSSweep(sig *Signature, prof *Profile, m EnergyModel, scales []float64) ([]FrequencyPoint, error) {
+	dom, comp, err := convolveDominant(sig, prof)
+	if err != nil {
+		return nil, err
+	}
+	return energy.DVFSSweep(dom, comp, m, scales)
+}
+
+// OptimalFrequency returns the sweep points minimizing energy and
+// energy-delay product.
+func OptimalFrequency(points []FrequencyPoint) (minEnergy, minEDP FrequencyPoint) {
+	return energy.OptimalFrequency(points)
+}

@@ -1,0 +1,99 @@
+package tracex_test
+
+import (
+	"fmt"
+	"log"
+
+	"tracex"
+)
+
+// Example demonstrates the full trace-extrapolation pipeline: profile the
+// target machine, collect signatures at three small core counts,
+// extrapolate to a count that was never traced, and predict its runtime.
+func Example() {
+	app, err := tracex.LoadApp("stencil3d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := tracex.LoadMachine("bluewaters")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := tracex.BuildProfile(target) // MultiMAPS sweep
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs, err := tracex.CollectInputs(app, []int{64, 128, 256}, target,
+		tracex.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tracex.Extrapolate(inputs, 512, tracex.ExtrapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := tracex.Predict(res.Signature, prof, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted %d-core runtime: %.1f s", pred.CoreCount, pred.Runtime)
+}
+
+// ExampleExtrapolate shows form selection per feature-vector element.
+func ExampleExtrapolate() {
+	app, _ := tracex.LoadApp("uh3d")
+	target, _ := tracex.LoadMachine("bluewaters")
+	inputs, err := tracex.CollectInputs(app, []int{1024, 2048, 4096}, target,
+		tracex.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tracex.Extrapolate(inputs, 8192, tracex.ExtrapOptions{
+		// The paper's future-work extension, guarded by cross-validation:
+		Forms:         tracex.ExtendedForms(),
+		CrossValidate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range res.Fits {
+		if f.Element == "mem_ops" {
+			fmt.Printf("block %d memory ops follow a %s law\n", f.BlockID, f.Form)
+		}
+	}
+}
+
+// ExampleMeasure runs the detailed execution simulation — the stand-in for
+// timing a real run — to validate a prediction.
+func ExampleMeasure() {
+	app, _ := tracex.LoadApp("cgsolve")
+	target, _ := tracex.LoadMachine("sandybridge")
+	measured, err := tracex.Measure(app, 256, target, tracex.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: %.2f s (compute %.2f s, comm %.2f s)",
+		measured.Runtime, measured.ComputeSeconds, measured.CommSeconds)
+}
+
+// ExampleDVFSSweep prices energy at scale from an extrapolated trace and
+// finds the energy-optimal core frequency.
+func ExampleDVFSSweep() {
+	app, _ := tracex.LoadApp("uh3d")
+	target, _ := tracex.LoadMachine("bluewaters")
+	prof, _ := tracex.BuildProfile(target)
+	inputs, err := tracex.CollectInputs(app, []int{1024, 2048, 4096}, target,
+		tracex.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := tracex.Extrapolate(inputs, 8192, tracex.ExtrapOptions{})
+	model := tracex.DefaultEnergyModel(target)
+	pts, err := tracex.DVFSSweep(res.Signature, prof, model,
+		[]float64{0.6, 0.8, 1.0, 1.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	minEnergy, _ := tracex.OptimalFrequency(pts)
+	fmt.Printf("energy-optimal frequency: %.1f×nominal", minEnergy.Scale)
+}

@@ -1,0 +1,3 @@
+module tracex
+
+go 1.22

@@ -1,0 +1,314 @@
+// Package addrgen generates synthetic memory address streams. It stands in
+// for the address streams that PEBIL instrumentation would extract from a
+// real executable: each generator models the access pattern of one kind of
+// computational kernel (unit-stride sweeps, strided sweeps, random gathers,
+// 3D stencils, particle gather/scatter) over a working set whose size is the
+// quantity that changes under strong scaling.
+//
+// Generators are deterministic: the same construction parameters produce the
+// same stream, which keeps every experiment in the repository reproducible.
+package addrgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces an infinite, deterministic address stream.
+type Generator interface {
+	// Name identifies the pattern for reports and trace metadata.
+	Name() string
+	// Next returns the next address in the stream.
+	Next() uint64
+	// Reset rewinds the stream to its initial state.
+	Reset()
+	// WorkingSet returns the number of distinct bytes the stream touches.
+	WorkingSet() uint64
+}
+
+// Fill appends n addresses from g to dst and returns the extended slice.
+func Fill(g Generator, dst []uint64, n int) []uint64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
+// Stride sweeps a working set with a fixed byte stride, wrapping at the end.
+// Stride 8 with 8-byte elements is the classic unit-stride (stride-one)
+// pattern; larger strides model column-major or strided array accesses.
+type Stride struct {
+	base   uint64
+	stride uint64
+	ws     uint64
+	cur    uint64
+}
+
+// NewStride returns a stride generator over ws bytes starting at base.
+// stride and ws must be positive; ws is rounded up to a multiple of stride.
+func NewStride(base, stride, ws uint64) (*Stride, error) {
+	if stride == 0 {
+		return nil, fmt.Errorf("addrgen: zero stride")
+	}
+	if ws == 0 {
+		return nil, fmt.Errorf("addrgen: zero working set")
+	}
+	if rem := ws % stride; rem != 0 {
+		ws += stride - rem
+	}
+	return &Stride{base: base, stride: stride, ws: ws}, nil
+}
+
+// Name implements Generator.
+func (s *Stride) Name() string { return "stride" }
+
+// WorkingSet implements Generator.
+func (s *Stride) WorkingSet() uint64 { return s.ws }
+
+// Next implements Generator.
+func (s *Stride) Next() uint64 {
+	a := s.base + s.cur
+	s.cur += s.stride
+	if s.cur >= s.ws {
+		s.cur = 0
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (s *Stride) Reset() { s.cur = 0 }
+
+// Random produces uniformly random element-aligned addresses within a
+// working set: the pathological random-stride load pattern from main memory
+// described in Section III-A of the paper.
+type Random struct {
+	base uint64
+	ws   uint64
+	elem uint64
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewRandom returns a random-access generator over ws bytes of elem-byte
+// elements starting at base, seeded deterministically.
+func NewRandom(base, ws, elem uint64, seed int64) (*Random, error) {
+	if elem == 0 || ws < elem {
+		return nil, fmt.Errorf("addrgen: working set %d smaller than element %d", ws, elem)
+	}
+	return &Random{base: base, ws: ws, elem: elem, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements Generator.
+func (r *Random) Name() string { return "random" }
+
+// WorkingSet implements Generator.
+func (r *Random) WorkingSet() uint64 { return r.ws }
+
+// Next implements Generator.
+func (r *Random) Next() uint64 {
+	n := r.ws / r.elem
+	return r.base + uint64(r.rng.Int63n(int64(n)))*r.elem
+}
+
+// Reset implements Generator.
+func (r *Random) Reset() { r.rng = rand.New(rand.NewSource(r.seed)) }
+
+// Stencil3D sweeps an Nx×Ny×Nz grid of elem-byte cells issuing a 7-point
+// stencil (center plus the six face neighbors) per cell, the canonical
+// access pattern of finite-difference and spectral-element codes such as
+// SPECFEM3D.
+type Stencil3D struct {
+	base       uint64
+	nx, ny, nz uint64
+	elem       uint64
+	i, j, k    uint64
+	point      int
+}
+
+// NewStencil3D returns a stencil generator over the given grid.
+func NewStencil3D(base uint64, nx, ny, nz, elem uint64) (*Stencil3D, error) {
+	if nx == 0 || ny == 0 || nz == 0 || elem == 0 {
+		return nil, fmt.Errorf("addrgen: degenerate stencil grid %dx%dx%d elem %d", nx, ny, nz, elem)
+	}
+	return &Stencil3D{base: base, nx: nx, ny: ny, nz: nz, elem: elem}, nil
+}
+
+// Name implements Generator.
+func (s *Stencil3D) Name() string { return "stencil3d" }
+
+// WorkingSet implements Generator.
+func (s *Stencil3D) WorkingSet() uint64 { return s.nx * s.ny * s.nz * s.elem }
+
+func (s *Stencil3D) addr(i, j, k uint64) uint64 {
+	return s.base + ((k*s.ny+j)*s.nx+i)*s.elem
+}
+
+// Next implements Generator. It emits the 7 stencil points of the current
+// cell (clamped at grid boundaries) before advancing to the next cell in
+// row-major order.
+func (s *Stencil3D) Next() uint64 {
+	i, j, k := s.i, s.j, s.k
+	var a uint64
+	switch s.point {
+	case 0:
+		a = s.addr(i, j, k)
+	case 1:
+		if i > 0 {
+			a = s.addr(i-1, j, k)
+		} else {
+			a = s.addr(i, j, k)
+		}
+	case 2:
+		if i+1 < s.nx {
+			a = s.addr(i+1, j, k)
+		} else {
+			a = s.addr(i, j, k)
+		}
+	case 3:
+		if j > 0 {
+			a = s.addr(i, j-1, k)
+		} else {
+			a = s.addr(i, j, k)
+		}
+	case 4:
+		if j+1 < s.ny {
+			a = s.addr(i, j+1, k)
+		} else {
+			a = s.addr(i, j, k)
+		}
+	case 5:
+		if k > 0 {
+			a = s.addr(i, j, k-1)
+		} else {
+			a = s.addr(i, j, k)
+		}
+	case 6:
+		if k+1 < s.nz {
+			a = s.addr(i, j, k+1)
+		} else {
+			a = s.addr(i, j, k)
+		}
+	}
+	s.point++
+	if s.point == 7 {
+		s.point = 0
+		s.i++
+		if s.i == s.nx {
+			s.i = 0
+			s.j++
+			if s.j == s.ny {
+				s.j = 0
+				s.k++
+				if s.k == s.nz {
+					s.k = 0
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (s *Stencil3D) Reset() { s.i, s.j, s.k, s.point = 0, 0, 0, 0 }
+
+// GatherScatter models particle-in-cell codes such as UH3D: a unit-stride
+// walk over a particle list interleaved with random accesses into a grid
+// array (field gather / charge deposit).
+type GatherScatter struct {
+	particles *Stride
+	grid      *Random
+	// gridRefsPerParticle random grid touches follow each particle touch.
+	gridRefs int
+	phase    int
+}
+
+// NewGatherScatter builds a gather/scatter generator: particleWS bytes of
+// sequential particle data at particleBase, gridWS bytes of randomly
+// accessed grid data at gridBase, with gridRefs grid references per
+// particle reference.
+func NewGatherScatter(particleBase, particleWS, gridBase, gridWS uint64, gridRefs int, seed int64) (*GatherScatter, error) {
+	if gridRefs < 1 {
+		return nil, fmt.Errorf("addrgen: gridRefs must be ≥1, got %d", gridRefs)
+	}
+	p, err := NewStride(particleBase, 8, particleWS)
+	if err != nil {
+		return nil, fmt.Errorf("addrgen: particle stream: %w", err)
+	}
+	g, err := NewRandom(gridBase, gridWS, 8, seed)
+	if err != nil {
+		return nil, fmt.Errorf("addrgen: grid stream: %w", err)
+	}
+	return &GatherScatter{particles: p, grid: g, gridRefs: gridRefs}, nil
+}
+
+// Name implements Generator.
+func (g *GatherScatter) Name() string { return "gatherscatter" }
+
+// WorkingSet implements Generator.
+func (g *GatherScatter) WorkingSet() uint64 {
+	return g.particles.WorkingSet() + g.grid.WorkingSet()
+}
+
+// Next implements Generator.
+func (g *GatherScatter) Next() uint64 {
+	if g.phase == 0 {
+		g.phase++
+		return g.particles.Next()
+	}
+	g.phase++
+	if g.phase > g.gridRefs {
+		g.phase = 0
+	}
+	return g.grid.Next()
+}
+
+// Reset implements Generator.
+func (g *GatherScatter) Reset() {
+	g.particles.Reset()
+	g.grid.Reset()
+	g.phase = 0
+}
+
+// Mix interleaves two generators with a deterministic duty cycle: aRefs
+// addresses from A, then bRefs from B, repeating.
+type Mix struct {
+	a, b         Generator
+	aRefs, bRefs int
+	pos          int
+}
+
+// NewMix builds an interleaving generator.
+func NewMix(a, b Generator, aRefs, bRefs int) (*Mix, error) {
+	if aRefs < 1 || bRefs < 1 {
+		return nil, fmt.Errorf("addrgen: mix duty cycle must be ≥1/≥1, got %d/%d", aRefs, bRefs)
+	}
+	return &Mix{a: a, b: b, aRefs: aRefs, bRefs: bRefs}, nil
+}
+
+// Name implements Generator.
+func (m *Mix) Name() string { return "mix(" + m.a.Name() + "," + m.b.Name() + ")" }
+
+// WorkingSet implements Generator.
+func (m *Mix) WorkingSet() uint64 { return m.a.WorkingSet() + m.b.WorkingSet() }
+
+// Next implements Generator.
+func (m *Mix) Next() uint64 {
+	var a uint64
+	if m.pos < m.aRefs {
+		a = m.a.Next()
+	} else {
+		a = m.b.Next()
+	}
+	m.pos++
+	if m.pos == m.aRefs+m.bRefs {
+		m.pos = 0
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (m *Mix) Reset() {
+	m.a.Reset()
+	m.b.Reset()
+	m.pos = 0
+}

@@ -1,0 +1,52 @@
+package addrgen
+
+import "fmt"
+
+// Biased interleaves a "hot" and a "cold" generator with a continuously
+// tunable hot fraction, using deterministic Bresenham-style error
+// accumulation (no randomness, so streams replay exactly). It models
+// computations whose locality concentrates as an application strong-scales:
+// a growing fraction of references land in a small resident region.
+type Biased struct {
+	hot, cold Generator
+	hotFrac   float64
+	acc       float64
+}
+
+// NewBiased returns a generator drawing hotFrac of references from hot and
+// the rest from cold. hotFrac must lie in [0,1].
+func NewBiased(hot, cold Generator, hotFrac float64) (*Biased, error) {
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("addrgen: hot fraction %g outside [0,1]", hotFrac)
+	}
+	if hot == nil || cold == nil {
+		return nil, fmt.Errorf("addrgen: nil sub-generator")
+	}
+	return &Biased{hot: hot, cold: cold, hotFrac: hotFrac}, nil
+}
+
+// Name implements Generator.
+func (b *Biased) Name() string { return "biased(" + b.hot.Name() + "," + b.cold.Name() + ")" }
+
+// WorkingSet implements Generator.
+func (b *Biased) WorkingSet() uint64 { return b.hot.WorkingSet() + b.cold.WorkingSet() }
+
+// HotFraction returns the configured hot fraction.
+func (b *Biased) HotFraction() float64 { return b.hotFrac }
+
+// Next implements Generator.
+func (b *Biased) Next() uint64 {
+	b.acc += b.hotFrac
+	if b.acc >= 1 {
+		b.acc--
+		return b.hot.Next()
+	}
+	return b.cold.Next()
+}
+
+// Reset implements Generator.
+func (b *Biased) Reset() {
+	b.hot.Reset()
+	b.cold.Reset()
+	b.acc = 0
+}

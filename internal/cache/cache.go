@@ -1,0 +1,346 @@
+// Package cache implements the multi-level set-associative cache simulator
+// at the heart of the PMaC-style signature collection pipeline. Memory
+// address streams are processed on the fly (Figure 2 of the paper) and the
+// simulator accumulates per-level hit counters from which the per-basic-block
+// cache hit rates in the application signature are derived.
+//
+// The hierarchy is modeled as inclusive with LRU replacement within each
+// set, which is the structure the paper's cache simulator mimics for the
+// Cray XT5 / Opteron targets.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LevelConfig describes the geometry of one cache level.
+type LevelConfig struct {
+	// Name labels the level ("L1", "L2", ...), used in reports.
+	Name string
+	// SizeBytes is the total capacity of the level in bytes.
+	SizeBytes int
+	// Assoc is the set associativity (number of ways). It must divide
+	// SizeBytes/LineSize.
+	Assoc int
+	// LineSize is the cache line size in bytes and must be a power of two.
+	// All levels in a hierarchy must share the same line size.
+	LineSize int
+}
+
+// Validate checks the level geometry for internal consistency.
+func (c LevelConfig) Validate() error {
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("cache: level %s: non-positive size %d", c.Name, c.SizeBytes)
+	}
+	if c.LineSize <= 0 || bits.OnesCount(uint(c.LineSize)) != 1 {
+		return fmt.Errorf("cache: level %s: line size %d must be a positive power of two", c.Name, c.LineSize)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: level %s: non-positive associativity %d", c.Name, c.Assoc)
+	}
+	lines := c.SizeBytes / c.LineSize
+	if lines*c.LineSize != c.SizeBytes {
+		return fmt.Errorf("cache: level %s: size %d not a multiple of line size %d", c.Name, c.SizeBytes, c.LineSize)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: level %s: %d lines not divisible by associativity %d", c.Name, lines, c.Assoc)
+	}
+	return nil
+}
+
+// Sets returns the number of sets in the level.
+func (c LevelConfig) Sets() int { return c.SizeBytes / c.LineSize / c.Assoc }
+
+// level is the runtime state of one cache level.
+type level struct {
+	cfg      LevelConfig
+	sets     int
+	setMask  uint64 // sets-1 when sets is a power of two, else 0
+	shift    uint   // log2(line size)
+	tags     []uint64
+	ages     []uint64
+	valid    []bool
+	hits     uint64
+	accesses uint64
+}
+
+// Options tunes optional simulator hardware features.
+type Options struct {
+	// NextLinePrefetch enables a stream-following hardware prefetcher:
+	// two consecutive demand misses to adjacent lines arm a stream, which
+	// then stays ahead of the access pattern — each demand hit on a
+	// prefetched line pulls in the next one. Random access patterns never
+	// arm a stream, so they pay no prefetch traffic. Prefetch fills are
+	// counted separately and never as hits or demand accesses.
+	NextLinePrefetch bool
+}
+
+// Simulator is a multi-level inclusive cache simulator. It is not safe for
+// concurrent use; create one Simulator per worker goroutine.
+type Simulator struct {
+	levels []*level
+	tick   uint64
+	opts   Options
+	// memAccesses counts references that missed every level.
+	memAccesses uint64
+	// totalRefs counts all references issued to the hierarchy.
+	totalRefs uint64
+	// prefetchFills counts lines installed by the prefetcher.
+	prefetchFills uint64
+	// lastMissBlk detects back-to-back misses on adjacent lines (stream
+	// detection); ^0 when no previous miss.
+	lastMissBlk uint64
+	// pfLines marks line addresses installed by the prefetcher but not yet
+	// demanded; a demand hit on such a line keeps the stream running.
+	pfLines map[uint64]bool
+}
+
+// NewSimulator builds a Simulator for the given hierarchy with default
+// options (no prefetcher).
+func NewSimulator(levels []LevelConfig) (*Simulator, error) {
+	return NewSimulatorOpts(levels, Options{})
+}
+
+// NewSimulatorOpts builds a Simulator for the given hierarchy, ordered
+// nearest (L1) first, with the given options. All levels must share the
+// same line size and each level must be at least as large as the previous
+// one (inclusive hierarchy).
+func NewSimulatorOpts(levels []LevelConfig, opts Options) (*Simulator, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one level")
+	}
+	sim := &Simulator{levels: make([]*level, len(levels)), opts: opts, lastMissBlk: ^uint64(0)}
+	if opts.NextLinePrefetch {
+		sim.pfLines = make(map[uint64]bool)
+	}
+	for i, cfg := range levels {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.LineSize != levels[0].LineSize {
+			return nil, fmt.Errorf("cache: level %s line size %d differs from L1's %d",
+				cfg.Name, cfg.LineSize, levels[0].LineSize)
+		}
+		if i > 0 && cfg.SizeBytes < levels[i-1].SizeBytes {
+			return nil, fmt.Errorf("cache: level %s (%d B) smaller than previous level (%d B); inclusive hierarchy requires monotone sizes",
+				cfg.Name, cfg.SizeBytes, levels[i-1].SizeBytes)
+		}
+		lv := &level{
+			cfg:   cfg,
+			sets:  cfg.Sets(),
+			shift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		}
+		if bits.OnesCount(uint(lv.sets)) == 1 {
+			lv.setMask = uint64(lv.sets - 1)
+		}
+		n := lv.sets * cfg.Assoc
+		lv.tags = make([]uint64, n)
+		lv.ages = make([]uint64, n)
+		lv.valid = make([]bool, n)
+		sim.levels[i] = lv
+	}
+	return sim, nil
+}
+
+// Levels returns the configured level geometries nearest-first.
+func (s *Simulator) Levels() []LevelConfig {
+	out := make([]LevelConfig, len(s.levels))
+	for i, lv := range s.levels {
+		out[i] = lv.cfg
+	}
+	return out
+}
+
+// lookupFill probes one level for the line containing addr, fills it on a
+// miss, and reports whether it hit. When countHit is false the probe is a
+// prefetch install: it refreshes recency and fills but never counts.
+func (s *Simulator) lookupFill(lv *level, addr uint64, countHit bool) bool {
+	blk := addr >> lv.shift
+	var set uint64
+	if lv.setMask != 0 {
+		set = blk & lv.setMask
+	} else {
+		set = blk % uint64(lv.sets)
+	}
+	base := int(set) * lv.cfg.Assoc
+	victim := base
+	var victimAge uint64 = ^uint64(0)
+	for w := base; w < base+lv.cfg.Assoc; w++ {
+		if lv.valid[w] && lv.tags[w] == blk {
+			lv.ages[w] = s.tick
+			if countHit {
+				lv.hits++
+			}
+			return true
+		}
+		// Track LRU victim: invalid ways win immediately.
+		if !lv.valid[w] {
+			if victimAge != 0 {
+				victim, victimAge = w, 0
+			}
+		} else if lv.ages[w] < victimAge {
+			victim, victimAge = w, lv.ages[w]
+		}
+	}
+	// Fill on miss.
+	lv.tags[victim] = blk
+	lv.ages[victim] = s.tick
+	lv.valid[victim] = true
+	return false
+}
+
+// Access simulates one memory reference to addr. It returns the zero-based
+// index of the level that hit, or len(levels) if the reference went to main
+// memory. Missing levels are filled (inclusive hierarchy), evicting the LRU
+// way in each set.
+func (s *Simulator) Access(addr uint64) int {
+	s.tick++
+	s.totalRefs++
+	hitLevel := len(s.levels)
+	for i, lv := range s.levels {
+		lv.accesses++
+		if s.lookupFill(lv, addr, true) {
+			hitLevel = i
+			break
+		}
+	}
+	if !s.opts.NextLinePrefetch {
+		if hitLevel == len(s.levels) {
+			s.memAccesses++
+		}
+		return hitLevel
+	}
+	blk := addr >> s.levels[0].shift
+	if hitLevel == len(s.levels) {
+		s.memAccesses++
+		// Stream detection: a second miss on the adjacent line arms the
+		// stream and prefetches the line after it.
+		if blk == s.lastMissBlk+1 {
+			s.prefetchLine(blk + 1)
+		}
+		s.lastMissBlk = blk
+	} else if s.pfLines[blk] {
+		// Demand hit on a prefetched line: keep the stream ahead.
+		delete(s.pfLines, blk)
+		s.prefetchLine(blk + 1)
+	}
+	return hitLevel
+}
+
+// prefetchLine installs one line hierarchy-wide on behalf of the stream
+// prefetcher, without touching demand accounting.
+func (s *Simulator) prefetchLine(blk uint64) {
+	addr := blk << s.levels[0].shift
+	already := true
+	for _, lv := range s.levels {
+		if !s.lookupFill(lv, addr, false) {
+			already = false
+		}
+	}
+	if !already {
+		s.prefetchFills++
+		s.pfLines[blk] = true
+	}
+}
+
+// AccessBatch simulates every address in addrs in order.
+func (s *Simulator) AccessBatch(addrs []uint64) {
+	for _, a := range addrs {
+		s.Access(a)
+	}
+}
+
+// PrefetchFillCount returns the number of prefetch fills since the last
+// counter reset without allocating a full Counters snapshot.
+func (s *Simulator) PrefetchFillCount() uint64 { return s.prefetchFills }
+
+// Counters is a snapshot of the simulator's hit/miss accounting.
+type Counters struct {
+	// Refs is the total number of references issued.
+	Refs uint64
+	// LevelHits[i] is the number of references that hit at level i
+	// (local, not cumulative).
+	LevelHits []uint64
+	// MemAccesses is the number of references that missed every level.
+	MemAccesses uint64
+	// PrefetchFills is the number of lines installed by the hardware
+	// prefetcher (zero when disabled).
+	PrefetchFills uint64
+}
+
+// Counters returns a snapshot of the accounting since the last reset.
+func (s *Simulator) Counters() Counters {
+	c := Counters{
+		Refs:          s.totalRefs,
+		LevelHits:     make([]uint64, len(s.levels)),
+		MemAccesses:   s.memAccesses,
+		PrefetchFills: s.prefetchFills,
+	}
+	for i, lv := range s.levels {
+		c.LevelHits[i] = lv.hits
+	}
+	return c
+}
+
+// ResetCounters zeroes the hit/miss accounting without disturbing cache
+// contents. Signature collection resets counters at basic-block boundaries
+// while keeping the warmed hierarchy, matching on-the-fly processing.
+func (s *Simulator) ResetCounters() {
+	s.totalRefs = 0
+	s.memAccesses = 0
+	s.prefetchFills = 0
+	for _, lv := range s.levels {
+		lv.hits = 0
+		lv.accesses = 0
+	}
+}
+
+// Flush invalidates all cache contents and zeroes the counters.
+func (s *Simulator) Flush() {
+	s.ResetCounters()
+	for _, lv := range s.levels {
+		for i := range lv.valid {
+			lv.valid[i] = false
+			lv.tags[i] = 0
+			lv.ages[i] = 0
+		}
+	}
+	s.tick = 0
+	s.lastMissBlk = ^uint64(0)
+	if s.pfLines != nil {
+		s.pfLines = make(map[uint64]bool)
+	}
+}
+
+// CumulativeHitRates returns, for each level i, the fraction of all
+// references that were resolved at level i or nearer (this is the "hit rate
+// in all levels of the target system" convention used by the paper's Table
+// II, where deeper levels always show rates at least as high as nearer
+// ones). It returns zeros when no references were issued.
+func (c Counters) CumulativeHitRates() []float64 {
+	rates := make([]float64, len(c.LevelHits))
+	if c.Refs == 0 {
+		return rates
+	}
+	var cum uint64
+	for i, h := range c.LevelHits {
+		cum += h
+		rates[i] = float64(cum) / float64(c.Refs)
+	}
+	return rates
+}
+
+// LocalHitRates returns, for each level, hits divided by the references
+// that reached that level. A level that was never reached reports 0.
+func (c Counters) LocalHitRates() []float64 {
+	rates := make([]float64, len(c.LevelHits))
+	remaining := c.Refs
+	for i, h := range c.LevelHits {
+		if remaining > 0 {
+			rates[i] = float64(h) / float64(remaining)
+		}
+		remaining -= h
+	}
+	return rates
+}

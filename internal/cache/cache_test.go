@@ -1,0 +1,374 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func l1Only(sizeBytes, assoc, line int) []LevelConfig {
+	return []LevelConfig{{Name: "L1", SizeBytes: sizeBytes, Assoc: assoc, LineSize: line}}
+}
+
+func threeLevel() []LevelConfig {
+	return []LevelConfig{
+		{Name: "L1", SizeBytes: 64 << 10, Assoc: 2, LineSize: 64},
+		{Name: "L2", SizeBytes: 512 << 10, Assoc: 8, LineSize: 64},
+		{Name: "L3", SizeBytes: 2 << 20, Assoc: 16, LineSize: 64},
+	}
+}
+
+func TestLevelConfigValidate(t *testing.T) {
+	good := LevelConfig{Name: "L1", SizeBytes: 32 << 10, Assoc: 4, LineSize: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []LevelConfig{
+		{Name: "a", SizeBytes: 0, Assoc: 1, LineSize: 64},
+		{Name: "b", SizeBytes: 1024, Assoc: 1, LineSize: 48},   // not power of two
+		{Name: "c", SizeBytes: 1024, Assoc: 0, LineSize: 64},   // no ways
+		{Name: "d", SizeBytes: 1000, Assoc: 1, LineSize: 64},   // size % line != 0
+		{Name: "e", SizeBytes: 64 * 3, Assoc: 2, LineSize: 64}, // lines % assoc != 0
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+}
+
+func TestNewSimulatorRejectsBadHierarchies(t *testing.T) {
+	if _, err := NewSimulator(nil); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	// Differing line sizes.
+	_, err := NewSimulator([]LevelConfig{
+		{Name: "L1", SizeBytes: 32 << 10, Assoc: 4, LineSize: 64},
+		{Name: "L2", SizeBytes: 256 << 10, Assoc: 8, LineSize: 128},
+	})
+	if err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+	// Shrinking hierarchy.
+	_, err = NewSimulator([]LevelConfig{
+		{Name: "L1", SizeBytes: 256 << 10, Assoc: 4, LineSize: 64},
+		{Name: "L2", SizeBytes: 32 << 10, Assoc: 8, LineSize: 64},
+	})
+	if err == nil {
+		t.Error("non-monotone hierarchy accepted")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	sim, err := NewSimulator(l1Only(1<<10, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := sim.Access(0x1000); lvl != 1 {
+		t.Errorf("cold access hit level %d, want memory (1)", lvl)
+	}
+	if lvl := sim.Access(0x1000); lvl != 0 {
+		t.Errorf("warm access hit level %d, want L1 (0)", lvl)
+	}
+	// Same line, different byte offset: still a hit.
+	if lvl := sim.Access(0x1008); lvl != 0 {
+		t.Errorf("same-line access hit level %d, want L1 (0)", lvl)
+	}
+	c := sim.Counters()
+	if c.Refs != 3 || c.LevelHits[0] != 2 || c.MemAccesses != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped 2-line cache (2 sets × 1 way, 64 B lines): lines 0 and
+	// 2 map to set 0 and evict each other; line 1 maps to set 1.
+	sim, err := NewSimulator(l1Only(128, 1, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Access(0 * 64) // miss, fill set 0
+	sim.Access(1 * 64) // miss, fill set 1
+	sim.Access(2 * 64) // miss, evict line 0 from set 0
+	if lvl := sim.Access(0 * 64); lvl != 1 {
+		t.Errorf("evicted line reported hit at level %d", lvl)
+	}
+	if lvl := sim.Access(1 * 64); lvl != 0 {
+		t.Errorf("resident line missed (level %d)", lvl)
+	}
+}
+
+func TestLRUWithinSetPrefersOldest(t *testing.T) {
+	// One set, 2 ways: touching A,B then C must evict A, keeping B.
+	sim, err := NewSimulator(l1Only(128, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	sim.Access(a)
+	sim.Access(b)
+	sim.Access(c) // evicts a (LRU)
+	if lvl := sim.Access(b); lvl != 0 {
+		t.Errorf("b evicted but was MRU: level %d", lvl)
+	}
+	if lvl := sim.Access(a); lvl != 1 {
+		t.Errorf("a should have been evicted: level %d", lvl)
+	}
+}
+
+func TestInclusiveFillOnMiss(t *testing.T) {
+	sim, err := NewSimulator(threeLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Access(0x4000) // memory; fills all three levels
+	c := sim.Counters()
+	if c.MemAccesses != 1 {
+		t.Fatalf("mem accesses = %d, want 1", c.MemAccesses)
+	}
+	if lvl := sim.Access(0x4000); lvl != 0 {
+		t.Errorf("second access level %d, want 0", lvl)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	// Stream enough distinct lines through a small L1 to evict the first
+	// line from L1 but not from the much larger L2.
+	levels := []LevelConfig{
+		{Name: "L1", SizeBytes: 512, Assoc: 1, LineSize: 64}, // 8 lines
+		{Name: "L2", SizeBytes: 64 << 10, Assoc: 8, LineSize: 64},
+	}
+	sim, err := NewSimulator(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := uint64(0)
+	sim.Access(first)
+	for i := 1; i <= 8; i++ {
+		sim.Access(uint64(i * 512)) // all map to set 0 of L1
+	}
+	if lvl := sim.Access(first); lvl != 1 {
+		t.Errorf("expected L2 hit (1), got level %d", lvl)
+	}
+}
+
+func TestWorkingSetFitsGivesFullHitRate(t *testing.T) {
+	sim, err := NewSimulator(threeLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 KiB working set streamed 4 times through a 64 KiB L1.
+	const ws = 32 << 10
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < ws; a += 64 {
+			sim.Access(a)
+		}
+	}
+	rates := sim.Counters().CumulativeHitRates()
+	// 3 of 4 passes hit; first pass is cold misses: 75 % overall.
+	if rates[0] < 0.74 || rates[0] > 0.76 {
+		t.Errorf("L1 cumulative hit rate = %.3f, want ≈0.75", rates[0])
+	}
+}
+
+func TestWorkingSetExceedsL1HitsInL2(t *testing.T) {
+	sim, err := NewSimulator(threeLevel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 KiB working set: too big for 64 KiB L1, fits 512 KiB L2.
+	const ws = 256 << 10
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < ws; a += 64 {
+			sim.Access(a)
+		}
+	}
+	rates := sim.Counters().CumulativeHitRates()
+	if rates[0] > 0.10 {
+		t.Errorf("L1 rate %.3f unexpectedly high for thrashing stream", rates[0])
+	}
+	if rates[1] < 0.70 {
+		t.Errorf("L2 cumulative rate %.3f, want ≥0.70 (working set fits L2)", rates[1])
+	}
+}
+
+func TestResetCountersKeepsContents(t *testing.T) {
+	sim, err := NewSimulator(l1Only(1<<10, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Access(0)
+	sim.ResetCounters()
+	if c := sim.Counters(); c.Refs != 0 || c.MemAccesses != 0 {
+		t.Errorf("counters not reset: %+v", c)
+	}
+	if lvl := sim.Access(0); lvl != 0 {
+		t.Errorf("cache contents lost on counter reset: level %d", lvl)
+	}
+}
+
+func TestFlushClearsContents(t *testing.T) {
+	sim, err := NewSimulator(l1Only(1<<10, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Access(0)
+	sim.Flush()
+	if lvl := sim.Access(0); lvl != 1 {
+		t.Errorf("flushed cache still hit at level %d", lvl)
+	}
+}
+
+func TestAccessBatchMatchesSequential(t *testing.T) {
+	addrs := make([]uint64, 1000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 16))
+	}
+	a, _ := NewSimulator(threeLevel())
+	b, _ := NewSimulator(threeLevel())
+	a.AccessBatch(addrs)
+	for _, x := range addrs {
+		b.Access(x)
+	}
+	ca, cb := a.Counters(), b.Counters()
+	if ca.Refs != cb.Refs || ca.MemAccesses != cb.MemAccesses {
+		t.Errorf("batch %+v != sequential %+v", ca, cb)
+	}
+	for i := range ca.LevelHits {
+		if ca.LevelHits[i] != cb.LevelHits[i] {
+			t.Errorf("level %d hits differ: %d vs %d", i, ca.LevelHits[i], cb.LevelHits[i])
+		}
+	}
+}
+
+func TestCumulativeRatesMonotone(t *testing.T) {
+	sim, _ := NewSimulator(threeLevel())
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		sim.Access(uint64(rng.Intn(4 << 20)))
+	}
+	rates := sim.Counters().CumulativeHitRates()
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[i-1] {
+			t.Errorf("cumulative rates not monotone: %v", rates)
+		}
+	}
+	if rates[len(rates)-1] > 1 {
+		t.Errorf("cumulative rate exceeds 1: %v", rates)
+	}
+}
+
+func TestLocalHitRates(t *testing.T) {
+	c := Counters{Refs: 100, LevelHits: []uint64{50, 25, 20}, MemAccesses: 5}
+	local := c.LocalHitRates()
+	want := []float64{0.5, 0.5, 0.8}
+	for i := range want {
+		if diff := local[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("local[%d] = %g, want %g", i, local[i], want[i])
+		}
+	}
+	empty := Counters{LevelHits: []uint64{0, 0}}
+	for _, r := range empty.LocalHitRates() {
+		if r != 0 {
+			t.Errorf("empty counters produced rate %g", r)
+		}
+	}
+	for _, r := range (Counters{}).CumulativeHitRates() {
+		if r != 0 {
+			t.Error("zero counters should give zero rates")
+		}
+	}
+}
+
+func TestNonPowerOfTwoSetCount(t *testing.T) {
+	// 3 sets × 1 way: exercises the modulo (non-mask) indexing path.
+	sim, err := NewSimulator(l1Only(3*64, 1, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		sim.Access(i * 64)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if lvl := sim.Access(i * 64); lvl != 0 {
+			t.Errorf("line %d: level %d, want 0", i, lvl)
+		}
+	}
+}
+
+// Property: hit counts never exceed references, and accounting balances:
+// refs = Σ level hits + memory accesses.
+func TestAccountingBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim, err := NewSimulator(threeLevel())
+		if err != nil {
+			return false
+		}
+		n := 100 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			sim.Access(uint64(rng.Intn(8 << 20)))
+		}
+		c := sim.Counters()
+		var sum uint64
+		for _, h := range c.LevelHits {
+			sum += h
+		}
+		return c.Refs == uint64(n) && sum+c.MemAccesses == c.Refs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a repeated scan of a working set that fits in a level
+// eventually gets a 100 % cumulative hit rate at that level for the last
+// pass (steady state).
+func TestSteadyStateResidencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim, err := NewSimulator(threeLevel())
+		if err != nil {
+			return false
+		}
+		// Working set 1..32 KiB always fits the 64 KiB L1.
+		lines := 1 + rng.Intn(512)
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < lines; i++ {
+				sim.Access(uint64(i) * 64)
+			}
+		}
+		sim.ResetCounters()
+		for i := 0; i < lines; i++ {
+			sim.Access(uint64(i) * 64)
+		}
+		rates := sim.Counters().CumulativeHitRates()
+		return rates[0] == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccessStride(b *testing.B) {
+	sim, _ := NewSimulator(threeLevel())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	sim, _ := NewSimulator(threeLevel())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(16 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Access(addrs[i&(1<<16-1)])
+	}
+}

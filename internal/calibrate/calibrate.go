@@ -1,0 +1,251 @@
+// Package calibrate solves the machine-profile inverse problem: given
+// observed block timings on a real (here: detailed-simulated) system, tune
+// the uncertain machine parameters — memory-level parallelism, sustained
+// memory bandwidth, memory latency — so the timing model reproduces the
+// observations. The PMaC framework obtains such fits with a genetic
+// algorithm (the paper's reference [27], Tikir et al.); this package uses
+// deterministic coordinate descent with golden-section line search, which
+// converges for the smooth single-basin objectives these parameters give.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"tracex/internal/cache"
+	"tracex/internal/machine"
+	"tracex/internal/memsim"
+)
+
+// Observation pairs a workload's cache accounting with its observed time.
+type Observation struct {
+	// Counters is the workload's cache-simulator accounting.
+	Counters cache.Counters
+	// Seconds is the measured execution time of those references.
+	Seconds float64
+}
+
+// Parameter names a tunable machine parameter.
+type Parameter string
+
+// Tunable machine parameters.
+const (
+	MLP          Parameter = "mlp"
+	MemBandwidth Parameter = "mem_bandwidth_gbs"
+	MemLatency   Parameter = "mem_latency_cycles"
+)
+
+// Bounds gives a parameter's legal search interval.
+type Bounds struct{ Lo, Hi float64 }
+
+// DefaultBounds returns the search intervals used when none are supplied.
+func DefaultBounds() map[Parameter]Bounds {
+	return map[Parameter]Bounds{
+		MLP:          {1, 32},
+		MemBandwidth: {0.25, 64},
+		MemLatency:   {50, 1000},
+	}
+}
+
+// Result reports a calibration.
+type Result struct {
+	// Config is the calibrated machine configuration.
+	Config machine.Config
+	// Before and After are the mean absolute relative timing errors of the
+	// model against the observations, pre- and post-calibration.
+	Before, After float64
+	// Iterations is the number of coordinate-descent sweeps performed.
+	Iterations int
+}
+
+// get/set accessors for the tunable parameters.
+func getParam(cfg *machine.Config, p Parameter) float64 {
+	switch p {
+	case MLP:
+		return cfg.MLP
+	case MemBandwidth:
+		return cfg.MemBandwidthGBs
+	case MemLatency:
+		return cfg.MemLatencyCycles
+	}
+	return math.NaN()
+}
+
+func setParam(cfg *machine.Config, p Parameter, v float64) {
+	switch p {
+	case MLP:
+		cfg.MLP = v
+	case MemBandwidth:
+		cfg.MemBandwidthGBs = v
+	case MemLatency:
+		cfg.MemLatencyCycles = v
+	}
+}
+
+// objective is the mean absolute relative error of the memory timing model
+// over the observations for a candidate configuration.
+func objective(cfg machine.Config, obs []Observation) (float64, error) {
+	model, err := memsim.New(cfg)
+	if err != nil {
+		return math.Inf(1), nil // out-of-bounds candidates are just bad
+	}
+	var sum float64
+	for _, o := range obs {
+		cy, err := model.Cycles(o.Counters)
+		if err != nil {
+			return 0, err
+		}
+		pred := model.Seconds(cy)
+		sum += math.Abs(pred-o.Seconds) / o.Seconds
+	}
+	return sum / float64(len(obs)), nil
+}
+
+// bracketMinimum evaluates f on n log-spaced points over [lo, hi] and
+// returns the sub-interval surrounding the best point.
+func bracketMinimum(f func(float64) (float64, error), lo, hi float64, n int) (float64, float64, error) {
+	if n < 3 {
+		n = 3
+	}
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	pts := make([]float64, n)
+	v := lo
+	for i := range pts {
+		pts[i] = v
+		v *= ratio
+	}
+	pts[n-1] = hi
+	bestIdx, bestVal := 0, math.Inf(1)
+	for i, x := range pts {
+		fx, err := f(x)
+		if err != nil {
+			return 0, 0, err
+		}
+		if fx < bestVal {
+			bestIdx, bestVal = i, fx
+		}
+	}
+	a, b := lo, hi
+	if bestIdx > 0 {
+		a = pts[bestIdx-1]
+	}
+	if bestIdx < n-1 {
+		b = pts[bestIdx+1]
+	}
+	return a, b, nil
+}
+
+// goldenSection minimizes f over [lo, hi] with golden-section search.
+func goldenSection(f func(float64) (float64, error), lo, hi float64) (float64, error) {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, err := f(c)
+	if err != nil {
+		return 0, err
+	}
+	fd, err := f(d)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < 60 && (b-a) > 1e-6*(hi-lo); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			if fc, err = f(c); err != nil {
+				return 0, err
+			}
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			if fd, err = f(d); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// Calibrate tunes the given parameters of cfg to minimize the timing
+// model's error against the observations. Unlisted parameters stay fixed.
+// A nil bounds map uses DefaultBounds.
+func Calibrate(cfg machine.Config, obs []Observation, params []Parameter, bounds map[Parameter]Bounds) (*Result, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("calibrate: no observations")
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("calibrate: no parameters to tune")
+	}
+	for _, o := range obs {
+		if o.Seconds <= 0 {
+			return nil, fmt.Errorf("calibrate: non-positive observed time %g", o.Seconds)
+		}
+		if o.Counters.Refs == 0 {
+			return nil, fmt.Errorf("calibrate: observation with no references")
+		}
+	}
+	if bounds == nil {
+		bounds = DefaultBounds()
+	}
+	for _, p := range params {
+		b, ok := bounds[p]
+		if !ok {
+			return nil, fmt.Errorf("calibrate: no bounds for parameter %q", p)
+		}
+		if b.Lo >= b.Hi {
+			return nil, fmt.Errorf("calibrate: degenerate bounds for %q", p)
+		}
+		if math.IsNaN(getParam(&cfg, p)) {
+			return nil, fmt.Errorf("calibrate: unknown parameter %q", p)
+		}
+	}
+	before, err := objective(cfg, obs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg, Before: before, After: before}
+	cur := cfg
+	curErr := before
+	for sweep := 0; sweep < 20; sweep++ {
+		res.Iterations = sweep + 1
+		improved := false
+		for _, p := range params {
+			b := bounds[p]
+			f := func(v float64) (float64, error) {
+				cand := cur
+				setParam(&cand, p, v)
+				return objective(cand, obs)
+			}
+			// Coarse log-spaced grid first: objectives like the sustained-
+			// bandwidth error are flat wherever the bandwidth floor never
+			// binds, which strands a bare golden-section search on the
+			// plateau. The grid finds the active basin; golden section then
+			// refines inside it.
+			lo, hi, err := bracketMinimum(f, b.Lo, b.Hi, 17)
+			if err != nil {
+				return nil, err
+			}
+			best, err := goldenSection(f, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			cand := cur
+			setParam(&cand, p, best)
+			candErr, err := objective(cand, obs)
+			if err != nil {
+				return nil, err
+			}
+			if candErr < curErr-1e-12 {
+				cur, curErr = cand, candErr
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Config = cur
+	res.After = curErr
+	return res, nil
+}

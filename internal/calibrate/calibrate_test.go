@@ -1,0 +1,146 @@
+package calibrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tracex/internal/cache"
+	"tracex/internal/machine"
+	"tracex/internal/memsim"
+)
+
+// synthObservations generates observations from a "true" machine so the
+// calibrator has a known answer to recover.
+func synthObservations(t *testing.T, truth machine.Config, n int, seed int64) []Observation {
+	t.Helper()
+	model, err := memsim.New(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var obs []Observation
+	for i := 0; i < n; i++ {
+		refs := uint64(100_000 + rng.Intn(900_000))
+		l1 := uint64(float64(refs) * (0.5 + 0.45*rng.Float64()))
+		rem := refs - l1
+		l2 := uint64(float64(rem) * rng.Float64())
+		rem -= l2
+		l3 := uint64(float64(rem) * rng.Float64())
+		mem := rem - l3
+		c := cache.Counters{Refs: refs, LevelHits: []uint64{l1, l2, l3}, MemAccesses: mem}
+		cy, err := model.Cycles(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, Observation{Counters: c, Seconds: model.Seconds(cy)})
+	}
+	return obs
+}
+
+func TestCalibrateRecoversMLP(t *testing.T) {
+	truth := machine.BlueWatersP1() // MLP 6
+	obs := synthObservations(t, truth, 30, 1)
+	start := truth
+	start.MLP = 2 // wrong prior
+	res, err := Calibrate(start, obs, []Parameter{MLP}, nil)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if res.After > 0.02 {
+		t.Errorf("post-calibration error %.3f", res.After)
+	}
+	if math.Abs(res.Config.MLP-truth.MLP) > 0.2 {
+		t.Errorf("recovered MLP %.2f, want %.2f", res.Config.MLP, truth.MLP)
+	}
+	if res.Before <= res.After {
+		t.Errorf("calibration did not improve: %.3f → %.3f", res.Before, res.After)
+	}
+}
+
+func TestCalibrateRecoversTwoParameters(t *testing.T) {
+	truth := machine.Kraken() // MLP 4, 2.1 GB/s
+	obs := synthObservations(t, truth, 40, 2)
+	start := truth
+	start.MLP = 10
+	start.MemBandwidthGBs = 8
+	res, err := Calibrate(start, obs, []Parameter{MLP, MemBandwidth}, nil)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if res.After > 0.03 {
+		t.Errorf("post-calibration error %.3f (MLP %.2f, BW %.2f)",
+			res.After, res.Config.MLP, res.Config.MemBandwidthGBs)
+	}
+}
+
+func TestCalibrateAgainstDifferentLatency(t *testing.T) {
+	truth := machine.BlueWatersP1()
+	truth.MemLatencyCycles = 500 // a slower-memory variant
+	obs := synthObservations(t, truth, 30, 3)
+	start := machine.BlueWatersP1() // 350 cycles prior
+	res, err := Calibrate(start, obs, []Parameter{MemLatency}, nil)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if math.Abs(res.Config.MemLatencyCycles-500) > 25 {
+		t.Errorf("recovered latency %.0f, want ≈500", res.Config.MemLatencyCycles)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	cfg := machine.Kraken()
+	obs := synthObservations(t, cfg, 5, 4)
+	if _, err := Calibrate(cfg, nil, []Parameter{MLP}, nil); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := Calibrate(cfg, obs, nil, nil); err == nil {
+		t.Error("no parameters accepted")
+	}
+	if _, err := Calibrate(cfg, obs, []Parameter{"bogus"}, nil); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	bad := append([]Observation(nil), obs...)
+	bad[0].Seconds = 0
+	if _, err := Calibrate(cfg, bad, []Parameter{MLP}, nil); err == nil {
+		t.Error("zero observed time accepted")
+	}
+	bad = append([]Observation(nil), obs...)
+	bad[0].Counters.Refs = 0
+	if _, err := Calibrate(cfg, bad, []Parameter{MLP}, nil); err == nil {
+		t.Error("empty counters accepted")
+	}
+	if _, err := Calibrate(cfg, obs, []Parameter{MLP},
+		map[Parameter]Bounds{MLP: {5, 5}}); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+}
+
+func TestCalibrateAlreadyOptimal(t *testing.T) {
+	truth := machine.Kraken()
+	obs := synthObservations(t, truth, 20, 5)
+	res, err := Calibrate(truth, obs, []Parameter{MLP, MemBandwidth, MemLatency}, nil)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	// Starting at the truth: error stays ≈0 and parameters stay close.
+	if res.After > 0.01 {
+		t.Errorf("error grew from an optimal start: %.4f", res.After)
+	}
+}
+
+func TestDefaultBoundsCoverPredefinedMachines(t *testing.T) {
+	b := DefaultBounds()
+	for _, name := range machine.Names() {
+		cfg, _ := machine.ByName(name)
+		if cfg.MLP < b[MLP].Lo || cfg.MLP > b[MLP].Hi {
+			t.Errorf("%s MLP %.1f outside default bounds", name, cfg.MLP)
+		}
+		if cfg.MemBandwidthGBs < b[MemBandwidth].Lo || cfg.MemBandwidthGBs > b[MemBandwidth].Hi {
+			t.Errorf("%s bandwidth outside default bounds", name)
+		}
+		if cfg.MemLatencyCycles < b[MemLatency].Lo || cfg.MemLatencyCycles > b[MemLatency].Hi {
+			t.Errorf("%s latency outside default bounds", name)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package cluster implements the paper's Future Work (§VI) extension: using
+// a clustering algorithm to group MPI tasks with similar properties, so that
+// per-cluster "centroid" trace files can serve as extrapolation bases
+// instead of only the single slowest task. It provides a deterministic
+// k-means (k-means++ seeding, Lloyd iterations) over per-rank feature
+// vectors, plus helpers for clustering the traces of an application
+// signature.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tracex/internal/trace"
+)
+
+// Result describes a k-means clustering.
+type Result struct {
+	// Assignments[i] is the cluster index of point i.
+	Assignments []int
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k groups using k-means++ seeding and Lloyd
+// iterations, deterministically for a given seed. It requires 1 ≤ k ≤
+// len(points) and equal point dimensions.
+func KMeans(points [][]float64, k int, maxIter int, seed int64) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d outside [1,%d]", k, n)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("cluster: maxIter %d < 1", maxIter)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cluster: point %d coordinate %d non-finite", i, j)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n) // all points identical to chosen centers
+		} else {
+			target := rng.Float64() * total
+			var cum float64
+			for i, d := range d2 {
+				cum += d
+				if cum >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+
+	assign := make([]int, n)
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; empty clusters keep their previous center.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	res.Assignments = assign
+	res.Centroids = centroids
+	res.Inertia = inertia
+	return res, nil
+}
+
+// RankClusters is the result of clustering an application signature's MPI
+// tasks by their feature vectors.
+type RankClusters struct {
+	// Clusters maps cluster index to the ranks it contains.
+	Clusters [][]int
+	// Representative[c] is the rank closest to cluster c's centroid — the
+	// "centroid file" the paper proposes as a per-cluster extrapolation
+	// base.
+	Representative []int
+	// KMeans is the underlying clustering.
+	KMeans *Result
+}
+
+// rankFeatures flattens a trace's per-block feature vectors into one point,
+// normalizing each element across ranks to equalize scales.
+func rankFeatures(sig *trace.Signature) ([][]float64, error) {
+	points := make([][]float64, len(sig.Traces))
+	for i := range sig.Traces {
+		tr := &sig.Traces[i]
+		var point []float64
+		for j := range tr.Blocks {
+			vals, err := tr.Blocks[j].FV.Values(tr.Levels)
+			if err != nil {
+				return nil, err
+			}
+			point = append(point, vals...)
+		}
+		points[i] = point
+		if len(point) != len(points[0]) {
+			return nil, fmt.Errorf("cluster: rank %d has %d features, rank %d has %d: traces must share a block set",
+				tr.Rank, len(point), sig.Traces[0].Rank, len(points[0]))
+		}
+	}
+	// Normalize each dimension by its max magnitude.
+	if len(points) > 0 {
+		dim := len(points[0])
+		for j := 0; j < dim; j++ {
+			var max float64
+			for i := range points {
+				if a := math.Abs(points[i][j]); a > max {
+					max = a
+				}
+			}
+			if max == 0 {
+				continue
+			}
+			for i := range points {
+				points[i][j] /= max
+			}
+		}
+	}
+	return points, nil
+}
+
+// ClusterRanks groups the signature's traces into k clusters of similar
+// tasks and selects a representative rank for each.
+func ClusterRanks(sig *trace.Signature, k int, seed int64) (*RankClusters, error) {
+	if err := sig.Validate(); err != nil {
+		return nil, err
+	}
+	points, err := rankFeatures(sig)
+	if err != nil {
+		return nil, err
+	}
+	km, err := KMeans(points, k, 100, seed)
+	if err != nil {
+		return nil, err
+	}
+	rc := &RankClusters{
+		Clusters:       make([][]int, k),
+		Representative: make([]int, k),
+		KMeans:         km,
+	}
+	bestD := make([]float64, k)
+	for c := range bestD {
+		bestD[c] = math.Inf(1)
+		rc.Representative[c] = -1
+	}
+	for i, c := range km.Assignments {
+		rank := sig.Traces[i].Rank
+		rc.Clusters[c] = append(rc.Clusters[c], rank)
+		if d := sqDist(points[i], km.Centroids[c]); d < bestD[c] {
+			bestD[c] = d
+			rc.Representative[c] = rank
+		}
+	}
+	return rc, nil
+}

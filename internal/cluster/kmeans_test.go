@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracex/internal/machine"
+	"tracex/internal/pebil"
+	"tracex/internal/synthapp"
+)
+
+// threeBlobs generates n points around three well-separated centers.
+func threeBlobs(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	points := make([][]float64, n)
+	truth := make([]int, n)
+	for i := range points {
+		c := i % 3
+		truth[i] = c
+		points[i] = []float64{
+			centers[c][0] + rng.NormFloat64()*0.5,
+			centers[c][1] + rng.NormFloat64()*0.5,
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	points, truth := threeBlobs(90, 1)
+	res, err := KMeans(points, 3, 100, 42)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	// Every pair in the same true blob must share a cluster, and pairs in
+	// different blobs must not.
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			same := res.Assignments[i] == res.Assignments[j]
+			if (truth[i] == truth[j]) != same {
+				t.Fatalf("points %d,%d: truth %d,%d but clusters %d,%d",
+					i, j, truth[i], truth[j], res.Assignments[i], res.Assignments[j])
+			}
+		}
+	}
+	if res.Inertia > 90*2*1.0 {
+		t.Errorf("inertia %g implausibly high for tight blobs", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := threeBlobs(60, 2)
+	a, err := KMeans(points, 3, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 3, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	points := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	// k = 1: single cluster containing everything.
+	res, err := KMeans(points, 1, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Error("k=1 should assign all to cluster 0")
+		}
+	}
+	if math.Abs(res.Centroids[0][0]-2) > 1e-12 {
+		t.Errorf("centroid %v, want mean (2,2)", res.Centroids[0])
+	}
+	// k = n: zero inertia.
+	res, err = KMeans(points, 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("k=n inertia %g, want 0", res.Inertia)
+	}
+	// Identical points: must not spin or crash.
+	same := [][]float64{{5}, {5}, {5}, {5}}
+	if _, err := KMeans(same, 2, 10, 1); err != nil {
+		t.Errorf("identical points: %v", err)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 1, 10, 1); err == nil {
+		t.Error("empty points accepted")
+	}
+	p := [][]float64{{1}, {2}}
+	if _, err := KMeans(p, 0, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(p, 3, 10, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans(p, 1, 0, 1); err == nil {
+		t.Error("maxIter=0 accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, 10, 1); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+	if _, err := KMeans([][]float64{{math.NaN()}}, 1, 10, 1); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+}
+
+// Property: inertia with k+1 clusters never exceeds inertia with k (both
+// computed on the same data with the same seed family).
+func TestKMeansInertiaMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		points, _ := threeBlobs(45, seed)
+		prev := math.Inf(1)
+		for k := 1; k <= 4; k++ {
+			res, err := KMeans(points, k, 100, 9)
+			if err != nil {
+				return false
+			}
+			// Allow tiny numerical slack; k-means is a local optimizer so
+			// strict monotonicity can rarely be violated — tolerate 5 %.
+			if res.Inertia > prev*1.05 {
+				return false
+			}
+			if res.Inertia < prev {
+				prev = res.Inertia
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRanksGroupsLoadClasses(t *testing.T) {
+	// Collect a signature with one trace per load class plus duplicates;
+	// clustering with k = classes must group identical-class ranks.
+	app := synthapp.UH3D()
+	bw := machine.BlueWatersP1()
+	// Ranks 0..7 cover each of the 4 classes twice (round-robin).
+	sig, err := pebil.Collect(app, 1024, bw, []int{0, 1, 2, 3, 4, 5, 6, 7},
+		pebil.Options{SampleRefs: 50_000, MaxWarmRefs: 100_000})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	rc, err := ClusterRanks(sig, app.NumClasses(), 3)
+	if err != nil {
+		t.Fatalf("ClusterRanks: %v", err)
+	}
+	// Ranks r and r+4 share a class and must share a cluster.
+	cOf := map[int]int{}
+	for c, ranks := range rc.Clusters {
+		for _, r := range ranks {
+			cOf[r] = c
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if cOf[r] != cOf[r+4] {
+			t.Errorf("ranks %d and %d in different clusters (%d, %d)", r, r+4, cOf[r], cOf[r+4])
+		}
+	}
+	// Each representative belongs to its own cluster.
+	for c, rep := range rc.Representative {
+		if rep < 0 {
+			t.Errorf("cluster %d has no representative", c)
+			continue
+		}
+		if cOf[rep] != c {
+			t.Errorf("representative %d not in cluster %d", rep, c)
+		}
+	}
+}
+
+func TestClusterRanksValidation(t *testing.T) {
+	app := synthapp.Stencil3D()
+	bw := machine.BlueWatersP1()
+	sig, err := pebil.Collect(app, 64, bw, []int{0, 1},
+		pebil.Options{SampleRefs: 20_000, MaxWarmRefs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ClusterRanks(sig, 5, 1); err == nil {
+		t.Error("k > rank count accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package commx
+
+import (
+	"math"
+	"testing"
+
+	"tracex/internal/mpi"
+	"tracex/internal/synthapp"
+)
+
+func uh3dProgram(t *testing.T, p int) *mpi.Program {
+	t.Helper()
+	app := synthapp.UH3D()
+	prog, err := app.Program(p)
+	if err != nil {
+		t.Fatalf("Program(%d): %v", p, err)
+	}
+	return prog
+}
+
+func TestSummarizeUH3D(t *testing.T) {
+	prog := uh3dProgram(t, 1024)
+	p, err := Summarize(prog, 0)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if p.CoreCount != 1024 {
+		t.Errorf("CoreCount = %d", p.CoreCount)
+	}
+	// Rank 0 is a 3D grid corner: 3 neighbors.
+	if p.Neighbors != 3 {
+		t.Errorf("Neighbors = %d, want 3", p.Neighbors)
+	}
+	// Two timesteps: two messages per neighbor, two allreduces.
+	if p.MessagesPerNeighbor != 2 {
+		t.Errorf("MessagesPerNeighbor = %g", p.MessagesPerNeighbor)
+	}
+	if p.Collectives != 2 {
+		t.Errorf("Collectives = %d", p.Collectives)
+	}
+	if p.BytesPerMessage <= 0 || p.CollectiveBytes != 128 {
+		t.Errorf("payloads: %g, %g", p.BytesPerMessage, p.CollectiveBytes)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	prog := uh3dProgram(t, 1024)
+	if _, err := Summarize(prog, -1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := Summarize(prog, 1024); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := Summarize(&mpi.Program{}, 0); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestExtrapolateCommProfile(t *testing.T) {
+	var profiles []Profile
+	for _, p := range []int{1024, 2048, 4096} {
+		prof, err := Summarize(uh3dProgram(t, p), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, prof)
+	}
+	ext, err := Extrapolate(profiles, 8192)
+	if err != nil {
+		t.Fatalf("Extrapolate: %v", err)
+	}
+	actual, err := Summarize(uh3dProgram(t, 8192), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := CompareProfiles(ext.Profile, actual)
+	for field, e := range errs {
+		if e > 0.05 {
+			t.Errorf("%s extrapolation error %.1f%%", field, 100*e)
+		}
+	}
+	// Structure fields must be exact.
+	if ext.Profile.Neighbors != actual.Neighbors {
+		t.Errorf("neighbors %d vs %d", ext.Profile.Neighbors, actual.Neighbors)
+	}
+	if ext.Profile.Collectives != actual.Collectives {
+		t.Errorf("collectives %d vs %d", ext.Profile.Collectives, actual.Collectives)
+	}
+	// Constant fields select the constant form.
+	if ext.Forms["neighbors"] != "constant" {
+		t.Errorf("neighbors form = %s", ext.Forms["neighbors"])
+	}
+}
+
+func TestExtrapolateValidation(t *testing.T) {
+	p1, _ := Summarize(uh3dProgram(t, 1024), 0)
+	p2, _ := Summarize(uh3dProgram(t, 2048), 0)
+	if _, err := Extrapolate([]Profile{p1}, 8192); err == nil {
+		t.Error("single profile accepted")
+	}
+	if _, err := Extrapolate([]Profile{p1, p1}, 8192); err == nil {
+		t.Error("duplicate counts accepted")
+	}
+	if _, err := Extrapolate([]Profile{p1, p2}, 2048); err == nil {
+		t.Error("target not beyond inputs accepted")
+	}
+}
+
+func TestSynthesizeMatchesActualVolumes(t *testing.T) {
+	var profiles []Profile
+	for _, p := range []int{1024, 2048, 4096} {
+		prof, err := Summarize(uh3dProgram(t, p), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, prof)
+	}
+	ext, err := Extrapolate(profiles, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := Synthesize("uh3d-comm", ext.Profile)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if err := synth.Validate(); err != nil {
+		t.Fatalf("synthesized program invalid: %v", err)
+	}
+	actual := uh3dProgram(t, 8192)
+	if synth.TotalMessages() != actual.TotalMessages() {
+		t.Errorf("messages: synth %d vs actual %d", synth.TotalMessages(), actual.TotalMessages())
+	}
+	rel := math.Abs(float64(synth.TotalBytes())-float64(actual.TotalBytes())) / float64(actual.TotalBytes())
+	if rel > 0.05 {
+		t.Errorf("total bytes off by %.1f%%: %d vs %d", 100*rel, synth.TotalBytes(), actual.TotalBytes())
+	}
+}
+
+func TestSynthesizeTopologyMismatch(t *testing.T) {
+	p := Profile{CoreCount: 64, Neighbors: 5, MessagesPerNeighbor: 1, BytesPerMessage: 64}
+	if _, err := Synthesize("x", p); err == nil {
+		t.Error("impossible corner degree accepted")
+	}
+}
+
+func TestSynthesizeSingleRank(t *testing.T) {
+	p := Profile{CoreCount: 1, MessagesPerNeighbor: 2, Collectives: 2, CollectiveBytes: 8}
+	prog, err := Synthesize("solo", p)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if prog.TotalMessages() != 0 {
+		t.Error("single rank generated messages")
+	}
+}
+
+func TestCompareProfilesExactMatch(t *testing.T) {
+	p, _ := Summarize(uh3dProgram(t, 1024), 0)
+	for field, e := range CompareProfiles(p, p) {
+		if e != 0 {
+			t.Errorf("%s self-comparison error %g", field, e)
+		}
+	}
+}

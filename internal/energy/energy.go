@@ -1,0 +1,216 @@
+// Package energy models the power and energy of application runs from the
+// same per-block features the trace extrapolation methodology captures.
+// The paper motivates its feature vector as "important for both performance
+// and energy"; this package closes that loop the way the PMaC group's
+// companion work does (the paper's references [23] and [24]): per-core
+// power is a linear function of the block's activity rates — floating-point
+// throughput and per-level memory access rates — and energy is power
+// integrated over the convolved block times. A DVFS model (reference [23])
+// rescales compute-bound time and dynamic power with core frequency,
+// exposing the energy-optimal frequency of memory-bound phases.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"tracex/internal/machine"
+	"tracex/internal/psins"
+	"tracex/internal/trace"
+)
+
+// Model holds the linear power-model coefficients for one machine.
+type Model struct {
+	// BaseWatts is the static per-core power draw (leakage, uncore share).
+	BaseWatts float64
+	// FPWattsPerGops is dynamic power per 10⁹ floating-point ops/second.
+	FPWattsPerGops float64
+	// LevelWattsPerGaps[i] is dynamic power per 10⁹ accesses/second served
+	// by cache level i; the last entry prices main-memory accesses.
+	LevelWattsPerGaps []float64
+	// DynamicFraction is the share of total power that scales with
+	// frequency (the f·V² part); the rest is static.
+	DynamicFraction float64
+}
+
+// DefaultModel returns plausible coefficients for cfg, scaled so a fully
+// busy core draws on the order of 10–20 W (commodity HPC cores).
+func DefaultModel(cfg machine.Config) Model {
+	levels := len(cfg.Caches)
+	lw := make([]float64, levels+1)
+	// Deeper levels cost more energy per access: roughly the latency
+	// ordering, normalized to ~0.5 W per 10⁹ L1 accesses/s.
+	for i := 0; i < levels; i++ {
+		lw[i] = 0.5 * cfg.CacheLatency[i] / cfg.CacheLatency[0]
+	}
+	lw[levels] = 0.5 * cfg.MemLatencyCycles / cfg.CacheLatency[0] * 0.25 // DRAM energy amortized over bursts
+	return Model{
+		BaseWatts:         5.0,
+		FPWattsPerGops:    1.2,
+		LevelWattsPerGaps: lw,
+		DynamicFraction:   0.6,
+	}
+}
+
+// Validate checks the model for a machine with the given cache level count.
+func (m Model) Validate(levels int) error {
+	if m.BaseWatts <= 0 || m.FPWattsPerGops < 0 {
+		return fmt.Errorf("energy: non-positive base power or negative FP coefficient")
+	}
+	if len(m.LevelWattsPerGaps) != levels+1 {
+		return fmt.Errorf("energy: %d level coefficients for %d cache levels (+memory)",
+			len(m.LevelWattsPerGaps), levels)
+	}
+	for i, w := range m.LevelWattsPerGaps {
+		if w < 0 {
+			return fmt.Errorf("energy: negative level coefficient %d", i)
+		}
+	}
+	if m.DynamicFraction < 0 || m.DynamicFraction > 1 {
+		return fmt.Errorf("energy: dynamic fraction %g outside [0,1]", m.DynamicFraction)
+	}
+	return nil
+}
+
+// BlockEnergy is the power/energy estimate for one basic block.
+type BlockEnergy struct {
+	BlockID uint64
+	// Seconds is the block's execution time from the convolution.
+	Seconds float64
+	// Watts is the average per-core power while executing the block.
+	Watts float64
+	// Joules is the block's energy.
+	Joules float64
+}
+
+// Report is a per-task energy estimate.
+type Report struct {
+	// Joules is the task's total energy over its computation.
+	Joules float64
+	// Seconds is the total computation time.
+	Seconds float64
+	// AvgWatts is Joules/Seconds.
+	AvgWatts float64
+	// EDP is the energy-delay product (J·s).
+	EDP float64
+	// Blocks is the per-block decomposition.
+	Blocks []BlockEnergy
+}
+
+// blockWatts computes the linear power model for one block given its
+// feature vector and execution time.
+func (m Model) blockWatts(fv *trace.FeatureVector, seconds float64) float64 {
+	if seconds <= 0 {
+		return m.BaseWatts
+	}
+	watts := m.BaseWatts
+	watts += m.FPWattsPerGops * fv.FPOps / seconds / 1e9
+	fr := make([]float64, len(fv.HitRates)+1)
+	prev := 0.0
+	for i, h := range fv.HitRates {
+		fr[i] = math.Max(0, h-prev)
+		prev = h
+	}
+	fr[len(fv.HitRates)] = math.Max(0, 1-prev)
+	for i, f := range fr {
+		watts += m.LevelWattsPerGaps[i] * f * fv.MemOps / seconds / 1e9
+	}
+	return watts
+}
+
+// Estimate prices a task's energy: every block's convolved execution time
+// multiplied by its modeled power. The trace and computation must describe
+// the same task (matching block sets).
+func Estimate(tr *trace.Trace, comp *psins.Computation, m Model) (*Report, error) {
+	if err := m.Validate(tr.Levels); err != nil {
+		return nil, err
+	}
+	byID := tr.BlockByID()
+	rep := &Report{}
+	for _, bt := range comp.Blocks {
+		blk, ok := byID[bt.BlockID]
+		if !ok {
+			return nil, fmt.Errorf("energy: computation references block %d absent from trace", bt.BlockID)
+		}
+		w := m.blockWatts(&blk.FV, bt.Seconds)
+		be := BlockEnergy{
+			BlockID: bt.BlockID,
+			Seconds: bt.Seconds,
+			Watts:   w,
+			Joules:  w * bt.Seconds,
+		}
+		rep.Blocks = append(rep.Blocks, be)
+		rep.Joules += be.Joules
+		rep.Seconds += be.Seconds
+	}
+	if rep.Seconds > 0 {
+		rep.AvgWatts = rep.Joules / rep.Seconds
+		rep.EDP = rep.Joules * rep.Seconds
+	}
+	return rep, nil
+}
+
+// FrequencyPoint is one entry of a DVFS sweep.
+type FrequencyPoint struct {
+	// Scale is the frequency relative to nominal (1.0).
+	Scale float64
+	// Seconds, Joules and EDP are the task totals at that frequency.
+	Seconds, Joules, EDP float64
+}
+
+// DVFSSweep evaluates the task at each relative frequency (the model of the
+// paper's reference [23]): a block's floating-point time scales as 1/f
+// while its memory time is frequency-invariant, and the dynamic share of
+// power scales as f³ (frequency times voltage squared under conventional
+// scaling). Memory-bound phases therefore have an energy-optimal frequency
+// below nominal.
+func DVFSSweep(tr *trace.Trace, comp *psins.Computation, m Model, scales []float64) ([]FrequencyPoint, error) {
+	if err := m.Validate(tr.Levels); err != nil {
+		return nil, err
+	}
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("energy: empty frequency sweep")
+	}
+	byID := tr.BlockByID()
+	out := make([]FrequencyPoint, 0, len(scales))
+	for _, f := range scales {
+		if f <= 0 {
+			return nil, fmt.Errorf("energy: non-positive frequency scale %g", f)
+		}
+		pt := FrequencyPoint{Scale: f}
+		for _, bt := range comp.Blocks {
+			blk, ok := byID[bt.BlockID]
+			if !ok {
+				return nil, fmt.Errorf("energy: computation references block %d absent from trace", bt.BlockID)
+			}
+			// Frequency rescaling: the CPU-side component stretches by
+			// 1/f, the memory-side component is wall-clock invariant.
+			longer, shorter := bt.MemSeconds, bt.FPSeconds/f
+			if shorter > longer {
+				longer, shorter = shorter, longer
+			}
+			secs := longer + (1-psins.OverlapFactor)*shorter
+			wNominal := m.blockWatts(&blk.FV, bt.Seconds)
+			w := wNominal*(1-m.DynamicFraction) + wNominal*m.DynamicFraction*f*f*f
+			pt.Seconds += secs
+			pt.Joules += w * secs
+		}
+		pt.EDP = pt.Joules * pt.Seconds
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// OptimalFrequency returns the sweep point with the lowest energy and the
+// one with the lowest energy-delay product.
+func OptimalFrequency(points []FrequencyPoint) (minEnergy, minEDP FrequencyPoint) {
+	for i, p := range points {
+		if i == 0 || p.Joules < minEnergy.Joules {
+			minEnergy = p
+		}
+		if i == 0 || p.EDP < minEDP.EDP {
+			minEDP = p
+		}
+	}
+	return minEnergy, minEDP
+}

@@ -1,0 +1,122 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tracex/internal/machine"
+	"tracex/internal/multimaps"
+	"tracex/internal/pebil"
+	"tracex/internal/synthapp"
+	"tracex/internal/trace"
+)
+
+// Collection is deterministic — the same (application, core count, machine,
+// options, ranks) always produces the identical signature — so the harness
+// memoizes collections process-wide. Experiments share inputs heavily
+// (Table I, the §IV claim and every ablation all trace the same paper-scale
+// runs), and the cache turns those repeats into map lookups.
+
+var collectMemo struct {
+	sync.Mutex
+	sigs     map[string]*trace.Signature
+	counters map[string][]pebil.BlockCounters
+}
+
+func memoKey(app *synthapp.App, p int, target machine.Config, opt pebil.Options, ranks []int) string {
+	r := append([]int(nil), ranks...)
+	sort.Ints(r)
+	return fmt.Sprintf("%s|%d|%s|%d|%d|%v|%v", app.Name(), p, target.Name, opt.SampleRefs, opt.MaxWarmRefs, opt.SharedHierarchy, r)
+}
+
+// collectSig is pebil.Collect with process-wide memoization. Callers must
+// treat the returned signature as read-only.
+func collectSig(app *synthapp.App, p int, target machine.Config, opt pebil.Options, ranks []int) (*trace.Signature, error) {
+	key := memoKey(app, p, target, opt, ranks)
+	collectMemo.Lock()
+	if collectMemo.sigs == nil {
+		collectMemo.sigs = map[string]*trace.Signature{}
+	}
+	if sig, ok := collectMemo.sigs[key]; ok {
+		collectMemo.Unlock()
+		return sig, nil
+	}
+	collectMemo.Unlock()
+	sig, err := pebil.Collect(app, p, target, ranks, opt)
+	if err != nil {
+		return nil, err
+	}
+	collectMemo.Lock()
+	collectMemo.sigs[key] = sig
+	collectMemo.Unlock()
+	return sig, nil
+}
+
+// collectInputs memoizes a series of collections.
+func collectInputs(app *synthapp.App, counts []int, target machine.Config, opt pebil.Options) ([]*trace.Signature, error) {
+	out := make([]*trace.Signature, len(counts))
+	for i, p := range counts {
+		sig, err := collectSig(app, p, target, opt, nil)
+		if err != nil {
+			return nil, fmt.Errorf("expt: collecting at %d cores: %w", p, err)
+		}
+		out[i] = sig
+	}
+	return out, nil
+}
+
+// collectCounters is pebil.CollectCounters with process-wide memoization.
+// Callers must treat the returned slice as read-only.
+func collectCounters(app *synthapp.App, p int, target machine.Config, opt pebil.Options) ([]pebil.BlockCounters, error) {
+	key := memoKey(app, p, target, opt, []int{-1})
+	collectMemo.Lock()
+	if collectMemo.counters == nil {
+		collectMemo.counters = map[string][]pebil.BlockCounters{}
+	}
+	if cs, ok := collectMemo.counters[key]; ok {
+		collectMemo.Unlock()
+		return cs, nil
+	}
+	collectMemo.Unlock()
+	cs, err := pebil.CollectCounters(app, p, target, opt)
+	if err != nil {
+		return nil, err
+	}
+	collectMemo.Lock()
+	collectMemo.counters[key] = cs
+	collectMemo.Unlock()
+	return cs, nil
+}
+
+// profileMemo caches MultiMAPS profiles per machine (deterministic too).
+var profileMemo struct {
+	sync.Mutex
+	m map[string]*machine.Profile
+}
+
+// buildProfile memoizes tracex.BuildProfile-equivalent sweeps.
+func buildProfile(cfg machine.Config) (*machine.Profile, error) {
+	profileMemo.Lock()
+	if profileMemo.m == nil {
+		profileMemo.m = map[string]*machine.Profile{}
+	}
+	if p, ok := profileMemo.m[cfg.Name]; ok {
+		profileMemo.Unlock()
+		return p, nil
+	}
+	profileMemo.Unlock()
+	p, err := buildProfileUncached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	profileMemo.Lock()
+	profileMemo.m[cfg.Name] = p
+	profileMemo.Unlock()
+	return p, nil
+}
+
+// buildProfileUncached runs the default MultiMAPS sweep.
+func buildProfileUncached(cfg machine.Config) (*machine.Profile, error) {
+	return multimaps.Run(cfg, multimaps.DefaultOptions(cfg))
+}

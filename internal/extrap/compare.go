@@ -1,0 +1,100 @@
+package extrap
+
+import (
+	"fmt"
+
+	"tracex/internal/stats"
+	"tracex/internal/trace"
+)
+
+// ElementError compares one extrapolated feature-vector element against its
+// collected (ground truth) counterpart.
+type ElementError struct {
+	// BlockID and Func identify the basic block.
+	BlockID uint64
+	Func    string
+	// Element names the feature-vector element.
+	Element string
+	// Extrapolated and Collected are the two values.
+	Extrapolated, Collected float64
+	// AbsRelErr is |extrapolated-collected| / |collected|.
+	AbsRelErr float64
+	// Influence is the block's share of the task's memory (or FP)
+	// operations, from the collected trace.
+	Influence float64
+	// Influential reports whether the block exceeds the paper's 0.1 %
+	// influence threshold.
+	Influential bool
+}
+
+// Compare evaluates an extrapolated trace against a collected trace at the
+// same core count, element by element. Blocks present in only one trace are
+// ignored (the extrapolation may legitimately skip blocks missing from some
+// input counts).
+func Compare(extrapolated, collected *trace.Trace) ([]ElementError, error) {
+	if extrapolated.Levels != collected.Levels {
+		return nil, fmt.Errorf("extrap: comparing traces with %d vs %d cache levels",
+			extrapolated.Levels, collected.Levels)
+	}
+	if extrapolated.CoreCount != collected.CoreCount {
+		return nil, fmt.Errorf("extrap: comparing traces at %d vs %d cores",
+			extrapolated.CoreCount, collected.CoreCount)
+	}
+	names := trace.ElementNames(collected.Levels)
+	colByID := collected.BlockByID()
+	var out []ElementError
+	for i := range extrapolated.Blocks {
+		eb := &extrapolated.Blocks[i]
+		cb, ok := colByID[eb.ID]
+		if !ok {
+			continue
+		}
+		ev, err := eb.FV.Values(extrapolated.Levels)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := cb.FV.Values(collected.Levels)
+		if err != nil {
+			return nil, err
+		}
+		infl := collected.Influence(cb)
+		for e := range names {
+			out = append(out, ElementError{
+				BlockID:      eb.ID,
+				Func:         cb.Func,
+				Element:      names[e],
+				Extrapolated: ev[e],
+				Collected:    cv[e],
+				AbsRelErr:    stats.AbsRelErr(ev[e], cv[e]),
+				Influence:    infl,
+				Influential:  infl > trace.InfluenceThreshold,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MaxInfluentialError returns the largest absolute relative error among
+// elements of influential blocks — the quantity the paper reports as below
+// 20 % for all its applications. It returns 0 when no influential elements
+// are present.
+func MaxInfluentialError(errs []ElementError) float64 {
+	var max float64
+	for _, e := range errs {
+		if e.Influential && e.AbsRelErr > max {
+			max = e.AbsRelErr
+		}
+	}
+	return max
+}
+
+// InfluentialErrors filters the comparison down to influential blocks.
+func InfluentialErrors(errs []ElementError) []ElementError {
+	var out []ElementError
+	for _, e := range errs {
+		if e.Influential {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package extrap implements the paper's central contribution: trace
+// extrapolation. Given application signatures collected at a series of
+// small core counts, it fits each element of each basic block's feature
+// vector independently against a set of canonical scaling forms (constant,
+// linear, logarithmic, exponential — Section IV of the paper), selects the
+// best fit per element, and synthesizes the application signature at a
+// large core count that was never traced.
+package extrap
+
+import (
+	"fmt"
+	"sort"
+
+	"tracex/internal/stats"
+	"tracex/internal/trace"
+)
+
+// Options tunes the extrapolation.
+type Options struct {
+	// Forms are the canonical forms to fit; nil selects the paper's four.
+	Forms []stats.Form
+	// MinInputs is the minimum number of input core counts (default 3,
+	// which the paper found generally adequate).
+	MinInputs int
+	// CrossValidate selects each element's form by leave-one-out
+	// cross-validation instead of training error. It protects
+	// high-parameter forms (the future-work polynomial extension) from
+	// overfitting the handful of input counts.
+	CrossValidate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinInputs <= 0 {
+		o.MinInputs = 3
+	}
+	return o
+}
+
+// ElementFit records the model selected for one feature-vector element of
+// one basic block.
+type ElementFit struct {
+	// BlockID and Element identify the fitted series.
+	BlockID uint64
+	Element string
+	// Form is the selected canonical form's name.
+	Form string
+	// Params are the fitted parameters.
+	Params []float64
+	// R2 and RMSE describe the fit quality on the input counts.
+	R2, RMSE float64
+	// Extrapolated is the (clamped) value produced at the target count.
+	Extrapolated float64
+}
+
+// Result is the product of an extrapolation.
+type Result struct {
+	// Signature is the synthesized application signature at the target
+	// core count (a single trace file: the dominant task, per the paper).
+	Signature *trace.Signature
+	// Fits records every per-element model selection.
+	Fits []ElementFit
+	// SkippedBlocks lists blocks absent from at least one input signature
+	// and therefore not extrapolated.
+	SkippedBlocks []uint64
+}
+
+// FitsFor returns the element fits of one block, keyed by element name.
+func (r *Result) FitsFor(blockID uint64) map[string]ElementFit {
+	m := map[string]ElementFit{}
+	for _, f := range r.Fits {
+		if f.BlockID == blockID {
+			m[f.Element] = f
+		}
+	}
+	return m
+}
+
+// Extrapolate fits the scaling of every feature-vector element of the
+// dominant task across the input signatures and generates the signature at
+// targetCores. Input signatures must describe the same application and
+// target machine at distinct core counts; at least opt.MinInputs are
+// required, and the target must exceed the largest input (the methodology
+// infers *larger*-scale behaviour).
+func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(inputs) < opt.MinInputs {
+		return nil, fmt.Errorf("extrap: need at least %d input signatures, have %d", opt.MinInputs, len(inputs))
+	}
+	sorted := append([]*trace.Signature(nil), inputs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CoreCount < sorted[j].CoreCount })
+	first := sorted[0]
+	if err := first.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range sorted[1:] {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.App != first.App || s.Machine != first.Machine {
+			return nil, fmt.Errorf("extrap: signature (%s on %s) mixed with (%s on %s)",
+				s.App, s.Machine, first.App, first.Machine)
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].CoreCount == sorted[i-1].CoreCount {
+			return nil, fmt.Errorf("extrap: duplicate input core count %d", sorted[i].CoreCount)
+		}
+	}
+	if targetCores <= sorted[len(sorted)-1].CoreCount {
+		return nil, fmt.Errorf("extrap: target %d not beyond largest input %d",
+			targetCores, sorted[len(sorted)-1].CoreCount)
+	}
+
+	// The paper extrapolates the trace of the most computationally
+	// demanding MPI task of each run.
+	doms := make([]*trace.Trace, len(sorted))
+	counts := make([]float64, len(sorted))
+	levels := 0
+	for i, s := range sorted {
+		doms[i] = s.DominantTrace()
+		counts[i] = float64(s.CoreCount)
+		if i == 0 {
+			levels = doms[i].Levels
+		} else if doms[i].Levels != levels {
+			return nil, fmt.Errorf("extrap: input at %d cores simulated %d cache levels, first input %d",
+				s.CoreCount, doms[i].Levels, levels)
+		}
+	}
+
+	// Align blocks: extrapolate those present in every input.
+	maps := make([]map[uint64]*trace.Block, len(doms))
+	for i, d := range doms {
+		maps[i] = d.BlockByID()
+	}
+	var ids []uint64
+	var skipped []uint64
+	for id := range maps[0] {
+		inAll := true
+		for _, m := range maps[1:] {
+			if _, ok := m[id]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			ids = append(ids, id)
+		} else {
+			skipped = append(skipped, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.Slice(skipped, func(i, j int) bool { return skipped[i] < skipped[j] })
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("extrap: no common blocks across the input signatures")
+	}
+
+	sel := stats.NewSelector(opt.Forms)
+	names := trace.ElementNames(levels)
+	cons := trace.ElementConstraints(levels)
+	res := &Result{SkippedBlocks: skipped}
+	outTrace := trace.Trace{
+		App:       first.App,
+		CoreCount: targetCores,
+		Rank:      0,
+		Machine:   first.Machine,
+		Levels:    levels,
+	}
+	for _, id := range ids {
+		// Per-element series across the input counts.
+		series := make([][]float64, len(names))
+		for i := range doms {
+			vals, err := maps[i][id].FV.Values(levels)
+			if err != nil {
+				return nil, fmt.Errorf("extrap: block %d at %d cores: %w", id, int(counts[i]), err)
+			}
+			for e, v := range vals {
+				series[e] = append(series[e], v)
+			}
+		}
+		outVals := make([]float64, len(names))
+		for e := range names {
+			var fit stats.FitResult
+			var err error
+			if opt.CrossValidate {
+				fit, err = sel.SelectCV(counts, series[e])
+			} else {
+				fit, err = sel.Select(counts, series[e])
+			}
+			if err != nil {
+				return nil, fmt.Errorf("extrap: block %d element %s: %w", id, names[e], err)
+			}
+			v := fit.Model.Eval(float64(targetCores))
+			if v < cons[e].Min {
+				v = cons[e].Min
+			}
+			if v > cons[e].Max {
+				v = cons[e].Max
+			}
+			outVals[e] = v
+			res.Fits = append(res.Fits, ElementFit{
+				BlockID:      id,
+				Element:      names[e],
+				Form:         fit.Model.Name(),
+				Params:       fit.Model.Params(),
+				R2:           fit.R2,
+				RMSE:         fit.RMSE,
+				Extrapolated: v,
+			})
+		}
+		enforceConsistency(outVals, levels)
+		fv, err := trace.FromValues(outVals, levels)
+		if err != nil {
+			return nil, fmt.Errorf("extrap: block %d: %w", id, err)
+		}
+		proto := maps[0][id]
+		outTrace.Blocks = append(outTrace.Blocks, trace.Block{
+			ID:   id,
+			Func: proto.Func,
+			File: proto.File,
+			Line: proto.Line,
+			FV:   fv,
+		})
+	}
+	outTrace.SortBlocks()
+	res.Signature = &trace.Signature{
+		App:       first.App,
+		CoreCount: targetCores,
+		Machine:   first.Machine,
+		Traces:    []trace.Trace{outTrace},
+	}
+	if err := res.Signature.Validate(); err != nil {
+		return nil, fmt.Errorf("extrap: synthesized signature invalid: %w", err)
+	}
+	return res, nil
+}
+
+// enforceConsistency repairs physical invariants that independent
+// per-element extrapolation can violate: cumulative hit rates must be
+// non-decreasing across levels, loads+stores cannot exceed total memory
+// operations, and the FP composition cannot exceed total FP operations.
+func enforceConsistency(vals []float64, levels int) {
+	// Monotone cumulative hit rates.
+	for i := trace.NumScalarElements + 1; i < trace.NumScalarElements+levels; i++ {
+		if vals[i] < vals[i-1] {
+			vals[i] = vals[i-1]
+		}
+	}
+	// Loads+stores ≤ mem ops (rescale proportionally on violation).
+	mem, loads, stores := vals[4], vals[5], vals[6]
+	if sum := loads + stores; sum > mem && sum > 0 {
+		scale := mem / sum
+		vals[5] *= scale
+		vals[6] *= scale
+	}
+	// FP composition ≤ FP ops.
+	fp := vals[0]
+	if sum := vals[1] + vals[2] + vals[3]; sum > fp && sum > 0 {
+		scale := fp / sum
+		vals[1] *= scale
+		vals[2] *= scale
+		vals[3] *= scale
+	}
+}

@@ -1,0 +1,181 @@
+package extrap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracex/internal/stats"
+	"tracex/internal/trace"
+)
+
+// randomCanonicalSignature builds a signature at core count p whose block
+// elements follow randomly-parameterized canonical laws drawn from rng's
+// seed. The same seed must be used for every core count of a series.
+func randomCanonicalSignature(seed int64, p int) *trace.Signature {
+	rng := rand.New(rand.NewSource(seed))
+	x := float64(p)
+	nBlocks := 1 + rng.Intn(4)
+	tr := trace.Trace{App: "prop", CoreCount: p, Rank: 0, Machine: "m", Levels: 2}
+	for b := 0; b < nBlocks; b++ {
+		// Per-block law: one of the four canonical families for the
+		// count-valued elements; hit rates constant or offset+log.
+		base := 1e8 * (1 + rng.Float64()*10)
+		var refs float64
+		switch rng.Intn(4) {
+		case 0:
+			refs = base
+		case 1:
+			refs = base + rng.Float64()*1e5*x
+		case 2:
+			refs = base + rng.Float64()*1e8*math.Log(x)
+		case 3:
+			refs = base * math.Exp(-x/(4096+rng.Float64()*8192))
+		}
+		loadFrac := 0.4 + rng.Float64()*0.5
+		h1 := 0.3 + rng.Float64()*0.5
+		h2 := h1 + (0.99-h1)*math.Min(1, 0.1+0.05*math.Log(x)*rng.Float64())
+		if h2 > 1 {
+			h2 = 1
+		}
+		fpPerRef := rng.Float64() * 3
+		fv := trace.FeatureVector{
+			FPOps: refs * fpPerRef, FPAdd: refs * fpPerRef,
+			MemOps: refs, Loads: refs * loadFrac, Stores: refs * (1 - loadFrac),
+			BytesPerRef: 8, WorkingSetBytes: 1e6 * (1 + rng.Float64()*100),
+			ILP: 1 + rng.Float64()*3, HitRates: []float64{h1, h2},
+		}
+		tr.Blocks = append(tr.Blocks, trace.Block{ID: uint64(b + 1), Func: "blk", FV: fv})
+	}
+	return &trace.Signature{App: "prop", CoreCount: p, Machine: "m", Traces: []trace.Trace{tr}}
+}
+
+// Property: for signatures whose elements follow exact canonical laws, the
+// extrapolated signature matches the law's value at the target within a
+// small tolerance, for every influential element.
+func TestExtrapolateRecoversRandomCanonicalLawsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		counts := []int{512, 1024, 2048, 4096}
+		sigs := make([]*trace.Signature, len(counts))
+		for i, p := range counts {
+			sigs[i] = randomCanonicalSignature(seed, p)
+		}
+		const target = 8192
+		res, err := Extrapolate(sigs, target, Options{})
+		if err != nil {
+			return false
+		}
+		truth := randomCanonicalSignature(seed, target)
+		errs, err := Compare(&res.Signature.Traces[0], &truth.Traces[0])
+		if err != nil {
+			return false
+		}
+		// Exact canonical inputs: influential elements should land within
+		// 5 % (the only slack is for near-tie form selection).
+		return MaxInfluentialError(errs) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extrapolation is deterministic — same inputs give identical
+// outputs.
+func TestExtrapolateDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		counts := []int{512, 1024, 2048}
+		mk := func() []*trace.Signature {
+			sigs := make([]*trace.Signature, len(counts))
+			for i, p := range counts {
+				sigs[i] = randomCanonicalSignature(seed, p)
+			}
+			return sigs
+		}
+		a, err1 := Extrapolate(mk(), 8192, Options{})
+		b, err2 := Extrapolate(mk(), 8192, Options{})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		av, err := a.Signature.Traces[0].Blocks[0].FV.Values(2)
+		if err != nil {
+			return false
+		}
+		bv, err := b.Signature.Traces[0].Blocks[0].FV.Values(2)
+		if err != nil {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: input order never matters — Extrapolate sorts by core count.
+func TestExtrapolateOrderInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		counts := []int{512, 1024, 2048}
+		sigs := make([]*trace.Signature, len(counts))
+		for i, p := range counts {
+			sigs[i] = randomCanonicalSignature(seed, p)
+		}
+		shuffled := []*trace.Signature{sigs[2], sigs[0], sigs[1]}
+		a, err1 := Extrapolate(sigs, 8192, Options{})
+		b, err2 := Extrapolate(shuffled, 8192, Options{})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		av, _ := a.Signature.Traces[0].Blocks[0].FV.Values(2)
+		bv, _ := b.Signature.Traces[0].Blocks[0].FV.Values(2)
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cross-validated selection on the same exact canonical data is
+// never catastrophically worse than best-fit selection (both should recover
+// the generating law).
+func TestExtrapolateCVComparableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		counts := []int{512, 1024, 2048, 4096}
+		sigs := make([]*trace.Signature, len(counts))
+		for i, p := range counts {
+			sigs[i] = randomCanonicalSignature(seed, p)
+		}
+		const target = 8192
+		truth := randomCanonicalSignature(seed, target)
+		plain, err := Extrapolate(sigs, target, Options{})
+		if err != nil {
+			return false
+		}
+		cv, err := Extrapolate(sigs, target, Options{Forms: stats.CanonicalForms(), CrossValidate: true})
+		if err != nil {
+			return false
+		}
+		pe, err := Compare(&plain.Signature.Traces[0], &truth.Traces[0])
+		if err != nil {
+			return false
+		}
+		ce, err := Compare(&cv.Signature.Traces[0], &truth.Traces[0])
+		if err != nil {
+			return false
+		}
+		return MaxInfluentialError(ce) < MaxInfluentialError(pe)+0.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"tracex/internal/stats"
+)
+
+// SurfacePoint is one measurement of the MultiMAPS bandwidth surface: the
+// sustained bandwidth observed for a probe with the given working set and
+// stride, together with the cumulative cache hit rates that probe achieved
+// on the machine. The (hit rates → bandwidth) mapping is what the
+// convolution consults (Figure 1 of the paper).
+type SurfacePoint struct {
+	WorkingSetBytes uint64    `json:"working_set_bytes"`
+	StrideBytes     uint64    `json:"stride_bytes"`
+	HitRates        []float64 `json:"hit_rates"`
+	BandwidthGBs    float64   `json:"bandwidth_gbs"`
+	// ResidentFraction is non-zero for mixed-locality probes: the fraction
+	// of references served from a cache-resident region, with the rest
+	// streaming from memory. These probes populate the surface between the
+	// all-resident and all-streaming extremes.
+	ResidentFraction float64 `json:"resident_fraction,omitempty"`
+	// PrefetchPerRef is the hardware-prefetcher traffic the probe incurred
+	// (lines installed per demand reference). On prefetching machines the
+	// demand hit rates alone no longer determine bandwidth — prefetched
+	// streams show near-perfect hit rates while still paying full memory
+	// traffic — so the lookup must see this dimension.
+	PrefetchPerRef float64 `json:"prefetch_per_ref,omitempty"`
+}
+
+// Interpolation selects how LookupBandwidth maps a hit-rate vector onto the
+// measured surface.
+type Interpolation int
+
+const (
+	// InterpModel (the default) fits a linear cycles-per-reference model
+	// over every surface probe — one coefficient per locality class (each
+	// cache level plus main memory) — and evaluates it at the query,
+	// bounded by the machine's sustained-memory-bandwidth floor. This is
+	// the fitted-memory-model approach of the PMaC framework (Tikir et
+	// al., the paper's reference [27]).
+	InterpModel Interpolation = iota
+	// InterpIDW uses inverse-distance weighting over the four nearest
+	// probes in latency-weighted hit-rate space, interpolating reciprocal
+	// bandwidths.
+	InterpIDW
+)
+
+// Profile is a machine profile: the description of the rates at which a
+// machine performs fundamental operations, derived from benchmark probes.
+type Profile struct {
+	Machine Config         `json:"machine"`
+	Surface []SurfacePoint `json:"surface"`
+
+	// interp selects the lookup strategy (InterpModel by default).
+	interp Interpolation
+	// coef caches the fitted per-class cycles-per-reference coefficients
+	// (levels+1 entries, memory last); nil until first fit.
+	coef []float64
+}
+
+// SetInterpolation selects the bandwidth-lookup strategy.
+func (p *Profile) SetInterpolation(i Interpolation) {
+	p.interp = i
+	p.coef = nil
+}
+
+// Validate checks profile consistency.
+func (p *Profile) Validate() error {
+	if err := p.Machine.Validate(); err != nil {
+		return err
+	}
+	if len(p.Surface) == 0 {
+		return fmt.Errorf("machine: profile for %s has an empty surface", p.Machine.Name)
+	}
+	nl := len(p.Machine.Caches)
+	for i, sp := range p.Surface {
+		if len(sp.HitRates) != nl {
+			return fmt.Errorf("machine: surface point %d has %d hit rates, machine has %d levels", i, len(sp.HitRates), nl)
+		}
+		if sp.BandwidthGBs <= 0 {
+			return fmt.Errorf("machine: surface point %d has non-positive bandwidth", i)
+		}
+		for j := range sp.HitRates {
+			if sp.HitRates[j] < 0 || sp.HitRates[j] > 1 {
+				return fmt.Errorf("machine: surface point %d hit rate %d out of [0,1]", i, j)
+			}
+			if j > 0 && sp.HitRates[j] < sp.HitRates[j-1]-1e-9 {
+				return fmt.Errorf("machine: surface point %d has non-monotone cumulative hit rates", i)
+			}
+		}
+	}
+	return nil
+}
+
+// levelWeights returns the lookup-space weight of each cumulative hit-rate
+// dimension: the cost (cycle) difference between serving a reference at
+// that level versus the next one, normalized by the memory latency. A
+// difference in the last-level rate — references that fall out to main
+// memory — dominates the distance, matching how strongly it shifts the
+// achievable bandwidth.
+func (p *Profile) levelWeights() []float64 {
+	n := len(p.Machine.CacheLatency)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		next := p.Machine.MemLatencyCycles
+		if i+1 < n {
+			next = p.Machine.CacheLatency[i+1]
+		}
+		w[i] = (next - p.Machine.CacheLatency[i]) / p.Machine.MemLatencyCycles
+	}
+	return w
+}
+
+// surfaceDistance is the squared distance between a query and a probe point
+// in the lookup space: latency-weighted cumulative hit rates (dominant)
+// plus the log-ratio of working set sizes (mild tie-breaker between probes
+// with equal rates).
+func surfaceDistance(hr []float64, pfPerRef, ws float64, weights []float64, sp SurfacePoint) float64 {
+	var d float64
+	for i := range hr {
+		diff := (hr[i] - sp.HitRates[i]) * weights[i]
+		d += diff * diff
+	}
+	// Prefetch traffic carries the memory-cost weight: it moves lines.
+	pfd := (pfPerRef - sp.PrefetchPerRef) * weights[len(weights)-1]
+	d += pfd * pfd
+	if ws > 0 && sp.WorkingSetBytes > 0 {
+		lr := math.Log(ws/float64(sp.WorkingSetBytes)) / math.Log(1024)
+		d += 1e-6 * lr * lr
+	}
+	return d
+}
+
+// LookupBandwidth interpolates the MultiMAPS surface at the given cumulative
+// hit-rate vector and working-set size, returning the expected sustained
+// memory bandwidth in GB/s. It uses inverse-distance weighting over the four
+// nearest surface points (an exact match returns that point's bandwidth),
+// interpolating in reciprocal-bandwidth space: time per byte is what adds
+// linearly as locality degrades, so 1/bandwidth is the quantity to average.
+// This is the "find where the block falls on the MultiMAPS curve" step of
+// the paper's Equation 1 (the memory_BW_j denominator).
+func (p *Profile) LookupBandwidth(hitRates []float64, wsBytes float64) (float64, error) {
+	return p.LookupBandwidthPF(hitRates, 0, wsBytes)
+}
+
+// LookupBandwidthPF is LookupBandwidth for blocks that also carry hardware
+// prefetch traffic (lines per demand reference); on machines without a
+// prefetcher pass 0.
+func (p *Profile) LookupBandwidthPF(hitRates []float64, prefetchPerRef, wsBytes float64) (float64, error) {
+	if len(p.Surface) == 0 {
+		return 0, fmt.Errorf("machine: empty surface")
+	}
+	if len(hitRates) != len(p.Machine.Caches) {
+		return 0, fmt.Errorf("machine: %d hit rates for %d cache levels", len(hitRates), len(p.Machine.Caches))
+	}
+	if p.interp == InterpModel {
+		return p.lookupModel(hitRates, prefetchPerRef)
+	}
+	type cand struct {
+		d  float64
+		bw float64
+	}
+	weights := p.levelWeights()
+	cands := make([]cand, 0, len(p.Surface))
+	for _, sp := range p.Surface {
+		d := surfaceDistance(hitRates, prefetchPerRef, wsBytes, weights, sp)
+		if d == 0 {
+			return sp.BandwidthGBs, nil
+		}
+		cands = append(cands, cand{d, sp.BandwidthGBs})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	k := 4
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var wsum, invsum float64
+	for _, c := range cands[:k] {
+		w := 1 / c.d
+		wsum += w
+		invsum += w / c.bw
+	}
+	return wsum / invsum, nil
+}
+
+// ProbeElemBytes is the payload size of one MultiMAPS probe reference;
+// surface bandwidths are payload rates for references of this size.
+const ProbeElemBytes = 8
+
+// localFractions converts cumulative hit rates into per-class local
+// fractions: the share of references served by each cache level, with the
+// main-memory share last. Entries sum to 1.
+func localFractions(hitRates []float64) []float64 {
+	fr := make([]float64, len(hitRates)+1)
+	prev := 0.0
+	for i, h := range hitRates {
+		f := h - prev
+		if f < 0 {
+			f = 0
+		}
+		fr[i] = f
+		prev = h
+	}
+	mem := 1 - prev
+	if mem < 0 {
+		mem = 0
+	}
+	fr[len(hitRates)] = mem
+	return fr
+}
+
+// modelFeatures builds the regression feature vector for one observation:
+// per-class local fractions plus the prefetch traffic per reference.
+func modelFeatures(hitRates []float64, prefetchPerRef float64) []float64 {
+	fr := localFractions(hitRates)
+	return append(fr, prefetchPerRef)
+}
+
+// fitModel least-squares fits cycles-per-reference against the per-class
+// local fractions (plus prefetch traffic) over every surface probe. The
+// coefficients are the measured effective cost of serving a reference from
+// each locality class — the machine profile's memory model.
+func (p *Profile) fitModel() error {
+	n := len(p.Machine.Caches) + 2 // locality classes + memory + prefetch
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	atb := make([]float64, n)
+	clockHz := p.Machine.ClockGHz * 1e9
+	pfSeen := false
+	for _, sp := range p.Surface {
+		if sp.PrefetchPerRef > 0 {
+			pfSeen = true
+		}
+		ft := modelFeatures(sp.HitRates, sp.PrefetchPerRef)
+		// cycles per probe reference implied by the measured bandwidth.
+		cpr := ProbeElemBytes * clockHz / (sp.BandwidthGBs * 1e9)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ata[i][j] += ft[i] * ft[j]
+			}
+			atb[i] += ft[i] * cpr
+		}
+	}
+	if !pfSeen {
+		// No prefetch traffic anywhere on the surface: the prefetch column
+		// is all zeros and would make the system singular. Pin its
+		// coefficient with a unit ridge row.
+		ata[n-1][n-1] += 1
+	}
+	coef, err := stats.SolveLinear(ata, atb)
+	if err != nil {
+		return fmt.Errorf("machine: fitting memory model: %w", err)
+	}
+	for i, c := range coef {
+		if c < 0 {
+			coef[i] = 0 // numerical artifacts from near-collinear probes
+		}
+	}
+	p.coef = coef
+	return nil
+}
+
+// lookupModel evaluates the fitted memory model at a hit-rate vector (plus
+// prefetch traffic) and applies the machine's sustained-bandwidth ceiling
+// for the implied total memory traffic.
+func (p *Profile) lookupModel(hitRates []float64, prefetchPerRef float64) (float64, error) {
+	if p.coef == nil {
+		if err := p.fitModel(); err != nil {
+			return 0, err
+		}
+	}
+	ft := modelFeatures(hitRates, prefetchPerRef)
+	var cpr float64
+	for i, f := range ft {
+		cpr += f * p.coef[i]
+	}
+	if cpr <= 0 {
+		return 0, fmt.Errorf("machine: memory model gave non-positive cost for rates %v", hitRates)
+	}
+	clockHz := p.Machine.ClockGHz * 1e9
+	bw := ProbeElemBytes * clockHz / cpr / 1e9
+	// Bandwidth ceiling: demand misses and prefetch fills both move whole
+	// lines and cannot exceed the sustained memory bandwidth.
+	fr := localFractions(hitRates)
+	if traffic := fr[len(fr)-1] + prefetchPerRef; traffic > 0 {
+		ceiling := p.Machine.MemBandwidthGBs * ProbeElemBytes /
+			(traffic * float64(p.Machine.Caches[0].LineSize))
+		if bw > ceiling {
+			bw = ceiling
+		}
+	}
+	return bw, nil
+}
+
+// FPRate returns the achievable floating-point rate in FLOP/s for a basic
+// block exhibiting the given instruction-level parallelism: peak throughput
+// scaled by how much of the issue width the block's ILP can fill.
+func (p *Profile) FPRate(ilp float64) float64 {
+	eff := ilp / p.Machine.IssueWidth
+	if eff > 1 {
+		eff = 1
+	}
+	if eff < 0.05 {
+		eff = 0.05 // serial dependency floor: one op in flight
+	}
+	return p.Machine.FLOPSPerSecond() * eff
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProfileJSON deserializes and validates a profile.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("machine: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// SaveProfile writes the profile to a file.
+func SaveProfile(p *Profile, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	defer f.Close()
+	if err := p.WriteJSON(f); err != nil {
+		return fmt.Errorf("machine: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadProfile reads a profile from a file.
+func LoadProfile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	defer f.Close()
+	return ReadProfileJSON(f)
+}

@@ -1,0 +1,64 @@
+package mpi
+
+// RankSummary is the lightweight per-rank profile produced without a full
+// replay: aggregate compute shares per basic block and communication
+// volumes. It is the analog of the paper's PSiNSTracer-based MPI profiling
+// library used to identify the most computationally demanding task.
+type RankSummary struct {
+	// Rank is the MPI rank the summary describes.
+	Rank int
+	// ComputeShare maps basic-block ID to the total share of that block's
+	// work this rank executes.
+	ComputeShare map[uint64]float64
+	// Messages is the number of point-to-point sends the rank issues.
+	Messages int
+	// SendBytes and RecvBytes are the rank's point-to-point volumes.
+	SendBytes, RecvBytes uint64
+	// Collectives counts collective operations the rank participates in.
+	Collectives int
+}
+
+// Profile summarizes every rank of the program.
+func Profile(p *Program) []RankSummary {
+	out := make([]RankSummary, len(p.Ranks))
+	for r, evs := range p.Ranks {
+		s := RankSummary{Rank: r, ComputeShare: map[uint64]float64{}}
+		for _, e := range evs {
+			switch e.Kind {
+			case Compute:
+				s.ComputeShare[e.BlockID] += e.Share
+			case Send:
+				s.Messages++
+				s.SendBytes += e.Bytes
+			case Recv:
+				s.RecvBytes += e.Bytes
+			default:
+				if e.Kind.IsCollective() {
+					s.Collectives++
+				}
+			}
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// DominantRank returns the rank with the greatest total compute weight,
+// where weight converts one block share into comparable work units (for
+// example, the block's memory-operation count). Ties resolve to the lowest
+// rank. It returns 0 for an empty program.
+func DominantRank(p *Program, weight func(blockID uint64, share float64) float64) int {
+	best, bestW := 0, -1.0
+	for r, evs := range p.Ranks {
+		var w float64
+		for _, e := range evs {
+			if e.Kind == Compute {
+				w += weight(e.BlockID, e.Share)
+			}
+		}
+		if w > bestW {
+			best, bestW = r, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,243 @@
+// Package multimaps implements the MultiMAPS memory benchmark from the PMaC
+// framework. MultiMAPS probes a system with memory access patterns across a
+// range of working-set sizes and strides, recording the sustained bandwidth
+// of each probe together with the cache hit rates the probe achieved. The
+// resulting (hit rates → bandwidth) surface — Figure 1 of the paper — is the
+// memory component of the machine profile.
+//
+// In this reproduction the "system" is the simulated memory hierarchy of a
+// machine.Config: the probe streams run through the cache simulator and the
+// memsim timing model instead of real silicon, producing a surface with the
+// same qualitative structure (bandwidth plateaus at each cache level with
+// cliffs between them).
+package multimaps
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tracex/internal/addrgen"
+	"tracex/internal/cache"
+	"tracex/internal/machine"
+	"tracex/internal/memsim"
+)
+
+// Options controls the probe sweep.
+type Options struct {
+	// WorkingSets lists the probe working-set sizes in bytes.
+	WorkingSets []uint64
+	// Strides lists probe strides in bytes. The special value 0 requests a
+	// random-access probe at each working-set size.
+	Strides []uint64
+	// RefsPerProbe is the number of measured references per probe point.
+	RefsPerProbe int
+	// WarmupPasses is the number of full working-set passes executed
+	// before measurement begins (cold-miss elimination).
+	WarmupPasses int
+	// Parallelism bounds the number of concurrent probe workers; ≤0 means
+	// one worker per available CPU.
+	Parallelism int
+	// MixedFractions requests mixed-locality probes: for each fraction f,
+	// a probe whose references go to an L1-resident region with
+	// probability f and stream from a memory-sized region otherwise. They
+	// fill in the bandwidth surface between the cache-resident plateau and
+	// the streaming floor, which real applications occupy.
+	MixedFractions []float64
+}
+
+// DefaultOptions builds a sweep that straddles every cache level of cfg:
+// working sets from a quarter of L1 to four times the last-level cache, and
+// strides covering unit, line-sized and random access.
+func DefaultOptions(cfg machine.Config) Options {
+	var ws []uint64
+	first := uint64(cfg.Caches[0].SizeBytes) / 4
+	last := uint64(cfg.Caches[len(cfg.Caches)-1].SizeBytes) * 4
+	for s := first; s <= last; s *= 2 {
+		ws = append(ws, s)
+	}
+	line := uint64(cfg.Caches[0].LineSize)
+	return Options{
+		WorkingSets:  ws,
+		Strides:      []uint64{8, line / 2, line, 2 * line, 0},
+		RefsPerProbe: 200_000,
+		WarmupPasses: 2,
+		MixedFractions: []float64{
+			0.5, 0.75, 0.875, 0.9375, 0.96, 0.97, 0.98, 0.985,
+			0.99, 0.995, 0.997, 0.999,
+		},
+	}
+}
+
+func (o Options) validate() error {
+	if len(o.WorkingSets) == 0 {
+		return fmt.Errorf("multimaps: no working sets")
+	}
+	if len(o.Strides) == 0 {
+		return fmt.Errorf("multimaps: no strides")
+	}
+	if o.RefsPerProbe <= 0 {
+		return fmt.Errorf("multimaps: non-positive refs per probe")
+	}
+	if o.WarmupPasses < 0 {
+		return fmt.Errorf("multimaps: negative warmup passes")
+	}
+	for _, w := range o.WorkingSets {
+		if w < 8 {
+			return fmt.Errorf("multimaps: working set %d too small", w)
+		}
+	}
+	return nil
+}
+
+// elem is the probe element size: 8-byte (double precision) values.
+const elem = 8
+
+// probe runs a single (working set, stride) measurement on a fresh cache
+// simulator and returns the surface point. A zero stride requests the
+// random-access probe; a negative resident fraction is ignored, a positive
+// one requests a mixed-locality probe (stride is then unused).
+func probe(cfg machine.Config, model *memsim.Model, ws, stride uint64, frac float64, opt Options) (machine.SurfacePoint, error) {
+	sim, err := cache.NewSimulatorOpts(cfg.Caches, cache.Options{NextLinePrefetch: cfg.Prefetch})
+	if err != nil {
+		return machine.SurfacePoint{}, err
+	}
+	var gen addrgen.Generator
+	switch {
+	case frac > 0:
+		// Mixed probe: a quarter-of-L1 resident region against a
+		// streaming region four times the last-level cache.
+		hotWS := uint64(cfg.Caches[0].SizeBytes) / 4
+		coldWS := uint64(cfg.Caches[len(cfg.Caches)-1].SizeBytes) * 4
+		var hot, cold addrgen.Generator
+		hot, err = addrgen.NewStride(0, elem, hotWS)
+		if err == nil {
+			cold, err = addrgen.NewStride(1<<40, uint64(cfg.Caches[0].LineSize), coldWS)
+		}
+		if err == nil {
+			gen, err = addrgen.NewBiased(hot, cold, frac)
+		}
+		ws = hotWS + coldWS
+	case stride == 0:
+		gen, err = addrgen.NewRandom(0, ws, elem, int64(ws)^0x5eed)
+	default:
+		gen, err = addrgen.NewStride(0, stride, ws)
+	}
+	if err != nil {
+		return machine.SurfacePoint{}, fmt.Errorf("multimaps: ws=%d stride=%d frac=%g: %w", ws, stride, frac, err)
+	}
+	// Warmup: walk the whole working set WarmupPasses times so steady-state
+	// residency is established before measuring.
+	effStride := stride
+	if effStride == 0 || frac > 0 {
+		effStride = elem
+	}
+	warmRefs := int(ws/effStride) * opt.WarmupPasses
+	if max := 4 * opt.RefsPerProbe; warmRefs > max {
+		warmRefs = max // beyond-LLC regions are miss-bound immediately
+	}
+	for i := 0; i < warmRefs; i++ {
+		sim.Access(gen.Next())
+	}
+	sim.ResetCounters()
+	for i := 0; i < opt.RefsPerProbe; i++ {
+		sim.Access(gen.Next())
+	}
+	ctr := sim.Counters()
+	bw, err := model.BandwidthGBs(ctr, elem)
+	if err != nil {
+		return machine.SurfacePoint{}, err
+	}
+	pfPerRef := 0.0
+	if ctr.Refs > 0 {
+		pfPerRef = float64(ctr.PrefetchFills) / float64(ctr.Refs)
+	}
+	return machine.SurfacePoint{
+		WorkingSetBytes:  ws,
+		StrideBytes:      stride,
+		HitRates:         ctr.CumulativeHitRates(),
+		BandwidthGBs:     bw,
+		ResidentFraction: frac,
+		PrefetchPerRef:   pfPerRef,
+	}, nil
+}
+
+// Run executes the MultiMAPS sweep against cfg's simulated memory system and
+// returns the machine profile containing the measured bandwidth surface.
+// Probe points are independent, so they run concurrently.
+func Run(cfg machine.Config, opt Options) (*machine.Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	model, err := memsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		ws, stride uint64
+		frac       float64
+	}
+	var jobs []job
+	for _, ws := range opt.WorkingSets {
+		for _, st := range opt.Strides {
+			if st != 0 && st > ws {
+				continue // stride beyond the working set is degenerate
+			}
+			jobs = append(jobs, job{ws, st, 0})
+		}
+	}
+	for _, f := range opt.MixedFractions {
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("multimaps: mixed fraction %g outside (0,1)", f)
+		}
+		jobs = append(jobs, job{0, 0, f})
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	points := make([]machine.SurfacePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				points[i], errs[i] = probe(cfg, model, jobs[i].ws, jobs[i].stride, jobs[i].frac, opt)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].ResidentFraction != points[j].ResidentFraction {
+			return points[i].ResidentFraction < points[j].ResidentFraction
+		}
+		if points[i].WorkingSetBytes != points[j].WorkingSetBytes {
+			return points[i].WorkingSetBytes < points[j].WorkingSetBytes
+		}
+		return points[i].StrideBytes < points[j].StrideBytes
+	})
+	p := &machine.Profile{Machine: cfg, Surface: points}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("multimaps: produced invalid profile: %w", err)
+	}
+	return p, nil
+}

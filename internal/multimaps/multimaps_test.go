@@ -1,0 +1,290 @@
+package multimaps
+
+import (
+	"testing"
+
+	"tracex/internal/machine"
+)
+
+// smallOptions keeps probe cost low for unit tests.
+func smallOptions(cfg machine.Config) Options {
+	o := DefaultOptions(cfg)
+	o.RefsPerProbe = 20_000
+	o.WarmupPasses = 1
+	return o
+}
+
+func TestDefaultOptionsStraddleHierarchy(t *testing.T) {
+	cfg := machine.Opteron2L()
+	o := DefaultOptions(cfg)
+	if len(o.WorkingSets) == 0 || len(o.Strides) == 0 {
+		t.Fatal("empty sweep")
+	}
+	first := o.WorkingSets[0]
+	last := o.WorkingSets[len(o.WorkingSets)-1]
+	if first >= uint64(cfg.Caches[0].SizeBytes) {
+		t.Errorf("smallest working set %d does not fit L1", first)
+	}
+	if last <= uint64(cfg.Caches[len(cfg.Caches)-1].SizeBytes) {
+		t.Errorf("largest working set %d does not exceed LLC", last)
+	}
+	// Random probe requested.
+	foundRandom := false
+	for _, s := range o.Strides {
+		if s == 0 {
+			foundRandom = true
+		}
+	}
+	if !foundRandom {
+		t.Error("no random-access probe in default sweep")
+	}
+}
+
+func TestRunProducesValidProfile(t *testing.T) {
+	cfg := machine.Opteron2L()
+	p, err := Run(cfg, smallOptions(cfg))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("profile invalid: %v", err)
+	}
+	if p.Machine.Name != cfg.Name {
+		t.Errorf("profile machine %s", p.Machine.Name)
+	}
+}
+
+func TestSurfaceShapeCacheCliffs(t *testing.T) {
+	// The Figure 1 shape: unit-stride bandwidth is high while the working
+	// set fits L1, lower when it only fits L2, lowest from memory.
+	cfg := machine.Opteron2L()
+	o := smallOptions(cfg)
+	p, err := Run(cfg, o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bwAt := func(ws uint64) float64 {
+		for _, sp := range p.Surface {
+			if sp.WorkingSetBytes == ws && sp.StrideBytes == 8 {
+				return sp.BandwidthGBs
+			}
+		}
+		t.Fatalf("no unit-stride point at ws=%d", ws)
+		return 0
+	}
+	inL1 := bwAt(16 << 10)  // fits 64 KiB L1
+	inL2 := bwAt(512 << 10) // fits 1 MiB L2, not L1
+	inMem := bwAt(4 << 20)  // exceeds 1 MiB L2
+	if !(inL1 > inL2 && inL2 > inMem) {
+		t.Errorf("no cache cliffs: L1=%.2f L2=%.2f mem=%.2f GB/s", inL1, inL2, inMem)
+	}
+	if ratio := inL1 / inMem; ratio < 2 {
+		t.Errorf("L1:memory bandwidth ratio %.2f implausibly flat", ratio)
+	}
+}
+
+func TestSurfaceHitRatesTrackWorkingSet(t *testing.T) {
+	cfg := machine.Opteron2L()
+	p, err := Run(cfg, smallOptions(cfg))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	line := uint64(cfg.Caches[0].LineSize)
+	for _, sp := range p.Surface {
+		fitsL1 := sp.WorkingSetBytes <= uint64(cfg.Caches[0].SizeBytes)
+		if sp.StrideBytes == 8 && fitsL1 && sp.HitRates[0] < 0.95 {
+			t.Errorf("ws=%d fits L1 but L1 rate %.3f", sp.WorkingSetBytes, sp.HitRates[0])
+		}
+		// At line-sized stride every reference opens a new line, so a
+		// working set beyond 2×L2 must show a poor L2 cumulative rate.
+		exceedsL2 := sp.WorkingSetBytes > 2*uint64(cfg.Caches[1].SizeBytes)
+		if sp.StrideBytes == line && exceedsL2 && sp.HitRates[1] > 0.5 {
+			t.Errorf("ws=%d exceeds 2×L2 but L2 cumulative rate %.3f at line stride", sp.WorkingSetBytes, sp.HitRates[1])
+		}
+		// Unit stride always enjoys spatial locality: 7 of 8 consecutive
+		// 8-byte references share a 64-byte line, so the L1 rate never
+		// drops below ~0.87 even from memory.
+		if sp.StrideBytes == 8 && sp.HitRates[0] < 0.85 {
+			t.Errorf("ws=%d unit-stride L1 rate %.3f below spatial-locality floor", sp.WorkingSetBytes, sp.HitRates[0])
+		}
+	}
+}
+
+func TestRandomProbeSlowerThanUnitStrideInMemory(t *testing.T) {
+	cfg := machine.Opteron2L()
+	p, err := Run(cfg, smallOptions(cfg))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var unit, random float64
+	const ws = 4 << 20 // the largest working set in the default sweep
+	for _, sp := range p.Surface {
+		if sp.WorkingSetBytes != ws {
+			continue
+		}
+		switch sp.StrideBytes {
+		case 8:
+			unit = sp.BandwidthGBs
+		case 0:
+			random = sp.BandwidthGBs
+		}
+	}
+	if unit == 0 || random == 0 {
+		t.Fatal("missing probes at 4 MiB")
+	}
+	if random >= unit {
+		t.Errorf("random bandwidth %.3f ≥ unit-stride %.3f at 8 MiB", random, unit)
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	cfg := machine.Opteron2L()
+	o := smallOptions(cfg)
+	o.Parallelism = 1
+	serial, err := Run(cfg, o)
+	if err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+	o.Parallelism = 8
+	parallel, err := Run(cfg, o)
+	if err != nil {
+		t.Fatalf("parallel Run: %v", err)
+	}
+	if len(serial.Surface) != len(parallel.Surface) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial.Surface), len(parallel.Surface))
+	}
+	for i := range serial.Surface {
+		if serial.Surface[i].BandwidthGBs != parallel.Surface[i].BandwidthGBs {
+			t.Errorf("point %d differs between serial and parallel runs", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := machine.Opteron2L()
+	if _, err := Run(cfg, Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	bad := smallOptions(cfg)
+	bad.RefsPerProbe = 0
+	if _, err := Run(cfg, bad); err == nil {
+		t.Error("zero refs accepted")
+	}
+	bad = smallOptions(cfg)
+	bad.WarmupPasses = -1
+	if _, err := Run(cfg, bad); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	bad = smallOptions(cfg)
+	bad.WorkingSets = []uint64{4}
+	if _, err := Run(cfg, bad); err == nil {
+		t.Error("tiny working set accepted")
+	}
+	invalidCfg := cfg
+	invalidCfg.ClockGHz = 0
+	if _, err := Run(invalidCfg, smallOptions(cfg)); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestStrideLargerThanWorkingSetSkipped(t *testing.T) {
+	cfg := machine.Opteron2L()
+	o := Options{
+		WorkingSets:  []uint64{1 << 10},
+		Strides:      []uint64{8, 1 << 20}, // second exceeds the working set
+		RefsPerProbe: 1000,
+	}
+	p, err := Run(cfg, o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(p.Surface) != 1 {
+		t.Errorf("got %d surface points, want 1 (oversized stride skipped)", len(p.Surface))
+	}
+}
+
+func BenchmarkProbeSweep(b *testing.B) {
+	cfg := machine.Opteron2L()
+	o := smallOptions(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMixedProbesFillTheSurface(t *testing.T) {
+	cfg := machine.Opteron2L()
+	p, err := Run(cfg, smallOptions(cfg))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var mixed []machine.SurfacePoint
+	for _, sp := range p.Surface {
+		if sp.ResidentFraction > 0 {
+			mixed = append(mixed, sp)
+		}
+	}
+	if len(mixed) != len(smallOptions(cfg).MixedFractions) {
+		t.Fatalf("got %d mixed probes, want %d", len(mixed), len(smallOptions(cfg).MixedFractions))
+	}
+	// Bandwidth is monotone in the resident fraction (they are sorted by
+	// fraction ascending).
+	for i := 1; i < len(mixed); i++ {
+		if mixed[i].ResidentFraction <= mixed[i-1].ResidentFraction {
+			t.Fatalf("mixed probes not sorted by fraction")
+		}
+		if mixed[i].BandwidthGBs <= mixed[i-1].BandwidthGBs {
+			t.Errorf("bandwidth not monotone in resident fraction: f=%.3f bw=%.2f vs f=%.3f bw=%.2f",
+				mixed[i-1].ResidentFraction, mixed[i-1].BandwidthGBs,
+				mixed[i].ResidentFraction, mixed[i].BandwidthGBs)
+		}
+		// The probe's cumulative last-level rate tracks its fraction.
+		last := mixed[i].HitRates[len(mixed[i].HitRates)-1]
+		if diff := last - mixed[i].ResidentFraction; diff < -0.05 || diff > 0.1 {
+			t.Errorf("f=%.3f: last-level rate %.3f far from fraction", mixed[i].ResidentFraction, last)
+		}
+	}
+}
+
+func TestMixedFractionValidation(t *testing.T) {
+	cfg := machine.Opteron2L()
+	o := smallOptions(cfg)
+	o.MixedFractions = []float64{1.5}
+	if _, err := Run(cfg, o); err == nil {
+		t.Error("fraction >1 accepted")
+	}
+	o.MixedFractions = []float64{0}
+	if _, err := Run(cfg, o); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestPrefetchingMachineSurfaceRecordsTraffic(t *testing.T) {
+	cfg := machine.WithPrefetch(machine.Opteron2L())
+	p, err := Run(cfg, smallOptions(cfg))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sawTraffic bool
+	for _, sp := range p.Surface {
+		if sp.PrefetchPerRef > 0 {
+			sawTraffic = true
+		}
+		// Unit-stride beyond-LLC probes must show near-perfect demand L1
+		// rates (the stream prefetcher stays ahead) with real traffic.
+		if sp.StrideBytes == 8 && sp.WorkingSetBytes > 2<<20 && sp.ResidentFraction == 0 {
+			if sp.HitRates[0] < 0.99 {
+				t.Errorf("ws=%d: prefetched stream L1 rate %.3f", sp.WorkingSetBytes, sp.HitRates[0])
+			}
+			if sp.PrefetchPerRef < 0.1 {
+				t.Errorf("ws=%d: prefetched stream shows no traffic", sp.WorkingSetBytes)
+			}
+		}
+	}
+	if !sawTraffic {
+		t.Error("no probe recorded prefetch traffic on a prefetching machine")
+	}
+}

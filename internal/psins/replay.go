@@ -1,0 +1,300 @@
+package psins
+
+import (
+	"fmt"
+
+	"tracex/internal/mpi"
+)
+
+// ComputeCost converts one compute event into seconds: the time rank spends
+// executing the given share of basic block blockID. Implementations come
+// from either the convolution (predicted per-block times from a signature
+// and machine profile) or the detailed execution simulator (cycle-accurate
+// per-block times), making the replay engine common to both paths.
+type ComputeCost func(rank int, blockID uint64, share float64) (float64, error)
+
+// Result summarizes a replay: the predicted application runtime and the
+// per-rank decomposition into computation and communication time.
+type Result struct {
+	// Runtime is the wall-clock prediction: the latest rank finish time.
+	Runtime float64
+	// RankEnd[r] is rank r's finish time.
+	RankEnd []float64
+	// ComputeTime[r] is the total time rank r spent in compute segments.
+	ComputeTime []float64
+	// CommTime[r] is the total time rank r spent in communication
+	// (overheads plus blocking waits).
+	CommTime []float64
+	// Messages is the number of point-to-point messages delivered.
+	Messages int
+}
+
+// chanKey identifies an ordered point-to-point message stream.
+type chanKey struct{ src, dst, tag int }
+
+// collState tracks one collective occurrence while ranks arrive at it.
+type collState struct {
+	kind    mpi.EventKind
+	bytes   uint64
+	arrived int
+	maxT    float64
+	done    bool
+	endT    float64
+}
+
+// Segment is one interval of a rank's replayed timeline.
+type Segment struct {
+	// Rank is the MPI rank the segment belongs to.
+	Rank int `json:"rank"`
+	// Kind is the event kind ("compute", "recv", "allreduce", ...).
+	Kind string `json:"kind"`
+	// Start and End bound the segment in seconds of virtual time.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// BlockID is set for compute segments.
+	BlockID uint64 `json:"block_id,omitempty"`
+}
+
+// Timeline collects the per-rank segments of a replay for visualization
+// and prediction debugging. Zero-length segments (instantaneous events) are
+// omitted.
+type Timeline struct {
+	Segments []Segment `json:"segments"`
+}
+
+// add appends a non-empty segment.
+func (tl *Timeline) add(rank int, kind mpi.EventKind, start, end float64, blockID uint64) {
+	if tl == nil || end <= start {
+		return
+	}
+	tl.Segments = append(tl.Segments, Segment{
+		Rank: rank, Kind: kind.String(), Start: start, End: end, BlockID: blockID,
+	})
+}
+
+// Replay performs a discrete-event replay of prog: per-rank virtual clocks
+// advance through each rank's event list, blocking receives wait for
+// message arrival under the network model, and collectives synchronize all
+// ranks. The cost callback supplies compute-segment durations. Replay
+// returns an error for structurally invalid programs and for replays that
+// deadlock (which cannot happen for programs produced by mpi.Builder).
+func Replay(prog *mpi.Program, net Network, cost ComputeCost) (*Result, error) {
+	return ReplayTraced(prog, net, cost, nil)
+}
+
+// ReplayTraced is Replay with optional timeline recording: when tl is
+// non-nil every rank's compute and communication intervals are appended to
+// it (memory grows with the event count — use judiciously at large rank
+// counts).
+func ReplayTraced(prog *mpi.Program, net Network, cost ComputeCost, tl *Timeline) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cost == nil {
+		return nil, fmt.Errorf("psins: nil compute cost")
+	}
+	n := prog.NumRanks()
+	res := &Result{
+		RankEnd:     make([]float64, n),
+		ComputeTime: make([]float64, n),
+		CommTime:    make([]float64, n),
+	}
+	clock := make([]float64, n)
+	pc := make([]int, n)
+	collIdx := make([]int, n) // next collective occurrence index per rank
+	collReg := make([]int, n) // collectives rank r has registered arrival at
+	// arrivals is append-only per channel; consumed counts the slots
+	// claimed by executed Recvs and posted Irecvs (MPI matches receives to
+	// messages in posting order).
+	arrivals := map[chanKey][]float64{}
+	consumed := map[chanKey]int{}
+	// pendingReq[r][request] is an outstanding non-blocking operation.
+	type reqState struct {
+		key    chanKey
+		idx    int // reserved arrival slot (receives only)
+		isSend bool
+	}
+	pendingReq := make([]map[int]reqState, n)
+	for r := range pendingReq {
+		pendingReq[r] = map[int]reqState{}
+	}
+	// nicFree[r] is when rank r's NIC finishes injecting its previous
+	// message: consecutive sends from one rank serialize at the NIC even
+	// though the CPU only pays the per-message overhead.
+	nicFree := make([]float64, n)
+	inject := func(r int, sendTime float64, bytes uint64) float64 {
+		start := sendTime
+		if nicFree[r] > start {
+			start = nicFree[r]
+		}
+		ser := net.SerializationTime(bytes)
+		nicFree[r] = start + ser
+		return start + ser + net.Latency()
+	}
+	var colls []collState
+
+	done := func(r int) bool { return pc[r] >= len(prog.Ranks[r]) }
+	allDone := func() bool {
+		for r := 0; r < n; r++ {
+			if !done(r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !allDone() {
+		progress := false
+		for r := 0; r < n; r++ {
+			// Drain as many events as possible for this rank before moving
+			// on; only a blocked receive or collective stops it.
+		rankLoop:
+			for !done(r) {
+				e := prog.Ranks[r][pc[r]]
+				switch e.Kind {
+				case mpi.Compute:
+					dt, err := cost(r, e.BlockID, e.Share)
+					if err != nil {
+						return nil, fmt.Errorf("psins: rank %d block %d: %w", r, e.BlockID, err)
+					}
+					if dt < 0 {
+						return nil, fmt.Errorf("psins: negative compute cost %g for block %d", dt, e.BlockID)
+					}
+					tl.add(r, mpi.Compute, clock[r], clock[r]+dt, e.BlockID)
+					clock[r] += dt
+					res.ComputeTime[r] += dt
+					pc[r]++
+				case mpi.Send:
+					o := net.SendOverhead(e.Bytes)
+					arrival := inject(r, clock[r]+o, e.Bytes)
+					k := chanKey{r, e.Peer, e.Tag}
+					arrivals[k] = append(arrivals[k], arrival)
+					tl.add(r, mpi.Send, clock[r], clock[r]+o, 0)
+					clock[r] += o
+					res.CommTime[r] += o
+					pc[r]++
+				case mpi.Recv:
+					k := chanKey{e.Peer, r, e.Tag}
+					idx := consumed[k]
+					if idx >= len(arrivals[k]) {
+						break rankLoop // blocked: matching send not yet executed
+					}
+					consumed[k] = idx + 1
+					arrival := arrivals[k][idx]
+					start := clock[r]
+					end := arrival
+					if end < start {
+						end = start
+					}
+					end += net.RecvOverhead()
+					tl.add(r, mpi.Recv, start, end, 0)
+					res.CommTime[r] += end - start
+					clock[r] = end
+					pc[r]++
+				case mpi.Isend:
+					// Eager non-blocking send: the CPU pays the injection
+					// overhead at post time; the Wait is then free.
+					o := net.SendOverhead(e.Bytes)
+					arrival := inject(r, clock[r]+o, e.Bytes)
+					k := chanKey{r, e.Peer, e.Tag}
+					arrivals[k] = append(arrivals[k], arrival)
+					pendingReq[r][e.Request] = reqState{key: k, isSend: true}
+					tl.add(r, mpi.Isend, clock[r], clock[r]+o, 0)
+					clock[r] += o
+					res.CommTime[r] += o
+					pc[r]++
+				case mpi.Irecv:
+					// Posting reserves the next message slot on the channel
+					// (MPI posting-order matching) and costs no time.
+					k := chanKey{e.Peer, r, e.Tag}
+					pendingReq[r][e.Request] = reqState{key: k, idx: consumed[k]}
+					consumed[k]++
+					pc[r]++
+				case mpi.Wait:
+					st, ok := pendingReq[r][e.Request]
+					if !ok {
+						return nil, fmt.Errorf("psins: rank %d waits on unknown request %d", r, e.Request)
+					}
+					if st.isSend {
+						delete(pendingReq[r], e.Request) // eager send: already complete
+						pc[r]++
+						break
+					}
+					if st.idx >= len(arrivals[st.key]) {
+						break rankLoop // message not yet injected by the sender
+					}
+					arrival := arrivals[st.key][st.idx]
+					start := clock[r]
+					end := arrival
+					if end < start {
+						end = start
+					}
+					end += net.RecvOverhead()
+					tl.add(r, mpi.Wait, start, end, 0)
+					res.CommTime[r] += end - start
+					clock[r] = end
+					delete(pendingReq[r], e.Request)
+					pc[r]++
+				default: // collective
+					idx := collIdx[r]
+					for len(colls) <= idx {
+						colls = append(colls, collState{kind: e.Kind, bytes: e.Bytes})
+					}
+					st := &colls[idx]
+					if st.kind != e.Kind || st.bytes != e.Bytes {
+						return nil, fmt.Errorf("psins: rank %d collective %d is %s/%dB, others ran %s/%dB",
+							r, idx, e.Kind, e.Bytes, st.kind, st.bytes)
+					}
+					if collReg[r] == idx {
+						// First visit by this rank: register arrival.
+						st.arrived++
+						collReg[r] = idx + 1
+						if clock[r] > st.maxT {
+							st.maxT = clock[r]
+						}
+						if st.arrived == n {
+							c, err := net.CollectiveCost(st.kind, n, st.bytes)
+							if err != nil {
+								return nil, err
+							}
+							st.done = true
+							st.endT = st.maxT + c
+						}
+						progress = true
+					}
+					if !st.done {
+						break rankLoop // wait for the other ranks
+					}
+					tl.add(r, e.Kind, clock[r], st.endT, 0)
+					res.CommTime[r] += st.endT - clock[r]
+					clock[r] = st.endT
+					collIdx[r]++
+					pc[r]++
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("psins: replay deadlocked with %d/%d ranks incomplete",
+				countUnfinished(pc, prog), n)
+		}
+	}
+	for r := 0; r < n; r++ {
+		res.RankEnd[r] = clock[r]
+		if clock[r] > res.Runtime {
+			res.Runtime = clock[r]
+		}
+	}
+	res.Messages = prog.TotalMessages()
+	return res, nil
+}
+
+func countUnfinished(pc []int, prog *mpi.Program) int {
+	var c int
+	for r, p := range pc {
+		if p < len(prog.Ranks[r]) {
+			c++
+		}
+	}
+	return c
+}

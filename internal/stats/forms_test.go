@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The core counts used throughout the paper's examples.
+var paperCounts = []float64{1024, 2048, 4096}
+
+func TestConstantFit(t *testing.T) {
+	m, err := Constant{}.Fit(paperCounts, []float64{87.4, 87.4, 87.4})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.Eval(8192); !almostEqual(got, 87.4, 1e-12) {
+		t.Errorf("Eval(8192) = %g, want 87.4", got)
+	}
+	if m.Name() != "constant" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if len(m.Params()) != 1 {
+		t.Errorf("Params = %v", m.Params())
+	}
+}
+
+func TestConstantFitIsMean(t *testing.T) {
+	m, err := Constant{}.Fit([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.Eval(100); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Eval = %g, want mean 2", got)
+	}
+}
+
+func TestLinearFitExactRecovery(t *testing.T) {
+	// L2 hit rate rising linearly with core count (Figure 4's behaviour).
+	ys := make([]float64, len(paperCounts))
+	for i, x := range paperCounts {
+		ys[i] = 0.05 + 3e-5*x
+	}
+	m, err := Linear{}.Fit(paperCounts, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got, want := m.Eval(8192), 0.05+3e-5*8192; !almostEqual(got, want, 1e-9) {
+		t.Errorf("Eval(8192) = %g, want %g", got, want)
+	}
+	p := m.Params()
+	if !almostEqual(p[0], 0.05, 1e-9) || !almostEqual(p[1], 3e-5, 1e-9) {
+		t.Errorf("params = %v", p)
+	}
+}
+
+func TestLogarithmicFitExactRecovery(t *testing.T) {
+	// Memory operation counts following a + b·ln(P) (Figure 5's behaviour).
+	a, b := 2e9, 1.5e9
+	ys := make([]float64, len(paperCounts))
+	for i, x := range paperCounts {
+		ys[i] = a + b*math.Log(x)
+	}
+	m, err := Logarithmic{}.Fit(paperCounts, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got, want := m.Eval(8192), a+b*math.Log(8192); !almostEqual(got, want, 1e-9) {
+		t.Errorf("Eval(8192) = %g, want %g", got, want)
+	}
+}
+
+func TestLogarithmicRejectsNonPositiveX(t *testing.T) {
+	_, err := Logarithmic{}.Fit([]float64{0, 1, 2}, []float64{1, 2, 3})
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("want ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestLogarithmicEvalOutOfDomain(t *testing.T) {
+	m, err := Logarithmic{}.Fit(paperCounts, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.Eval(-1); !math.IsNaN(got) {
+		t.Errorf("Eval(-1) = %g, want NaN", got)
+	}
+}
+
+func TestExponentialFitExactRecovery(t *testing.T) {
+	a, b := 3.0, 0.0004
+	xs := []float64{96, 384, 1536}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = a * math.Exp(b*x)
+	}
+	m, err := Exponential{}.Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got, want := m.Eval(6144), a*math.Exp(b*6144); AbsRelErr(got, want) > 1e-6 {
+		t.Errorf("Eval(6144) = %g, want %g", got, want)
+	}
+}
+
+func TestExponentialFitNegativeSeries(t *testing.T) {
+	// Whole series negative: the sign is factored out and restored.
+	xs := []float64{1, 2, 3}
+	ys := []float64{-2, -4, -8} // -2·e^(ln2·(x-1)) = -e^(ln2·x)
+	m, err := Exponential{}.Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.Eval(4); AbsRelErr(got, -16) > 1e-6 {
+		t.Errorf("Eval(4) = %g, want -16", got)
+	}
+}
+
+func TestExponentialRejectsMixedSign(t *testing.T) {
+	_, err := Exponential{}.Fit([]float64{1, 2, 3}, []float64{1, -1, 1})
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("want ErrNotApplicable, got %v", err)
+	}
+	_, err = Exponential{}.Fit([]float64{1, 2, 3}, []float64{1, 0, 2})
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("zero y: want ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestExponentialGaussNewtonImprovesOverLogFit(t *testing.T) {
+	// Noisy exponential where the log-domain fit is biased; the refined fit
+	// must not be worse in SSE than the pure log-domain seed.
+	rng := rand.New(rand.NewSource(7))
+	xs := []float64{100, 200, 400, 800, 1600}
+	ys := make([]float64, len(xs))
+	ly := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Exp(0.002*x) * (1 + 0.05*rng.NormFloat64())
+		ly[i] = math.Log(ys[i])
+	}
+	la, b, err := OLS(xs, ly)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	seedSSE := 0.0
+	for i, x := range xs {
+		d := ys[i] - math.Exp(la)*math.Exp(b*x)
+		seedSSE += d * d
+	}
+	m, err := Exponential{}.Fit(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = m.Eval(x)
+	}
+	if got := SSE(pred, ys); got > seedSSE+1e-9 {
+		t.Errorf("refined SSE %g worse than log-domain seed %g", got, seedSSE)
+	}
+}
+
+func TestPowerFitExactRecovery(t *testing.T) {
+	// Halo-exchange style scaling: y = a·P^(-2/3).
+	a, b := 1e8, -2.0/3.0
+	ys := make([]float64, len(paperCounts))
+	for i, x := range paperCounts {
+		ys[i] = a * math.Pow(x, b)
+	}
+	m, err := Power{}.Fit(paperCounts, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got, want := m.Eval(8192), a*math.Pow(8192, b); AbsRelErr(got, want) > 1e-9 {
+		t.Errorf("Eval(8192) = %g, want %g", got, want)
+	}
+	if got := m.Eval(0); !math.IsNaN(got) {
+		t.Errorf("Eval(0) = %g, want NaN", got)
+	}
+}
+
+func TestPowerRejectsBadDomain(t *testing.T) {
+	if _, err := (Power{}).Fit([]float64{-1, 1, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("negative x: want ErrNotApplicable, got %v", err)
+	}
+	if _, err := (Power{}).Fit([]float64{1, 2, 3}, []float64{1, -2, 3}); !errors.Is(err, ErrNotApplicable) {
+		t.Errorf("mixed-sign y: want ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestQuadraticFitExactRecovery(t *testing.T) {
+	ys := make([]float64, len(paperCounts))
+	for i, x := range paperCounts {
+		ys[i] = 10 + 0.5*x - 1e-5*x*x
+	}
+	m, err := Quadratic{}.Fit(paperCounts, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got, want := m.Eval(8192), 10+0.5*8192-1e-5*8192*8192; AbsRelErr(got, want) > 1e-6 {
+		t.Errorf("Eval(8192) = %g, want %g", got, want)
+	}
+}
+
+func TestQuadraticNeedsThreePoints(t *testing.T) {
+	if _, err := (Quadratic{}).Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("want error for 2 points")
+	}
+}
+
+func TestFormsRejectNonFinite(t *testing.T) {
+	forms := ExtendedForms()
+	bad := [][2][]float64{
+		{{1, 2, math.NaN()}, {1, 2, 3}},
+		{{1, 2, 3}, {1, math.Inf(1), 3}},
+	}
+	for _, f := range forms {
+		for _, series := range bad {
+			if _, err := f.Fit(series[0], series[1]); err == nil {
+				t.Errorf("%s accepted non-finite data", f.Name())
+			}
+		}
+	}
+}
+
+func TestFormsRejectLengthMismatch(t *testing.T) {
+	for _, f := range ExtendedForms() {
+		if _, err := f.Fit([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+			t.Errorf("%s accepted mismatched lengths", f.Name())
+		}
+	}
+}
+
+func TestCanonicalAndExtendedFormSets(t *testing.T) {
+	c := CanonicalForms()
+	if len(c) != 4 {
+		t.Fatalf("CanonicalForms: %d forms, want 4", len(c))
+	}
+	wantOrder := []string{"constant", "linear", "logarithmic", "exponential"}
+	for i, f := range c {
+		if f.Name() != wantOrder[i] {
+			t.Errorf("form %d = %s, want %s", i, f.Name(), wantOrder[i])
+		}
+	}
+	e := ExtendedForms()
+	if len(e) != 6 {
+		t.Fatalf("ExtendedForms: %d forms, want 6", len(e))
+	}
+}
+
+// Property: every form's Eval reproduces the training points when those
+// points were generated exactly from the same family.
+func TestFormsSelfConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := []float64{96, 384, 1536, 6144}
+		a := r.Float64()*10 + 0.5
+		b := r.Float64()*0.001 + 1e-5
+		gens := map[string]func(x float64) float64{
+			"constant":    func(_ float64) float64 { return a },
+			"linear":      func(x float64) float64 { return a + b*x },
+			"logarithmic": func(x float64) float64 { return a + b*math.Log(x) },
+			"exponential": func(x float64) float64 { return a * math.Exp(b*x) },
+		}
+		for _, form := range CanonicalForms() {
+			gen := gens[form.Name()]
+			ys := make([]float64, len(xs))
+			for i, x := range xs {
+				ys[i] = gen(x)
+			}
+			m, err := form.Fit(xs, ys)
+			if err != nil {
+				return false
+			}
+			for i, x := range xs {
+				if AbsRelErr(m.Eval(x), ys[i]) > 1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

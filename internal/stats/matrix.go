@@ -1,0 +1,132 @@
+// Package stats provides the statistical machinery used by the trace
+// extrapolation methodology: ordinary least squares, the canonical scaling
+// forms from the paper (constant, linear, logarithmic, exponential) plus the
+// future-work extensions (power law, quadratic), model selection, and error
+// metrics. Everything is implemented from scratch on the standard library.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution,
+// typically because the design matrix is rank deficient (for example, all
+// x values identical when fitting a line).
+var ErrSingular = errors.New("stats: singular system")
+
+// SolveLinear solves the n×n system a·x = b in place using Gaussian
+// elimination with partial pivoting. The inputs are overwritten. It returns
+// ErrSingular when a pivot is (numerically) zero.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: bad system shape %dx%d vs %d", n, n, len(b))
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("stats: non-square matrix row length %d, want %d", len(row), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: bring the largest magnitude entry to the diagonal.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// PolyFit fits a polynomial of the given degree to (xs, ys) by solving the
+// normal equations. It returns the coefficients lowest order first, so
+// y = c[0] + c[1]*x + ... + c[degree]*x^degree.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("stats: negative polynomial degree %d", degree)
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("stats: mismatched series lengths %d vs %d", len(xs), len(ys))
+	}
+	n := degree + 1
+	if len(xs) < n {
+		return nil, fmt.Errorf("stats: need at least %d points for degree %d, have %d", n, degree, len(xs))
+	}
+	// Accumulate the normal equations: sum x^(i+j) and sum y x^i.
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	for k, x := range xs {
+		pow := make([]float64, 2*n-1)
+		pow[0] = 1
+		for p := 1; p < len(pow); p++ {
+			pow[p] = pow[p-1] * x
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ata[i][j] += pow[i+j]
+			}
+			atb[i] += ys[k] * pow[i]
+		}
+	}
+	return SolveLinear(ata, atb)
+}
+
+// OLS performs simple ordinary least squares y ≈ intercept + slope*x.
+func OLS(xs, ys []float64) (intercept, slope float64, err error) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: OLS needs ≥2 paired points, have %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		sx += x
+		sy += ys[i]
+		sxx += x * x
+		sxy += x * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if math.Abs(det) < 1e-300*math.Max(1, n*sxx) {
+		return 0, 0, ErrSingular
+	}
+	slope = (n*sxy - sx*sy) / det
+	intercept = (sy - slope*sx) / n
+	if math.IsNaN(slope) || math.IsInf(slope, 0) || math.IsNaN(intercept) || math.IsInf(intercept, 0) {
+		return 0, 0, ErrSingular
+	}
+	return intercept, slope, nil
+}

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	b := []float64{3, -7, 2.5}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	for i, want := range []float64{3, -7, 2.5} {
+		if !almostEqual(x[i], want, 1e-12) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - 3y = -8  =>  x = 1, y = 3.
+	a := [][]float64{{2, 1}, {1, -3}}
+	b := []float64{5, -8}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("got %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal entry forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Errorf("got %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("empty system: want error")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square: want error")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch: want error")
+	}
+}
+
+// Property: for random well-conditioned systems, A·x reproduces b.
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			a[i][i] += float64(n) * 4 // diagonally dominant => well conditioned
+			copy(orig[i], a[i])
+		}
+		b := make([]float64, n)
+		origB := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64() * 10
+			origB[i] = b[i]
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += orig[i][j] * x[j]
+			}
+			if !almostEqual(s, origB[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyFitExact(t *testing.T) {
+	// y = 2 - 3x + 0.5x² fitted through 5 exact samples.
+	xs := []float64{-2, -1, 0, 1, 2}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 - 3*x + 0.5*x*x
+	}
+	c, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	want := []float64{2, -3, 0.5}
+	for i := range want {
+		if !almostEqual(c[i], want[i], 1e-9) {
+			t.Errorf("c[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitDegreeZeroIsMean(t *testing.T) {
+	c, err := PolyFit([]float64{1, 2, 3}, []float64{4, 6, 8}, 0)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	if !almostEqual(c[0], 6, 1e-12) {
+		t.Errorf("c[0] = %g, want 6", c[0])
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative degree: want error")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("underdetermined: want error")
+	}
+	// Duplicate x values make the quadratic normal equations singular.
+	if _, err := PolyFit([]float64{1, 1, 1}, []float64{1, 2, 3}, 2); !errors.Is(err, ErrSingular) {
+		t.Errorf("duplicate x: want ErrSingular, got %v", err)
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !almostEqual(a, 3, 1e-12) || !almostEqual(b, 2, 1e-12) {
+		t.Errorf("got a=%g b=%g, want 3, 2", a, b)
+	}
+}
+
+func TestOLSDegenerate(t *testing.T) {
+	if _, _, err := OLS([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("identical x: want ErrSingular, got %v", err)
+	}
+	if _, _, err := OLS([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: want error")
+	}
+}
+
+// Property: OLS residuals are orthogonal to the regressor (normal equations).
+func TestOLSNormalEquationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + r.Float64()
+			ys[i] = r.NormFloat64() * 5
+		}
+		a, b, err := OLS(xs, ys)
+		if err != nil {
+			return false
+		}
+		var sumR, sumRX float64
+		for i := range xs {
+			res := ys[i] - (a + b*xs[i])
+			sumR += res
+			sumRX += res * xs[i]
+		}
+		return math.Abs(sumR) < 1e-6 && math.Abs(sumRX) < 1e-5*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyFitCubicExact(t *testing.T) {
+	// y = 1 + 2x - x² + 0.5x³ through 6 exact samples.
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 2*x - x*x + 0.5*x*x*x
+	}
+	c, err := PolyFit(xs, ys, 3)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	want := []float64{1, 2, -1, 0.5}
+	for i := range want {
+		if !almostEqual(c[i], want[i], 1e-8) {
+			t.Errorf("c[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitOverdeterminedLeastSquares(t *testing.T) {
+	// Noisy line with many samples: degree-1 PolyFit must agree with OLS.
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3 + 0.5*xs[i] + rng.NormFloat64()
+	}
+	c, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c[0], a, 1e-9) || !almostEqual(c[1], b, 1e-9) {
+		t.Errorf("PolyFit(deg 1) = %v, OLS = (%g, %g)", c, a, b)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AbsRelErr returns |predicted-actual| / |actual|. When actual is zero the
+// error is defined as 0 if predicted is also zero and +Inf otherwise, which
+// matches how the paper treats "absolute relative error" for count data.
+func AbsRelErr(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// SSE returns the sum of squared residuals between predictions and
+// observations. The slices must have equal length.
+func SSE(predicted, actual []float64) float64 {
+	var sse float64
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		sse += d * d
+	}
+	return sse
+}
+
+// RMSE returns the root mean squared error. It returns 0 for empty input.
+func RMSE(predicted, actual []float64) float64 {
+	if len(predicted) == 0 {
+		return 0
+	}
+	return math.Sqrt(SSE(predicted, actual) / float64(len(predicted)))
+}
+
+// MAPE returns the mean absolute percentage error over the pairs, skipping
+// pairs whose actual value is zero. It returns 0 when every pair is skipped.
+func MAPE(predicted, actual []float64) float64 {
+	var sum float64
+	var n int
+	for i := range predicted {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += AbsRelErr(predicted[i], actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance, or 0 for fewer than two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// R2 returns the coefficient of determination for predictions against
+// observations. A constant observation series yields R2 = 1 when matched
+// exactly and 0 otherwise (total variance is zero, so the usual definition
+// degenerates).
+func R2(predicted, actual []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	m := Mean(actual)
+	var sst float64
+	for _, y := range actual {
+		d := y - m
+		sst += d * d
+	}
+	sse := SSE(predicted, actual)
+	if sst == 0 {
+		if sse == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - sse/sst
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	Median, P95  float64
+}
+
+// Summarize computes descriptive statistics for xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Median = Percentile(xs, 50)
+	s.P95 = Percentile(xs, 95)
+	return s
+}
+
+// String renders the summary compactly for logs and experiment reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsRelErr(t *testing.T) {
+	cases := []struct {
+		pred, actual, want float64
+	}{
+		{100, 100, 0},
+		{110, 100, 0.10},
+		{90, 100, 0.10},
+		{-5, -10, 0.5},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := AbsRelErr(c.pred, c.actual); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("AbsRelErr(%g,%g) = %g, want %g", c.pred, c.actual, got, c.want)
+		}
+	}
+	if got := AbsRelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("AbsRelErr(1,0) = %g, want +Inf", got)
+	}
+}
+
+func TestSSEAndRMSE(t *testing.T) {
+	p := []float64{1, 2, 3}
+	a := []float64{1, 4, 3}
+	if got := SSE(p, a); got != 4 {
+		t.Errorf("SSE = %g, want 4", got)
+	}
+	if got := RMSE(p, a); !almostEqual(got, math.Sqrt(4.0/3.0), 1e-12) {
+		t.Errorf("RMSE = %g", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("RMSE(empty) = %g, want 0", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	p := []float64{110, 90, 5}
+	a := []float64{100, 100, 0} // zero actual skipped
+	if got := MAPE(p, a); !almostEqual(got, 0.10, 1e-12) {
+		t.Errorf("MAPE = %g, want 0.10", got)
+	}
+	if got := MAPE([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("MAPE with all-zero actuals = %g, want 0", got)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestR2(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := R2(a, a); got != 1 {
+		t.Errorf("perfect fit R2 = %g, want 1", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(mean, a); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("mean predictor R2 = %g, want 0", got)
+	}
+	// Constant actuals: exact match is 1, anything else 0.
+	if got := R2([]float64{3, 3}, []float64{3, 3}); got != 1 {
+		t.Errorf("constant exact R2 = %g, want 1", got)
+	}
+	if got := R2([]float64{3, 4}, []float64{3, 3}); got != 0 {
+		t.Errorf("constant mismatch R2 = %g, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {-5, 15}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %g, want 0", got)
+	}
+	// Percentile must not mutate its input.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", orig)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String should be non-empty")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+// Property: MAPE is scale invariant — scaling both series by the same
+// positive factor leaves it unchanged.
+func TestMAPEScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		p := make([]float64, n)
+		a := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()*100 + 1
+			a[i] = r.Float64()*100 + 1
+		}
+		k := r.Float64()*9 + 1
+		ps := make([]float64, n)
+		as := make([]float64, n)
+		for i := range p {
+			ps[i], as[i] = p[i]*k, a[i]*k
+		}
+		return almostEqual(MAPE(p, a), MAPE(ps, as), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FitResult pairs a fitted model with its goodness of fit on the training
+// series.
+type FitResult struct {
+	Model Model
+	SSE   float64
+	RMSE  float64
+	R2    float64
+}
+
+// Selector fits a set of canonical forms to a series and picks the best one.
+// The zero value is not usable; construct with NewSelector.
+type Selector struct {
+	forms []Form
+	// relTol is the relative SSE slack within which a simpler (earlier)
+	// form wins over a later, marginally better one. The forms slice is
+	// ordered simplest first, so ties resolve toward parsimony.
+	relTol float64
+}
+
+// NewSelector returns a Selector over the given forms (ordered simplest
+// first for tie-breaking). A nil or empty forms slice selects the paper's
+// four canonical forms.
+func NewSelector(forms []Form) *Selector {
+	if len(forms) == 0 {
+		forms = CanonicalForms()
+	}
+	return &Selector{forms: append([]Form(nil), forms...), relTol: 1e-9}
+}
+
+// SetTieTolerance overrides the relative SSE tolerance used to prefer
+// simpler forms. Values ≤ 0 disable the preference entirely.
+func (s *Selector) SetTieTolerance(tol float64) { s.relTol = tol }
+
+// Forms returns the forms the selector considers, in tie-break order.
+func (s *Selector) Forms() []Form { return append([]Form(nil), s.forms...) }
+
+// FitAll fits every applicable form and returns the results keyed by form
+// name. Forms that are not applicable to the data are silently skipped;
+// an error is returned only when no form at all could be fitted.
+func (s *Selector) FitAll(xs, ys []float64) (map[string]FitResult, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return nil, fmt.Errorf("stats: bad series lengths %d vs %d", len(xs), len(ys))
+	}
+	out := make(map[string]FitResult, len(s.forms))
+	for _, f := range s.forms {
+		m, err := f.Fit(xs, ys)
+		if err != nil {
+			if errors.Is(err, ErrNotApplicable) || errors.Is(err, ErrSingular) {
+				continue
+			}
+			return nil, fmt.Errorf("stats: fitting %s: %w", f.Name(), err)
+		}
+		pred := make([]float64, len(xs))
+		bad := false
+		for i, x := range xs {
+			pred[i] = m.Eval(x)
+			if math.IsNaN(pred[i]) || math.IsInf(pred[i], 0) {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		out[f.Name()] = FitResult{
+			Model: m,
+			SSE:   SSE(pred, ys),
+			RMSE:  RMSE(pred, ys),
+			R2:    R2(pred, ys),
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stats: no canonical form applicable to series")
+	}
+	return out, nil
+}
+
+// Select fits every form and returns the best fit: the lowest SSE, with the
+// earlier (simpler) form preferred when SSEs are within the tie tolerance.
+// This mirrors the paper's "the best of those fits is used" rule (Section
+// IV) with a parsimony tie-break for the degenerate exact-fit case that
+// arises when only three observations are available.
+func (s *Selector) Select(xs, ys []float64) (FitResult, error) {
+	all, err := s.FitAll(xs, ys)
+	if err != nil {
+		return FitResult{}, err
+	}
+	var best FitResult
+	haveBest := false
+	// Walk in declared (simplest-first) order so the tolerance favors
+	// earlier forms deterministically.
+	scale := 0.0
+	for _, y := range ys {
+		scale += y * y
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for _, f := range s.forms {
+		r, ok := all[f.Name()]
+		if !ok {
+			continue
+		}
+		if !haveBest {
+			best, haveBest = r, true
+			continue
+		}
+		if r.SSE < best.SSE-(s.relTol*scale) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// MustSelect is Select but panics on error; convenient in experiment code
+// where the series is known to be fittable.
+func (s *Selector) MustSelect(xs, ys []float64) FitResult {
+	r, err := s.Select(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SelectCV selects by leave-one-out cross-validation instead of training
+// SSE: each form is refitted with one observation held out and scored by
+// its squared error at the held-out point. This penalizes forms that can
+// interpolate the training points exactly but extrapolate wildly — the
+// failure mode of high-parameter forms (e.g. a quadratic through three
+// points). A form that cannot be fitted on some leave-one-out subset is
+// excluded. Ties within the tolerance resolve toward the simpler form; the
+// final returned model is refitted on the full series. SelectCV needs at
+// least three observations; with fewer it falls back to Select.
+func (s *Selector) SelectCV(xs, ys []float64) (FitResult, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return FitResult{}, fmt.Errorf("stats: bad series lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return s.Select(xs, ys)
+	}
+	scale := 0.0
+	for _, y := range ys {
+		scale += y * y
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	type scored struct {
+		form Form
+		cv   float64
+		ok   bool
+	}
+	scores := make([]scored, 0, len(s.forms))
+	subX := make([]float64, 0, len(xs)-1)
+	subY := make([]float64, 0, len(ys)-1)
+	for _, f := range s.forms {
+		sc := scored{form: f, ok: true}
+		for hold := 0; hold < len(xs) && sc.ok; hold++ {
+			subX = subX[:0]
+			subY = subY[:0]
+			for i := range xs {
+				if i != hold {
+					subX = append(subX, xs[i])
+					subY = append(subY, ys[i])
+				}
+			}
+			m, err := f.Fit(subX, subY)
+			if err != nil {
+				sc.ok = false
+				break
+			}
+			pred := m.Eval(xs[hold])
+			if math.IsNaN(pred) || math.IsInf(pred, 0) {
+				sc.ok = false
+				break
+			}
+			d := pred - ys[hold]
+			sc.cv += d * d
+		}
+		if sc.ok {
+			scores = append(scores, sc)
+		}
+	}
+	if len(scores) == 0 {
+		// No form survives cross-validation (tiny or degenerate series):
+		// fall back to training-error selection.
+		return s.Select(xs, ys)
+	}
+	best := scores[0]
+	for _, sc := range scores[1:] {
+		if sc.cv < best.cv-(s.relTol*scale) {
+			best = sc
+		}
+	}
+	m, err := best.form.Fit(xs, ys)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("stats: refitting %s on full series: %w", best.form.Name(), err)
+	}
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = m.Eval(x)
+	}
+	return FitResult{
+		Model: m,
+		SSE:   SSE(pred, ys),
+		RMSE:  RMSE(pred, ys),
+		R2:    R2(pred, ys),
+	}, nil
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectorPrefersConstantForFlatSeries(t *testing.T) {
+	s := NewSelector(nil)
+	r, err := s.Select(paperCounts, []float64{87.4, 87.4, 87.4})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if r.Model.Name() != "constant" {
+		t.Errorf("selected %s, want constant", r.Model.Name())
+	}
+}
+
+func TestSelectorPicksLinearForFigure4Series(t *testing.T) {
+	// Figure 4: L2 hit rate rises roughly linearly with core count. Add a
+	// pinch of deterministic noise so the 2-parameter fits are not all
+	// exact through 4 points.
+	xs := []float64{1024, 2048, 4096, 8192}
+	ys := []float64{0.105, 0.148, 0.238, 0.412}
+	s := NewSelector(nil)
+	r, err := s.Select(xs, ys)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if name := r.Model.Name(); name != "linear" && name != "exponential" {
+		// The series is convex-ish; linear must at least beat log/constant.
+		t.Errorf("selected %s for a rising convex series", name)
+	}
+	all, err := s.FitAll(xs, ys)
+	if err != nil {
+		t.Fatalf("FitAll: %v", err)
+	}
+	if all["linear"].SSE >= all["constant"].SSE {
+		t.Error("linear should beat constant on a trending series")
+	}
+	if all["linear"].SSE >= all["logarithmic"].SSE {
+		t.Error("linear should beat logarithmic on this series")
+	}
+}
+
+func TestSelectorPicksLogForFigure5Series(t *testing.T) {
+	// Figure 5: memory operation count follows a logarithmic curve. Sample
+	// an exact a+b·ln(P) at four counts: log must win outright.
+	xs := []float64{1024, 2048, 4096, 8192}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2e9 + 1.4e9*math.Log(x)
+	}
+	r, err := NewSelector(nil).Select(xs, ys)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if r.Model.Name() != "logarithmic" {
+		t.Errorf("selected %s, want logarithmic", r.Model.Name())
+	}
+	if r.SSE > 1 {
+		t.Errorf("log fit SSE = %g, want ~0", r.SSE)
+	}
+}
+
+func TestSelectorTieBreakSimplestFirst(t *testing.T) {
+	// A perfectly flat series is fit exactly by constant, linear (slope 0)
+	// and log (slope 0): the tolerance must resolve to constant.
+	s := NewSelector(nil)
+	r, err := s.Select([]float64{1, 2, 4}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if r.Model.Name() != "constant" {
+		t.Errorf("selected %s, want constant (parsimony tie-break)", r.Model.Name())
+	}
+}
+
+func TestSelectorTieToleranceDisabled(t *testing.T) {
+	s := NewSelector(nil)
+	s.SetTieTolerance(0)
+	// Still selects *some* model without error.
+	if _, err := s.Select([]float64{1, 2, 4}, []float64{5, 5, 5}); err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+}
+
+func TestSelectorSkipsInapplicableForms(t *testing.T) {
+	// Mixed-sign series: exponential and power are inapplicable but the
+	// selection must still succeed with the remaining forms.
+	s := NewSelector(ExtendedForms())
+	r, err := s.Select([]float64{1, 2, 3}, []float64{-1, 0, 1})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if r.Model.Name() != "linear" {
+		t.Errorf("selected %s, want linear for exact line", r.Model.Name())
+	}
+}
+
+func TestSelectorErrorOnEmptySeries(t *testing.T) {
+	if _, err := NewSelector(nil).Select(nil, nil); err == nil {
+		t.Error("want error for empty series")
+	}
+	if _, err := NewSelector(nil).FitAll([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want error for mismatched series")
+	}
+}
+
+func TestSelectorFormsAccessorCopies(t *testing.T) {
+	s := NewSelector(nil)
+	forms := s.Forms()
+	forms[0] = nil
+	if s.Forms()[0] == nil {
+		t.Error("Forms() must return a copy")
+	}
+}
+
+func TestMustSelectPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSelect should panic on empty input")
+		}
+	}()
+	NewSelector(nil).MustSelect(nil, nil)
+}
+
+func TestSelectorExtendedFormsQuadraticWins(t *testing.T) {
+	// A true parabola sampled at 5 points: with extended forms enabled the
+	// quadratic should be selected; with canonical forms only, something
+	// else is chosen and has worse SSE.
+	xs := []float64{100, 200, 400, 800, 1600}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 50 + 0.1*x - 4e-5*x*x
+	}
+	ext, err := NewSelector(ExtendedForms()).Select(xs, ys)
+	if err != nil {
+		t.Fatalf("Select(extended): %v", err)
+	}
+	if ext.Model.Name() != "quadratic" {
+		t.Errorf("extended selected %s, want quadratic", ext.Model.Name())
+	}
+	can, err := NewSelector(nil).Select(xs, ys)
+	if err != nil {
+		t.Fatalf("Select(canonical): %v", err)
+	}
+	if can.SSE < ext.SSE {
+		t.Errorf("canonical SSE %g beat quadratic %g on a parabola", can.SSE, ext.SSE)
+	}
+}
+
+// Property: the selected model never has larger SSE than any individual fit.
+func TestSelectorOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := []float64{96, 384, 1536, 6144}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = r.Float64()*100 + 1
+		}
+		s := NewSelector(nil)
+		s.SetTieTolerance(0)
+		best, err := s.Select(xs, ys)
+		if err != nil {
+			return false
+		}
+		all, err := s.FitAll(xs, ys)
+		if err != nil {
+			return false
+		}
+		for _, fr := range all {
+			if fr.SSE < best.SSE-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with the parsimony tolerance enabled, selection is deterministic
+// across repeated calls on the same data.
+func TestSelectorDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := []float64{96, 384, 1536}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = r.Float64() * 10
+		}
+		s := NewSelector(nil)
+		a, err1 := s.Select(xs, ys)
+		b, err2 := s.Select(xs, ys)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return a.Model.Name() == b.Model.Name()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

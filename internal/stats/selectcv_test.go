@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectCVRejectsOverfittingQuadratic(t *testing.T) {
+	// Three points from a noisy logarithmic law: plain SSE selection with
+	// extended forms picks the quadratic (exact interpolation), which
+	// extrapolates wildly; LOOCV must reject it.
+	xs := []float64{1024, 2048, 4096}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = (1e9 + 4e8*math.Log(x)) * (1 + 0.01*math.Sin(x))
+	}
+	sel := NewSelector(ExtendedForms())
+	plain, err := sel.Select(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Model.Name() != "quadratic" {
+		t.Logf("note: plain selection picked %s (quadratic not strictly best here)", plain.Model.Name())
+	}
+	cv, err := sel.SelectCV(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Model.Name() == "quadratic" {
+		t.Errorf("LOOCV selected the overfitting quadratic")
+	}
+	// The CV choice must extrapolate sanely: within 25 % of the generating
+	// law at 4× beyond the inputs.
+	truth := 1e9 + 4e8*math.Log(16384)
+	if e := AbsRelErr(cv.Model.Eval(16384), truth); e > 0.25 {
+		t.Errorf("CV extrapolation error %.1f%% at 16384", 100*e)
+	}
+}
+
+func TestSelectCVRecoversTrueForm(t *testing.T) {
+	// Four exact points per generating law: LOOCV must recover it (or an
+	// equally-predictive simpler alternative).
+	xs := []float64{96, 384, 1536, 6144}
+	gens := map[string]func(float64) float64{
+		"constant":    func(x float64) float64 { return 42 },
+		"linear":      func(x float64) float64 { return 5 + 0.01*x },
+		"logarithmic": func(x float64) float64 { return 3 + 2*math.Log(x) },
+		"exponential": func(x float64) float64 { return 4 * math.Exp(-x/4096) },
+	}
+	sel := NewSelector(nil)
+	for want, gen := range gens {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = gen(x)
+		}
+		r, err := sel.SelectCV(xs, ys)
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		if r.Model.Name() != want {
+			t.Errorf("generating law %s: LOOCV selected %s", want, r.Model.Name())
+		}
+	}
+}
+
+func TestSelectCVFallsBackOnTwoPoints(t *testing.T) {
+	sel := NewSelector(nil)
+	r, err := sel.SelectCV([]float64{1, 2}, []float64{3, 3})
+	if err != nil {
+		t.Fatalf("SelectCV: %v", err)
+	}
+	if r.Model.Name() != "constant" {
+		t.Errorf("selected %s", r.Model.Name())
+	}
+}
+
+func TestSelectCVErrors(t *testing.T) {
+	sel := NewSelector(nil)
+	if _, err := sel.SelectCV(nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := sel.SelectCV([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+// Property: on exact canonical data with ≥4 points, LOOCV never selects a
+// model whose held-out error exceeds the true form's (which is ~0), and the
+// returned model reproduces the inputs.
+func TestSelectCVSelfConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := []float64{128, 512, 2048, 8192}
+		a := 1 + r.Float64()*10
+		b := 1e-4 + r.Float64()*1e-3
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a + b*x // linear law
+		}
+		sel := NewSelector(ExtendedForms())
+		res, err := sel.SelectCV(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if AbsRelErr(res.Model.Eval(x), ys[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,577 @@
+package synthapp
+
+import (
+	"fmt"
+	"math"
+
+	"tracex/internal/addrgen"
+)
+
+// seedFor derives a deterministic PRNG seed for a block's stream.
+func seedFor(blockID uint64, p int) int64 {
+	return int64(blockID)*1_000_003 + int64(p)
+}
+
+// SPECFEM3D returns the proxy for SPECFEM3D_GLOBE, the spectral-element
+// seismic wave propagation code. The paper traces it at 96, 384 and 1536
+// cores and extrapolates to 6144. Its blocks:
+//
+//   - compute_element_forces: the dominant stencil sweep over the rank's
+//     spectral elements; reference count decreases linearly as strong
+//     scaling removes work, working set shrinks slowly (always beyond LLC).
+//   - flux_lookup_table: a fixed-size interpolation table shared by all
+//     element computations; constant work and a constant ~24 KB footprint —
+//     the Table III block whose residency depends on the candidate L1 size.
+//   - assemble_global: gather into the global system; the dominant task's
+//     share grows logarithmically with core count (Figure 5 behaviour) over
+//     a footprint that drains toward the caches as P rises.
+//   - attenuation_boundary: boundary attenuation terms that die off
+//     exponentially as the domain is partitioned more finely.
+//   - seismogram_pack: trace output packing; negligible work (below the
+//     0.1 % influence threshold).
+func SPECFEM3D() *App {
+	return &App{
+		name:         "specfem3d",
+		classFactors: []float64{1.0, 0.97, 0.94, 0.91},
+		steps:        2,
+		haloBytes: func(p int) uint64 {
+			return uint64(expDecay(2.0e6, 8192, p)) + 4096
+		},
+		allreduceBytes: 64,
+		minCores:       64,
+		maxCores:       8192,
+		blocks: []blockDef{
+			{
+				spec: BlockSpec{
+					ID: 1, Func: "compute_element_forces", File: "compute_forces.f90", Line: 112,
+					FPPerRef: 1.8, AddFrac: 0.5, MulFrac: 0.45, DivFrac: 0.05,
+					LoadFrac: 0.72, BytesPerRef: 8, ILP: 2.8,
+				},
+				refs: func(p int) float64 {
+					return (6.0e10 - 2.5e6*float64(p)) * jitter(p, 1, 0.004)
+				},
+				ws: func(p int) float64 { return expDecay(64<<20, 32768, p) },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					cells := uint64(expDecay(64<<20, 32768, p) / 8)
+					n := uint64(math.Cbrt(float64(cells)))
+					if n < 8 {
+						n = 8
+					}
+					return addrgen.NewStencil3D(base, n, n, n, 8)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 2, Func: "flux_lookup_table", File: "flux_table.f90", Line: 58,
+					FPPerRef: 1.1, AddFrac: 0.6, MulFrac: 0.4,
+					LoadFrac: 0.95, BytesPerRef: 8, ILP: 1.6,
+				},
+				refs: func(p int) float64 { return 4.0e9 * jitter(p, 2, 0.003) },
+				ws:   func(p int) float64 { return 24 << 10 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					// 8 KiB streamed coefficients + 16 KiB randomly indexed
+					// table: resident in a 56 KB L1, thrashing a 12 KB one.
+					seq, err := addrgen.NewStride(base, 8, 8<<10)
+					if err != nil {
+						return nil, err
+					}
+					tbl, err := addrgen.NewRandom(base+(1<<20), 16<<10, 8, seedFor(2, p))
+					if err != nil {
+						return nil, err
+					}
+					return addrgen.NewMix(seq, tbl, 2, 1)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 3, Func: "assemble_global", File: "assemble.f90", Line: 204,
+					FPPerRef: 0.6, AddFrac: 0.8, MulFrac: 0.2,
+					LoadFrac: 0.55, BytesPerRef: 8, ILP: 1.4,
+				},
+				refs: func(p int) float64 {
+					return (1.5e9 + 2.2e8*math.Log(float64(p))) * jitter(p, 3, 0.005)
+				},
+				ws: func(p int) float64 { return 8<<10 + 320<<10 + 30<<20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					// A resident index buffer streamed alongside random
+					// gathers that concentrate logarithmically onto the
+					// rank-local 320 KiB portion of the global array as the
+					// problem strong-scales.
+					idx, err := addrgen.NewStride(base, 8, 8<<10)
+					if err != nil {
+						return nil, err
+					}
+					hot, err := addrgen.NewRandom(base+(1<<28), 320<<10, 8, seedFor(3, p))
+					if err != nil {
+						return nil, err
+					}
+					cold, err := addrgen.NewRandom(base+(1<<30), 30<<20, 8, seedFor(3, p)+1)
+					if err != nil {
+						return nil, err
+					}
+					gather, err := addrgen.NewBiased(hot, cold, hotFraction(-0.343, 0.108, p))
+					if err != nil {
+						return nil, err
+					}
+					return addrgen.NewMix(idx, gather, 1, 3)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 4, Func: "attenuation_boundary", File: "attenuation.f90", Line: 77,
+					FPPerRef: 2.2, AddFrac: 0.45, MulFrac: 0.45, DivFrac: 0.1,
+					LoadFrac: 0.66, BytesPerRef: 8, ILP: 2.2,
+				},
+				refs: func(p int) float64 {
+					return 8.0e9 * math.Exp(-float64(p)/6000) * jitter(p, 4, 0.004)
+				},
+				ws: func(p int) float64 { return 1 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 1<<20)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 5, Func: "seismogram_pack", File: "write_seismograms.f90", Line: 31,
+					FPPerRef: 0.1, AddFrac: 1.0,
+					LoadFrac: 0.5, BytesPerRef: 8, ILP: 1.0,
+				},
+				refs: func(p int) float64 { return 5.0e6 * jitter(p, 5, 0.01) },
+				ws:   func(p int) float64 { return 2 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewRandom(base, 2<<20, 8, seedFor(5, p))
+				},
+			},
+		},
+	}
+}
+
+// UH3D returns the proxy for UH3D, the UCSD global magnetosphere code that
+// treats ions as particles and electrons as a fluid. The paper traces it at
+// 1024, 2048 and 4096 cores and extrapolates to 8192. Its blocks:
+//
+//   - particle_push: the particle advance — a sequential walk over the
+//     particle list gathering fields from a grid whose per-rank footprint
+//     shrinks under strong scaling.
+//   - field_update: the fluid/field solve — a streaming kernel with a
+//     randomly-indexed region that drains into L3 (and the upper caches)
+//     as the core count rises; this is the Table II block.
+//   - current_deposit: charge/current deposition whose locality
+//     concentrates linearly with core count (Figure 4's linearly rising L2
+//     hit rate) as more of the deposit targets the rank-local tile.
+//   - sort_particles: a periodic particle reorder streaming a large
+//     constant buffer.
+//   - field_diagnostics: tiny diagnostic reductions (below the influence
+//     threshold).
+func UH3D() *App {
+	return &App{
+		name:         "uh3d",
+		classFactors: []float64{1.0, 0.96, 0.93, 0.89},
+		steps:        2,
+		haloBytes: func(p int) uint64 {
+			return uint64(expDecay(1.2e6, 8192, p)) + 2048
+		},
+		allreduceBytes: 128,
+		// The logarithmic field_update law turns positive above ~830
+		// cores; UH3D runs are defined from 1024 up.
+		minCores: 1024,
+		maxCores: 16384,
+		blocks: []blockDef{
+			{
+				spec: BlockSpec{
+					ID: 11, Func: "particle_push", File: "push.F", Line: 145,
+					FPPerRef: 1.5, AddFrac: 0.55, MulFrac: 0.4, DivFrac: 0.05,
+					LoadFrac: 0.7, BytesPerRef: 8, ILP: 2.4,
+				},
+				refs: func(p int) float64 {
+					return (2.8e10 - 1.2e6*float64(p)) * jitter(p, 11, 0.004)
+				},
+				ws: func(p int) float64 { return 8<<20 + 320<<10 + 40<<20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					// One sequential particle-list reference per three grid
+					// gathers; the gathers concentrate logarithmically onto
+					// the rank-local 320 KiB grid tile under strong scaling.
+					particles, err := addrgen.NewStride(base, 8, 8<<20)
+					if err != nil {
+						return nil, err
+					}
+					hot, err := addrgen.NewRandom(base+(1<<28), 320<<10, 8, seedFor(11, p))
+					if err != nil {
+						return nil, err
+					}
+					cold, err := addrgen.NewRandom(base+(1<<30), 40<<20, 8, seedFor(11, p)+1)
+					if err != nil {
+						return nil, err
+					}
+					grid, err := addrgen.NewBiased(hot, cold, hotFraction(-0.72, 0.13, p))
+					if err != nil {
+						return nil, err
+					}
+					return addrgen.NewMix(particles, grid, 1, 3)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 12, Func: "field_update", File: "field.F", Line: 89,
+					FPPerRef: 1.9, AddFrac: 0.5, MulFrac: 0.45, DivFrac: 0.05,
+					LoadFrac: 0.68, BytesPerRef: 8, ILP: 2.6,
+				},
+				refs: func(p int) float64 {
+					return (-4.4e10 + 6.55e9*math.Log(float64(p))) * jitter(p, 12, 0.004)
+				},
+				ws: func(p int) float64 { return 16<<10 + 320<<10 + 40<<20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					// 7 streaming references through a resident 16 KiB tile
+					// per 1 random field reference; the field references
+					// concentrate logarithmically onto an L3-resident
+					// 320 KiB tile as the core count rises — the mechanism
+					// behind Table II's rising L3 hit rate.
+					tile, err := addrgen.NewStride(base, 8, 16<<10)
+					if err != nil {
+						return nil, err
+					}
+					hot, err := addrgen.NewRandom(base+(1<<28), 320<<10, 8, seedFor(12, p))
+					if err != nil {
+						return nil, err
+					}
+					cold, err := addrgen.NewRandom(base+(1<<30), 40<<20, 8, seedFor(12, p)+1)
+					if err != nil {
+						return nil, err
+					}
+					field, err := addrgen.NewBiased(hot, cold, hotFraction(-1.053, 0.178, p))
+					if err != nil {
+						return nil, err
+					}
+					return addrgen.NewMix(tile, field, 7, 1)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 13, Func: "current_deposit", File: "deposit.F", Line: 52,
+					FPPerRef: 0.9, AddFrac: 0.85, MulFrac: 0.15,
+					LoadFrac: 0.45, BytesPerRef: 8, ILP: 1.5,
+				},
+				refs: func(p int) float64 {
+					return (3.0e10 - 1.5e6*float64(p)) * jitter(p, 13, 0.005)
+				},
+				ws: func(p int) float64 { return 4<<10 + 16<<10 + 40<<20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					// A resident 4 KiB accumulation tile streamed three
+					// references out of four; the fourth lands in either a
+					// 16 KiB L2-resident hot region or the 40 MiB cold grid,
+					// with the hot fraction growing linearly with core count
+					// (the rank-local share of the deposits): the source of
+					// Figure 4's linearly rising L2 hit rate.
+					tile, err := addrgen.NewStride(base, 8, 4<<10)
+					if err != nil {
+						return nil, err
+					}
+					hot, err := addrgen.NewRandom(base+(1<<28), 16<<10, 8, seedFor(13, p))
+					if err != nil {
+						return nil, err
+					}
+					cold, err := addrgen.NewRandom(base+(1<<30), 40<<20, 8, seedFor(13, p)+1)
+					if err != nil {
+						return nil, err
+					}
+					frac := 0.10 + 3.5e-5*float64(p)
+					if frac > 0.95 {
+						frac = 0.95
+					}
+					biased, err := addrgen.NewBiased(hot, cold, frac)
+					if err != nil {
+						return nil, err
+					}
+					return addrgen.NewMix(tile, biased, 3, 1)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 14, Func: "sort_particles", File: "sort.F", Line: 23,
+					FPPerRef: 0.2, AddFrac: 1.0,
+					LoadFrac: 0.5, BytesPerRef: 8, ILP: 1.8,
+				},
+				refs: func(p int) float64 { return 6.0e9 * jitter(p, 14, 0.003) },
+				ws:   func(p int) float64 { return 12 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 12<<20)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 15, Func: "field_diagnostics", File: "diag.F", Line: 17,
+					FPPerRef: 1.0, AddFrac: 1.0,
+					LoadFrac: 0.9, BytesPerRef: 8, ILP: 1.2,
+				},
+				refs: func(p int) float64 { return 8.0e6 * jitter(p, 15, 0.01) },
+				ws:   func(p int) float64 { return 512 << 10 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 512<<10)
+				},
+			},
+		},
+	}
+}
+
+// Stencil3D returns a small generic three-block stencil application used by
+// the quickstart example and as a neutral third workload: a stencil sweep, a
+// halo pack and a residual reduction.
+func Stencil3D() *App {
+	return &App{
+		name:            "stencil3d",
+		classFactors:    []float64{1.0, 0.95},
+		steps:           2,
+		nonblockingHalo: true,
+		haloBytes: func(p int) uint64 {
+			return uint64(expDecay(512<<10, 4096, p)) + 1024
+		},
+		allreduceBytes: 8,
+		minCores:       8,
+		maxCores:       16384,
+		blocks: []blockDef{
+			{
+				spec: BlockSpec{
+					ID: 21, Func: "stencil_sweep", File: "sweep.c", Line: 40,
+					FPPerRef: 1.2, AddFrac: 0.6, MulFrac: 0.4,
+					LoadFrac: 0.75, BytesPerRef: 8, ILP: 2.0,
+				},
+				refs: func(p int) float64 {
+					return (2.0e9 - 5.0e4*float64(p)) * jitter(p, 21, 0.004)
+				},
+				ws: func(p int) float64 { return expDecay(32<<20, 16384, p) },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					cells := uint64(expDecay(32<<20, 16384, p) / 8)
+					n := uint64(math.Cbrt(float64(cells)))
+					if n < 8 {
+						n = 8
+					}
+					return addrgen.NewStencil3D(base, n, n, n, 8)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 22, Func: "halo_pack", File: "halo.c", Line: 12,
+					FPPerRef: 0.1, AddFrac: 1.0,
+					LoadFrac: 0.5, BytesPerRef: 8, ILP: 1.5,
+				},
+				refs: func(p int) float64 {
+					return (2.0e7 + 4.0e6*math.Log(float64(p))) * jitter(p, 22, 0.005)
+				},
+				ws: func(p int) float64 { return 4 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 4<<20)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 23, Func: "residual_norm", File: "norm.c", Line: 66,
+					FPPerRef: 2.0, AddFrac: 0.5, MulFrac: 0.5,
+					LoadFrac: 1.0, BytesPerRef: 8, ILP: 3.0,
+				},
+				refs: func(p int) float64 { return 1.0e8 * jitter(p, 23, 0.003) },
+				ws:   func(p int) float64 { return 2 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 2<<20)
+				},
+			},
+		},
+	}
+}
+
+// Stencil3DWeak returns the weak-scaled variant of Stencil3D: the per-rank
+// subdomain is held constant as the core count grows (the global problem
+// grows with P). The paper's Future Work flags weak scaling as "of
+// interest" and possibly challenging; in this regime most per-rank feature
+// elements are constant — trivially canonical — while the residual growth
+// comes from collective depth and boundary bookkeeping, which scale
+// logarithmically.
+func Stencil3DWeak() *App {
+	return &App{
+		name:            "stencil3dweak",
+		classFactors:    []float64{1.0, 0.95},
+		steps:           2,
+		nonblockingHalo: true,
+		haloBytes: func(p int) uint64 {
+			return 256 << 10 // constant per-rank surface under weak scaling
+		},
+		allreduceBytes: 8,
+		minCores:       8,
+		maxCores:       16384,
+		blocks: []blockDef{
+			{
+				spec: BlockSpec{
+					ID: 31, Func: "stencil_sweep", File: "sweep.c", Line: 40,
+					FPPerRef: 1.2, AddFrac: 0.6, MulFrac: 0.4,
+					LoadFrac: 0.75, BytesPerRef: 8, ILP: 2.0,
+				},
+				// Constant per-rank work: the defining weak-scaling trait.
+				refs: func(p int) float64 { return 1.6e9 * jitter(p, 31, 0.004) },
+				ws:   func(p int) float64 { return 24 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					const n = 145 // ≈24 MiB of 8-byte cells
+					return addrgen.NewStencil3D(base, n, n, n, 8)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 32, Func: "halo_pack", File: "halo.c", Line: 12,
+					FPPerRef: 0.1, AddFrac: 1.0,
+					LoadFrac: 0.5, BytesPerRef: 8, ILP: 1.5,
+				},
+				refs: func(p int) float64 { return 4.0e7 * jitter(p, 32, 0.004) },
+				ws:   func(p int) float64 { return 4 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 4<<20)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 33, Func: "global_reduce_prep", File: "norm.c", Line: 66,
+					FPPerRef: 2.0, AddFrac: 0.5, MulFrac: 0.5,
+					LoadFrac: 1.0, BytesPerRef: 8, ILP: 3.0,
+				},
+				// Reduction bookkeeping grows with tree depth: log P.
+				refs: func(p int) float64 {
+					return (5.0e7 + 2.0e7*math.Log(float64(p))) * jitter(p, 33, 0.004)
+				},
+				ws: func(p int) float64 { return 2 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 2<<20)
+				},
+			},
+		},
+	}
+}
+
+// CGSolve returns a sparse conjugate-gradient solver proxy — the
+// gather-dominated workload family (SpMV plus vector kernels) that
+// complements the stencil and particle proxies. Strong scaling shrinks the
+// per-rank matrix slice; the SpMV's x-vector gathers concentrate onto the
+// rank-local block (log law) while the vector kernels shed work linearly.
+func CGSolve() *App {
+	return &App{
+		name:            "cgsolve",
+		classFactors:    []float64{1.0, 0.97, 0.93},
+		steps:           2,
+		nonblockingHalo: true,
+		haloBytes: func(p int) uint64 {
+			return uint64(expDecay(512<<10, 8192, p)) + 1024
+		},
+		// Two inner products per CG iteration: allreduce-heavy.
+		allreduceBytes: 16,
+		minCores:       8,
+		maxCores:       16384,
+		blocks: []blockDef{
+			{
+				spec: BlockSpec{
+					ID: 41, Func: "spmv", File: "spmv.c", Line: 31,
+					FPPerRef: 1.0, AddFrac: 0.5, MulFrac: 0.5,
+					LoadFrac: 0.85, BytesPerRef: 8, ILP: 1.8,
+				},
+				refs: func(p int) float64 {
+					return (3.0e9 - 8.0e4*float64(p)) * jitter(p, 41, 0.004)
+				},
+				ws: func(p int) float64 { return 8<<10 + 320<<10 + 24<<20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					// Column indices stream; x-vector gathers concentrate
+					// logarithmically onto the rank-local 320 KiB block.
+					idx, err := addrgen.NewStride(base, 8, 8<<10)
+					if err != nil {
+						return nil, err
+					}
+					hot, err := addrgen.NewRandom(base+(1<<28), 320<<10, 8, seedFor(41, p))
+					if err != nil {
+						return nil, err
+					}
+					cold, err := addrgen.NewRandom(base+(1<<30), 24<<20, 8, seedFor(41, p)+1)
+					if err != nil {
+						return nil, err
+					}
+					gather, err := addrgen.NewBiased(hot, cold, hotFraction(-0.2, 0.09, p))
+					if err != nil {
+						return nil, err
+					}
+					return addrgen.NewMix(idx, gather, 1, 2)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 42, Func: "axpy", File: "vector.c", Line: 12,
+					FPPerRef: 0.67, AddFrac: 0.5, MulFrac: 0.5,
+					LoadFrac: 0.67, BytesPerRef: 8, ILP: 3.2,
+				},
+				refs: func(p int) float64 {
+					return (1.2e9 - 3.0e4*float64(p)) * jitter(p, 42, 0.003)
+				},
+				ws: func(p int) float64 { return 16 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 16<<20)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 43, Func: "dot_product", File: "vector.c", Line: 58,
+					FPPerRef: 1.0, AddFrac: 0.5, MulFrac: 0.5,
+					LoadFrac: 1.0, BytesPerRef: 8, ILP: 3.5,
+				},
+				refs: func(p int) float64 {
+					return (6.0e8 - 1.5e4*float64(p)) * jitter(p, 43, 0.003)
+				},
+				ws: func(p int) float64 { return 8 << 20 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 8<<20)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 44, Func: "jacobi_precond", File: "precond.c", Line: 9,
+					FPPerRef: 1.5, AddFrac: 0.4, MulFrac: 0.4, DivFrac: 0.2,
+					LoadFrac: 0.7, BytesPerRef: 8, ILP: 2.0,
+				},
+				// Preconditioner setup amortizes: logarithmic growth of the
+				// dominant task's share.
+				refs: func(p int) float64 {
+					return (1.0e8 + 4.0e7*math.Log(float64(p))) * jitter(p, 44, 0.004)
+				},
+				ws: func(p int) float64 { return 96 << 10 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 96<<10)
+				},
+			},
+			{
+				spec: BlockSpec{
+					ID: 45, Func: "residual_log", File: "monitor.c", Line: 5,
+					FPPerRef: 0.5, AddFrac: 1.0,
+					LoadFrac: 0.9, BytesPerRef: 8, ILP: 1.0,
+				},
+				refs: func(p int) float64 { return 4.0e5 * jitter(p, 45, 0.01) },
+				ws:   func(p int) float64 { return 256 << 10 },
+				newGen: func(p int, base uint64) (addrgen.Generator, error) {
+					return addrgen.NewStride(base, 8, 256<<10)
+				},
+			},
+		},
+	}
+}
+
+// ByName returns a proxy application by name.
+func ByName(name string) (*App, error) {
+	switch name {
+	case "specfem3d":
+		return SPECFEM3D(), nil
+	case "uh3d":
+		return UH3D(), nil
+	case "stencil3d":
+		return Stencil3D(), nil
+	case "stencil3dweak":
+		return Stencil3DWeak(), nil
+	case "cgsolve":
+		return CGSolve(), nil
+	}
+	return nil, fmt.Errorf("synthapp: unknown application %q (have specfem3d, uh3d, stencil3d, stencil3dweak, cgsolve)", name)
+}
+
+// Names lists the available proxy applications.
+func Names() []string {
+	return []string{"specfem3d", "uh3d", "stencil3d", "stencil3dweak", "cgsolve"}
+}

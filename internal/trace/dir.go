@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Directory layout: the paper's application signature is literally a set of
+// trace files, one per MPI task (at 1024 cores, 1024 files). SaveDir/LoadDir
+// store a Signature the same way — a meta.json with the run identity plus
+// one rank_<NNNNNN>.json (or .bin) per contained trace — so per-rank files
+// can be produced, inspected and consumed independently, exactly like the
+// PMaC tooling's trace sets.
+
+// dirMeta is the signature-level metadata file.
+type dirMeta struct {
+	App       string `json:"app"`
+	CoreCount int    `json:"core_count"`
+	Machine   string `json:"machine"`
+	Binary    bool   `json:"binary"`
+	Ranks     []int  `json:"ranks"`
+}
+
+const metaFile = "meta.json"
+
+// rankFile names the per-rank trace file.
+func rankFile(rank int, binary bool) string {
+	ext := ".json"
+	if binary {
+		ext = ".bin"
+	}
+	return fmt.Sprintf("rank_%06d%s", rank, ext)
+}
+
+// SaveDir writes the signature as a directory of per-rank trace files. The
+// directory is created if missing; existing rank files are overwritten.
+// Binary selects the compact gob encoding for the rank files.
+func SaveDir(s *Signature, dir string, binary bool) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	meta := dirMeta{App: s.App, CoreCount: s.CoreCount, Machine: s.Machine, Binary: binary}
+	for i := range s.Traces {
+		tr := &s.Traces[i]
+		meta.Ranks = append(meta.Ranks, tr.Rank)
+		// Wrap the single trace in a one-trace signature so the rank files
+		// reuse the standard serialization (and stay independently
+		// loadable with Load).
+		one := &Signature{App: s.App, CoreCount: s.CoreCount, Machine: s.Machine,
+			Traces: []Trace{*tr}}
+		path := filepath.Join(dir, rankFile(tr.Rank, binary))
+		if err := Save(one, path); err != nil {
+			return err
+		}
+	}
+	sort.Ints(meta.Ranks)
+	f, err := os.Create(filepath.Join(dir, metaFile))
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", metaFile, err)
+	}
+	return f.Close()
+}
+
+// LoadDir reads a signature directory written by SaveDir, reassembling the
+// per-rank trace files into one Signature (traces sorted by rank).
+func LoadDir(dir string) (*Signature, error) {
+	f, err := os.Open(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var meta dirMeta
+	err = json.NewDecoder(f).Decode(&meta)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decoding %s: %w", metaFile, err)
+	}
+	if len(meta.Ranks) == 0 {
+		return nil, fmt.Errorf("trace: signature directory %s lists no ranks", dir)
+	}
+	sig := &Signature{App: meta.App, CoreCount: meta.CoreCount, Machine: meta.Machine}
+	for _, rank := range meta.Ranks {
+		one, err := Load(filepath.Join(dir, rankFile(rank, meta.Binary)))
+		if err != nil {
+			return nil, fmt.Errorf("trace: rank %d: %w", rank, err)
+		}
+		if len(one.Traces) != 1 {
+			return nil, fmt.Errorf("trace: rank file for %d holds %d traces", rank, len(one.Traces))
+		}
+		if one.Traces[0].Rank != rank {
+			return nil, fmt.Errorf("trace: rank file %d contains trace for rank %d", rank, one.Traces[0].Rank)
+		}
+		if one.App != meta.App || one.CoreCount != meta.CoreCount || one.Machine != meta.Machine {
+			return nil, fmt.Errorf("trace: rank %d metadata disagrees with %s", rank, metaFile)
+		}
+		sig.Traces = append(sig.Traces, one.Traces[0])
+	}
+	if err := sig.Validate(); err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+// ListRanks returns the ranks available in a signature directory without
+// loading the trace files.
+func ListRanks(dir string) ([]int, error) {
+	f, err := os.Open(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var meta dirMeta
+	if err := json.NewDecoder(f).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("trace: decoding %s: %w", metaFile, err)
+	}
+	return meta.Ranks, nil
+}
+
+// LoadRank loads one rank's trace from a signature directory.
+func LoadRank(dir string, rank int) (*Trace, error) {
+	f, err := os.Open(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var meta dirMeta
+	err = json.NewDecoder(f).Decode(&meta)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decoding %s: %w", metaFile, err)
+	}
+	one, err := Load(filepath.Join(dir, rankFile(rank, meta.Binary)))
+	if err != nil {
+		return nil, err
+	}
+	if len(one.Traces) != 1 || one.Traces[0].Rank != rank {
+		return nil, fmt.Errorf("trace: malformed rank file for rank %d", rank)
+	}
+	return &one.Traces[0], nil
+}
+
+// IsSignatureDir reports whether path looks like a signature directory
+// (exists and contains meta.json).
+func IsSignatureDir(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, metaFile))
+	return err == nil
+}

@@ -1,0 +1,81 @@
+package tracex
+
+import (
+	"fmt"
+
+	"tracex/internal/memsim"
+	"tracex/internal/pebil"
+	"tracex/internal/psins"
+)
+
+// Measure runs the detailed execution simulation of the application at the
+// given core count on the target machine. This is the reproduction's
+// stand-in for actually running and timing the application on real hardware
+// (the paper's "real measured runtime"): instead of interpolating a
+// benchmark-derived bandwidth surface like the convolution, it prices every
+// basic block directly from its cache-simulator accounting with the
+// cycle-level memory timing model, then replays the full MPI event trace.
+func Measure(app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
+	counters, err := pebil.CollectCounters(app, cores, target, opt)
+	if err != nil {
+		return nil, err
+	}
+	model, err := memsim.New(target)
+	if err != nil {
+		return nil, err
+	}
+	// Per-block seconds for the dominant rank, priced from the sampled
+	// counters scaled to the block's full reference count.
+	blockSeconds := make(map[uint64]float64, len(counters))
+	var memTotal, fpTotal float64
+	for i := range counters {
+		bc := &counters[i]
+		if bc.Counters.Refs == 0 {
+			return nil, fmt.Errorf("tracex: block %s has an empty sample", bc.Spec.Func)
+		}
+		sampleCycles, err := model.Cycles(bc.Counters)
+		if err != nil {
+			return nil, err
+		}
+		scale := bc.Refs / float64(bc.Counters.Refs)
+		memCycles := sampleCycles * scale
+		fpCycles := model.FPCycles(bc.Refs*bc.Spec.FPPerRef, bc.Spec.ILP)
+		longer, shorter := memCycles, fpCycles
+		if shorter > longer {
+			longer, shorter = shorter, longer
+		}
+		cycles := longer + (1-psins.OverlapFactor)*shorter
+		blockSeconds[bc.Spec.ID] = model.Seconds(cycles)
+		memTotal += model.Seconds(memCycles)
+		fpTotal += model.Seconds(fpCycles)
+	}
+	prog, err := app.Program(cores)
+	if err != nil {
+		return nil, err
+	}
+	net, err := psins.NewNetwork(target.Network)
+	if err != nil {
+		return nil, err
+	}
+	cost := func(rank int, blockID uint64, share float64) (float64, error) {
+		t, ok := blockSeconds[blockID]
+		if !ok {
+			return 0, fmt.Errorf("tracex: event references unknown block %d", blockID)
+		}
+		return t * share * app.LoadFactor(rank), nil
+	}
+	res, err := psins.Replay(prog, net, cost)
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		App:            app.Name(),
+		CoreCount:      cores,
+		Machine:        target.Name,
+		Runtime:        res.Runtime,
+		ComputeSeconds: res.ComputeTime[0],
+		CommSeconds:    res.CommTime[0],
+		MemSeconds:     memTotal,
+		FPSeconds:      fpTotal,
+	}, nil
+}

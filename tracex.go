@@ -1,0 +1,237 @@
+// Package tracex is a reproduction of "Inferring Large-scale Computation
+// Behavior via Trace Extrapolation" (Carrington, Laurenzano, Tiwari —
+// IPDPS Workshops 2013): a library for characterizing an MPI application's
+// large-scale computation behaviour from traces collected at a series of
+// smaller core counts.
+//
+// The package is a facade over the full pipeline:
+//
+//	machine config ──MultiMAPS──▶ machine profile (bandwidth surface)
+//	proxy app @ P ──instrumentation + cache sim──▶ application signature
+//	signatures @ P1..P3 ──canonical-form fits──▶ signature @ Ptarget
+//	signature × profile ──PSiNS convolution + replay──▶ predicted runtime
+//	proxy app @ Ptarget ──detailed execution simulation──▶ measured runtime
+//
+// The heavy lifting lives in the internal packages (stats, cache, memsim,
+// machine, multimaps, trace, mpi, psins, synthapp, pebil, extrap, cluster);
+// this package wires them together and re-exports the data types a caller
+// needs via type aliases.
+package tracex
+
+import (
+	"fmt"
+
+	"tracex/internal/cluster"
+	"tracex/internal/extrap"
+	"tracex/internal/machine"
+	"tracex/internal/mpi"
+	"tracex/internal/multimaps"
+	"tracex/internal/pebil"
+	"tracex/internal/psins"
+	"tracex/internal/stats"
+	"tracex/internal/synthapp"
+	"tracex/internal/trace"
+)
+
+// Re-exported data types. Aliases keep the public API nameable by external
+// importers while the implementations live in internal packages.
+type (
+	// Signature is an application signature: trace files from the MPI
+	// ranks of one run against one target machine.
+	Signature = trace.Signature
+	// Trace is the summary trace file of one MPI task.
+	Trace = trace.Trace
+	// Block is one basic block's entry in a trace file.
+	Block = trace.Block
+	// FeatureVector holds the per-block features the methodology models.
+	FeatureVector = trace.FeatureVector
+	// MachineConfig describes a target system's hardware.
+	MachineConfig = machine.Config
+	// Profile is a machine profile (MultiMAPS surface plus rates).
+	Profile = machine.Profile
+	// App is a synthetic proxy application.
+	App = synthapp.App
+	// ExtrapResult is the product of a trace extrapolation.
+	ExtrapResult = extrap.Result
+	// ElementError compares an extrapolated element with ground truth.
+	ElementError = extrap.ElementError
+	// ExtrapOptions tunes the extrapolation.
+	ExtrapOptions = extrap.Options
+	// CollectOptions tunes signature collection.
+	CollectOptions = pebil.Options
+	// Form is a canonical scaling-function family.
+	Form = stats.Form
+)
+
+// CanonicalForms returns the paper's four canonical forms (constant,
+// linear, logarithmic, exponential) in selection tie-break order.
+func CanonicalForms() []Form { return stats.CanonicalForms() }
+
+// ExtendedForms returns the canonical forms plus the future-work extensions
+// (power law and quadratic).
+func ExtendedForms() []Form { return stats.ExtendedForms() }
+
+// LoadApp returns a proxy application by name ("specfem3d", "uh3d",
+// "cgsolve", "stencil3d", "stencil3dweak").
+func LoadApp(name string) (*App, error) { return synthapp.ByName(name) }
+
+// Apps lists the available proxy applications.
+func Apps() []string { return synthapp.Names() }
+
+// LoadMachine returns a predefined machine configuration by name (see
+// Machines for the list); appending "+pf" to any name selects its
+// hardware-prefetcher variant.
+func LoadMachine(name string) (MachineConfig, error) { return machine.ByName(name) }
+
+// Machines lists the predefined machine configurations.
+func Machines() []string { return machine.Names() }
+
+// BuildProfile runs the MultiMAPS benchmark against the machine's simulated
+// memory system and returns its machine profile.
+func BuildProfile(cfg MachineConfig) (*Profile, error) {
+	return multimaps.Run(cfg, multimaps.DefaultOptions(cfg))
+}
+
+// CollectSignature traces the application at the given core count against
+// the target machine's cache structure, producing the application signature
+// (one trace per load class by default; the paper's tracing step).
+func CollectSignature(app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, error) {
+	return pebil.Collect(app, cores, target, nil, opt)
+}
+
+// CollectInputs traces the application at each of the given core counts —
+// the "series of smaller core counts" the extrapolation consumes.
+func CollectInputs(app *App, counts []int, target MachineConfig, opt CollectOptions) ([]*Signature, error) {
+	out := make([]*Signature, len(counts))
+	for i, p := range counts {
+		sig, err := CollectSignature(app, p, target, opt)
+		if err != nil {
+			return nil, fmt.Errorf("tracex: collecting at %d cores: %w", p, err)
+		}
+		out[i] = sig
+	}
+	return out, nil
+}
+
+// Extrapolate fits canonical scaling forms to every feature-vector element
+// of the dominant task across the input signatures and synthesizes the
+// signature at targetCores.
+func Extrapolate(inputs []*Signature, targetCores int, opt ExtrapOptions) (*ExtrapResult, error) {
+	return extrap.Extrapolate(inputs, targetCores, opt)
+}
+
+// CompareTraces evaluates an extrapolated trace element-by-element against
+// a collected one, reporting absolute relative errors and block influence.
+func CompareTraces(extrapolated, collected *Trace) ([]ElementError, error) {
+	return extrap.Compare(extrapolated, collected)
+}
+
+// Prediction is a runtime estimate for an application run on a target
+// machine, with its decomposition.
+type Prediction struct {
+	// App, CoreCount and Machine identify the run.
+	App       string
+	CoreCount int
+	Machine   string
+	// Runtime is the wall-clock estimate in seconds.
+	Runtime float64
+	// ComputeSeconds is the dominant rank's computation time.
+	ComputeSeconds float64
+	// CommSeconds is the dominant rank's communication time (overheads
+	// plus waits).
+	CommSeconds float64
+	// MemSeconds and FPSeconds decompose the dominant rank's computation.
+	MemSeconds, FPSeconds float64
+}
+
+// ReplayResult is the discrete-event replay outcome with per-rank detail.
+type ReplayResult = psins.Result
+
+// Predict produces the PMaC-framework runtime prediction for the
+// application at the signature's core count on the profiled machine: the
+// dominant task's trace is convolved with the machine profile (Equation 1)
+// and the resulting per-block times drive a replay of the application's
+// communication event trace.
+func Predict(sig *Signature, prof *Profile, app *App) (*Prediction, error) {
+	pred, _, err := PredictDetailed(sig, prof, app)
+	return pred, err
+}
+
+// PredictDetailed is Predict but also returns the full per-rank replay
+// result.
+func PredictDetailed(sig *Signature, prof *Profile, app *App) (*Prediction, *ReplayResult, error) {
+	return predictWith(sig, prof, app, nil)
+}
+
+// predictWith is the shared implementation of the Predict variants; tl may
+// be nil (no timeline recording).
+func predictWith(sig *Signature, prof *Profile, app *App, tl *Timeline) (*Prediction, *ReplayResult, error) {
+	if sig.Machine != prof.Machine.Name {
+		return nil, nil, fmt.Errorf("tracex: signature simulated %q but profile is for %q",
+			sig.Machine, prof.Machine.Name)
+	}
+	dom := sig.DominantTrace()
+	if dom == nil {
+		return nil, nil, fmt.Errorf("tracex: signature has no traces")
+	}
+	comp, err := psins.Convolve(dom, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := app.Program(sig.CoreCount)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := psins.NewNetwork(prof.Machine.Network)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Non-dominant ranks execute the same blocks scaled by their load
+	// factor relative to the dominant rank (the paper scales every trace
+	// file from the slowest task's prediction vector).
+	domFactor := app.LoadFactor(dom.Rank)
+	lf := func(rank int) float64 { return app.LoadFactor(rank) / domFactor }
+	res, err := psins.ReplayTraced(prog, net, psins.CostFromComputation(comp, lf), tl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Prediction{
+		App:            sig.App,
+		CoreCount:      sig.CoreCount,
+		Machine:        sig.Machine,
+		Runtime:        res.Runtime,
+		ComputeSeconds: res.ComputeTime[dom.Rank],
+		CommSeconds:    res.CommTime[dom.Rank],
+		MemSeconds:     comp.MemSeconds,
+		FPSeconds:      comp.FPSeconds,
+	}, res, nil
+}
+
+// Program builds the application's replayable MPI event trace (exposed for
+// tools and experiments that drive the replay engine directly).
+func Program(app *App, cores int) (*mpi.Program, error) { return app.Program(cores) }
+
+// RankClusters groups an application signature's MPI tasks by feature
+// similarity (the paper's Future Work §VI clustering extension).
+type RankClusters = cluster.RankClusters
+
+// ClusterRanks k-means-clusters the signature's traces into groups of
+// similar tasks and selects a representative ("centroid") rank for each.
+func ClusterRanks(sig *Signature, k int, seed int64) (*RankClusters, error) {
+	return cluster.ClusterRanks(sig, k, seed)
+}
+
+// Timeline is a replay's per-rank segment record (for visualization).
+type Timeline = psins.Timeline
+
+// PredictTimeline is Predict with per-rank timeline recording: every
+// compute and communication interval of every rank is captured. Memory
+// grows with rank count × events — intended for small-to-moderate replays.
+func PredictTimeline(sig *Signature, prof *Profile, app *App) (*Prediction, *Timeline, error) {
+	var tl Timeline
+	pred, _, err := predictWith(sig, prof, app, &tl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pred, &tl, nil
+}

@@ -1,0 +1,136 @@
+package tracex
+
+import (
+	"math"
+	"testing"
+)
+
+// fastCollect keeps test-time simulation modest while staying above the
+// steady-state warm-up needs of the multi-megabyte random regions.
+var fastCollect = CollectOptions{SampleRefs: 200_000, MaxWarmRefs: 1_000_000}
+
+func TestLoadersAndLists(t *testing.T) {
+	if len(Apps()) != 5 || len(Machines()) != 7 {
+		t.Fatalf("Apps=%v Machines=%v", Apps(), Machines())
+	}
+	for _, name := range Apps() {
+		if _, err := LoadApp(name); err != nil {
+			t.Errorf("LoadApp(%s): %v", name, err)
+		}
+	}
+	for _, name := range Machines() {
+		if _, err := LoadMachine(name); err != nil {
+			t.Errorf("LoadMachine(%s): %v", name, err)
+		}
+	}
+	if _, err := LoadApp("x"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := LoadMachine("x"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	cfg, _ := LoadMachine("opteron2")
+	prof, err := BuildProfile(cfg)
+	if err != nil {
+		t.Fatalf("BuildProfile: %v", err)
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatalf("profile invalid: %v", err)
+	}
+}
+
+// TestTableIPipeline runs the paper's headline experiment end to end at a
+// reduced scale (stencil3d at 512 cores extrapolated from 64/128/256):
+// the prediction made from the extrapolated trace must closely agree with
+// the prediction made from the collected trace, and both must be within a
+// sane band of the detailed-simulation "measured" runtime.
+func TestTableIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	app, err := LoadApp("stencil3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := LoadMachine("bluewaters")
+	prof, err := BuildProfile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, err := CollectInputs(app, []int{64, 128, 256}, target, fastCollect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extrapolate(inputs, 512, ExtrapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected, err := CollectSignature(app, 512, target, fastCollect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predExtrap, err := Predict(res.Signature, prof, app)
+	if err != nil {
+		t.Fatalf("Predict(extrapolated): %v", err)
+	}
+	predColl, err := Predict(collected, prof, app)
+	if err != nil {
+		t.Fatalf("Predict(collected): %v", err)
+	}
+	measured, err := Measure(app, 512, target, fastCollect)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	t.Logf("extrapolated prediction: %.3f s", predExtrap.Runtime)
+	t.Logf("collected prediction:    %.3f s", predColl.Runtime)
+	t.Logf("measured (detailed sim): %.3f s", measured.Runtime)
+	if predExtrap.Runtime <= 0 || predColl.Runtime <= 0 || measured.Runtime <= 0 {
+		t.Fatal("non-positive runtimes")
+	}
+	// The paper's core result: the extrapolated trace predicts what the
+	// collected trace predicts.
+	if d := math.Abs(predExtrap.Runtime-predColl.Runtime) / predColl.Runtime; d > 0.05 {
+		t.Errorf("extrapolated vs collected predictions differ by %.1f%%", d*100)
+	}
+	// Both estimators agree with the detailed simulation to first order.
+	if d := math.Abs(predColl.Runtime-measured.Runtime) / measured.Runtime; d > 0.25 {
+		t.Errorf("collected prediction off measured by %.1f%%", d*100)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	app, _ := LoadApp("stencil3d")
+	target, _ := LoadMachine("bluewaters")
+	other, _ := LoadMachine("kraken")
+	prof, err := BuildProfile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := CollectSignature(app, 64, target, CollectOptions{SampleRefs: 20_000, MaxWarmRefs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Predict(sig, prof, app); err == nil {
+		t.Error("machine mismatch accepted")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	app, _ := LoadApp("stencil3d")
+	target, _ := LoadMachine("bluewaters")
+	opt := CollectOptions{SampleRefs: 50_000, MaxWarmRefs: 100_000}
+	a, err := Measure(app, 64, target, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(app, 64, target, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime {
+		t.Errorf("Measure not deterministic: %g vs %g", a.Runtime, b.Runtime)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples csv clean
+.PHONY: all build vet test test-short test-race bench bench-engine experiments examples csv clean
 
 all: build vet test
 
@@ -13,15 +13,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the whole tree (the Engine's concurrency
+# guarantees are exercised by the tracex and internal/memo tests).
+test-race:
+	$(GO) test -race ./...
+
 # One iteration of every exhibit benchmark (Table/Figure regeneration).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Serial vs Engine-parallel CollectInputs plus the cache-hit fast path.
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectInputs|BenchmarkCollectSignatureCached' -benchtime=3x .
 
 # Regenerate every table, figure, ablation and extension (~1 minute).
 experiments:

@@ -5,6 +5,7 @@
 package tracex_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -313,7 +314,8 @@ func BenchmarkAblationCollectionMode(b *testing.B) {
 
 // BenchmarkPipelineEndToEnd measures the full quickstart pipeline (profile,
 // collect ×3, extrapolate, predict, measure) at small scale — the cost a
-// user pays for one complete analysis.
+// user pays for one complete analysis. Caching is disabled so every
+// iteration pays the full simulation cost.
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	app, err := tracex.LoadApp("stencil3d")
 	if err != nil {
@@ -324,24 +326,27 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := tracex.CollectOptions{SampleRefs: 100_000, MaxWarmRefs: 400_000}
+	eng := tracex.NewEngine(tracex.WithCacheSize(0))
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prof, err := tracex.BuildProfile(target)
+		prof, err := eng.Profile(ctx, target)
 		if err != nil {
 			b.Fatal(err)
 		}
-		inputs, err := tracex.CollectInputs(app, []int{64, 128, 256}, target, opt)
+		inputs, err := eng.CollectInputs(ctx, app, []int{64, 128, 256}, target, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := tracex.Extrapolate(inputs, 512, tracex.ExtrapOptions{})
+		res, err := eng.Extrapolate(ctx, inputs, 512, tracex.ExtrapOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := tracex.Predict(res.Signature, prof, app); err != nil {
+		req := tracex.PredictRequest{Signature: res.Signature, App: app, Profile: prof}
+		if _, err := eng.Predict(ctx, req); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := tracex.Measure(app, 512, target, opt); err != nil {
+		if _, err := eng.Measure(ctx, app, 512, target, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -388,9 +393,11 @@ func BenchmarkSignatureCollection(b *testing.B) {
 	}
 	target, _ := tracex.LoadMachine("bluewaters")
 	opt := tracex.CollectOptions{SampleRefs: 200_000, MaxWarmRefs: 1_000_000}
+	eng := tracex.NewEngine(tracex.WithCacheSize(0))
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tracex.CollectSignature(app, 2048, target, opt); err != nil {
+		if _, err := eng.CollectSignature(ctx, app, 2048, target, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

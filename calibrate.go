@@ -1,6 +1,8 @@
 package tracex
 
 import (
+	"context"
+
 	"tracex/internal/cache"
 	"tracex/internal/calibrate"
 	"tracex/internal/memsim"
@@ -43,7 +45,7 @@ func CalibrateMachine(cfg MachineConfig, obs []Observation, params []MachinePara
 // real deployment the times would come from hardware measurement; here the
 // detailed simulator plays that role.
 func ObserveBlocks(app *App, cores int, cfg MachineConfig, opt CollectOptions) ([]Observation, error) {
-	counters, err := pebil.CollectCounters(app, cores, cfg, opt)
+	counters, err := pebil.CollectCounters(context.Background(), app, cores, cfg, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"tracex/internal/expt"
 	"tracex/internal/pebil"
@@ -30,7 +33,9 @@ func main() {
 	flag.StringVar(&csvDir, "csv", "", "also write each exhibit's rows as CSV into this directory")
 	flag.Parse()
 
-	cfg := expt.Config{Collect: pebil.Options{SampleRefs: *sample, MaxWarmRefs: *warm}}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := expt.Config{Ctx: ctx, Collect: pebil.Options{SampleRefs: *sample, MaxWarmRefs: *warm}}
 	runners := runnerMap()
 	order := runnerOrder()
 	if *run == "all" {

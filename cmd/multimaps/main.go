@@ -9,23 +9,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tracex/internal/machine"
 	"tracex/internal/multimaps"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("multimaps", flag.ContinueOnError)
 	machineName := fs.String("machine", "bluewaters", "machine configuration (see 'tracex machines')")
 	out := fs.String("out", "", "output profile path (JSON)")
@@ -43,7 +48,7 @@ func run(args []string, w io.Writer) error {
 	if *refs > 0 {
 		opt.RefsPerProbe = *refs
 	}
-	prof, err := multimaps.Run(cfg, opt)
+	prof, err := multimaps.Run(ctx, cfg, opt)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestRunPrintsSurface(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "opteron2", "-refs", "20000"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-machine", "opteron2", "-refs", "20000"}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -29,7 +30,7 @@ func TestRunPrintsSurface(t *testing.T) {
 func TestRunWritesProfile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "prof.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "opteron2", "-refs", "20000", "-out", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-machine", "opteron2", "-refs", "20000", "-out", path}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	prof, err := machine.LoadProfile(path)
@@ -43,7 +44,7 @@ func TestRunWritesProfile(t *testing.T) {
 
 func TestRunUnknownMachine(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-machine", "nope"}, &buf); err == nil {
 		t.Error("unknown machine accepted")
 	}
 }

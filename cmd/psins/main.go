@@ -11,24 +11,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"tracex"
 	"tracex/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
 // run is the testable body of the command.
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("psins", flag.ContinueOnError)
 	appName := fs.String("app", "", "application name")
 	cores := fs.Int("cores", 0, "core count to replay")
@@ -51,6 +56,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	eng := tracex.NewEngine()
 	var sig *tracex.Signature
 	if *sigPath != "" {
 		sig, err = trace.Load(*sigPath)
@@ -61,19 +67,18 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("signature is for %d cores, replay requested %d", sig.CoreCount, *cores)
 		}
 	} else {
-		sig, err = tracex.CollectSignature(app, *cores, cfg, tracex.CollectOptions{SampleRefs: *sample})
+		sig, err = eng.CollectSignature(ctx, app, *cores, cfg, tracex.CollectOptions{SampleRefs: *sample})
 		if err != nil {
 			return err
 		}
 	}
-	prof, err := tracex.BuildProfile(cfg)
+	pred, err := eng.Predict(ctx, tracex.PredictRequest{
+		Signature: sig, App: app, Machine: &cfg, WithReplay: true,
+	})
 	if err != nil {
 		return err
 	}
-	pred, replay, err := tracex.PredictDetailed(sig, prof, app)
-	if err != nil {
-		return err
-	}
+	replay := pred.Replay
 	prog, err := tracex.Program(app, *cores)
 	if err != nil {
 		return err

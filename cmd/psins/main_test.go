@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunReplaysApplication(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-app", "stencil3d", "-cores", "64", "-sample", "30000"}, &buf)
+	err := run(context.Background(), []string{"-app", "stencil3d", "-cores", "64", "-sample", "30000"}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -27,13 +28,13 @@ func TestRunReplaysApplication(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-app", "stencil3d"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-app", "stencil3d"}, &buf); err == nil {
 		t.Error("missing -cores accepted")
 	}
-	if err := run([]string{"-app", "nope", "-cores", "64"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-app", "nope", "-cores", "64"}, &buf); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := run([]string{"-app", "stencil3d", "-cores", "64", "-sig", "/no/such.json"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-app", "stencil3d", "-cores", "64", "-sig", "/no/such.json"}, &buf); err == nil {
 		t.Error("missing signature accepted")
 	}
 }

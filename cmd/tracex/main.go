@@ -12,14 +12,23 @@
 //	tracex compare -extrap sig8192.json -collected real8192.json
 //	tracex report  -app uh3d -out report.md
 //	tracex apps | machines
+//
+// All commands share one tracex.Engine, so a single invocation that needs
+// the same signature or profile twice (report, notably) simulates it once.
+// Interrupting the process (SIGINT/SIGTERM) cancels the running simulations
+// promptly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"tracex"
 	"tracex/internal/extrap"
@@ -32,20 +41,23 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := tracex.NewEngine()
 	var err error
 	switch os.Args[1] {
 	case "trace":
-		err = cmdTrace(os.Args[2:])
+		err = cmdTrace(ctx, eng, os.Args[2:])
 	case "extrap":
-		err = cmdExtrap(os.Args[2:])
+		err = cmdExtrap(ctx, eng, os.Args[2:])
 	case "predict":
-		err = cmdPredict(os.Args[2:])
+		err = cmdPredict(ctx, eng, os.Args[2:])
 	case "measure":
-		err = cmdMeasure(os.Args[2:])
+		err = cmdMeasure(ctx, eng, os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "report":
-		err = cmdReport(os.Args[2:])
+		err = cmdReport(ctx, eng, os.Args[2:])
 	case "apps":
 		for _, a := range tracex.Apps() {
 			fmt.Println(a)
@@ -62,7 +74,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracex: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tracex: interrupted")
+			os.Exit(130)
+		}
+		// Library errors already carry the "tracex: " package prefix.
+		fmt.Fprintf(os.Stderr, "tracex: %s\n", strings.TrimPrefix(err.Error(), "tracex: "))
 		os.Exit(1)
 	}
 }
@@ -102,7 +119,7 @@ func loadAppMachine(appName, machineName string) (*tracex.App, tracex.MachineCon
 	return app, cfg, nil
 }
 
-func cmdTrace(args []string) error {
+func cmdTrace(ctx context.Context, eng *tracex.Engine, args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	appName := fs.String("app", "", "application name (see 'tracex apps')")
 	cores := fs.Int("cores", 0, "core count to trace")
@@ -121,7 +138,7 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
-	sig, err := tracex.CollectSignature(app, *cores, cfg, tracex.CollectOptions{SampleRefs: *sample})
+	sig, err := eng.CollectSignature(ctx, app, *cores, cfg, tracex.CollectOptions{SampleRefs: *sample})
 	if err != nil {
 		return err
 	}
@@ -139,7 +156,7 @@ func cmdTrace(args []string) error {
 	return nil
 }
 
-func cmdExtrap(args []string) error {
+func cmdExtrap(ctx context.Context, eng *tracex.Engine, args []string) error {
 	fs := flag.NewFlagSet("extrap", flag.ExitOnError)
 	in := fs.String("in", "", "comma-separated input signature paths")
 	target := fs.Int("target", 0, "target core count")
@@ -165,7 +182,7 @@ func cmdExtrap(args []string) error {
 	if *extended {
 		opt.Forms = tracex.ExtendedForms()
 	}
-	res, err := tracex.Extrapolate(inputs, *target, opt)
+	res, err := eng.Extrapolate(ctx, inputs, *target, opt)
 	if err != nil {
 		return err
 	}
@@ -186,7 +203,7 @@ func cmdExtrap(args []string) error {
 	return nil
 }
 
-func cmdPredict(args []string) error {
+func cmdPredict(ctx context.Context, eng *tracex.Engine, args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	sigPath := fs.String("sig", "", "signature path")
 	appName := fs.String("app", "", "application (for the communication event trace)")
@@ -205,21 +222,14 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	var prof *tracex.Profile
+	req := tracex.PredictRequest{Signature: sig, App: app}
 	if *profPath != "" {
-		prof, err = machine.LoadProfile(*profPath)
-	} else {
-		var cfg tracex.MachineConfig
-		cfg, err = tracex.LoadMachine(sig.Machine)
+		req.Profile, err = machine.LoadProfile(*profPath)
 		if err != nil {
 			return err
 		}
-		prof, err = tracex.BuildProfile(cfg)
 	}
-	if err != nil {
-		return err
-	}
-	pred, err := tracex.Predict(sig, prof, app)
+	pred, err := eng.Predict(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -227,7 +237,7 @@ func cmdPredict(args []string) error {
 	return nil
 }
 
-func cmdMeasure(args []string) error {
+func cmdMeasure(ctx context.Context, eng *tracex.Engine, args []string) error {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
 	appName := fs.String("app", "", "application name")
 	cores := fs.Int("cores", 0, "core count")
@@ -242,7 +252,7 @@ func cmdMeasure(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := tracex.Measure(app, *cores, cfg, tracex.CollectOptions{})
+	pred, err := eng.Measure(ctx, app, *cores, cfg, tracex.CollectOptions{})
 	if err != nil {
 		return err
 	}

@@ -1,14 +1,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"tracex"
 	"tracex/internal/trace"
 )
+
+// testEng is shared across the CLI tests so repeated collections of the
+// same (app, cores, machine, options) hit the engine cache.
+var testEng = tracex.NewEngine()
+
+// bg is shorthand for the tests' background context.
+var bg = context.Background()
 
 // The CLI subcommands are plain functions from argument slices to errors,
 // so the whole tool surface is testable without spawning processes.
@@ -35,13 +44,13 @@ func TestCmdTraceAndPredictFlow(t *testing.T) {
 	paths := make([]string, 0, 3)
 	for _, cores := range []int{64, 128, 256} {
 		p := filepath.Join(dir, fmt.Sprintf("sig%d.json", cores))
-		if err := cmdTrace(collectArgs(p, cores)); err != nil {
+		if err := cmdTrace(bg, testEng, collectArgs(p, cores)); err != nil {
 			t.Fatalf("trace %d: %v", cores, err)
 		}
 		paths = append(paths, p)
 	}
 	out := filepath.Join(dir, "sig512.json")
-	err := cmdExtrap([]string{
+	err := cmdExtrap(bg, testEng, []string{
 		"-in", paths[0] + "," + paths[1] + "," + paths[2],
 		"-target", "512", "-out", out,
 	})
@@ -55,12 +64,12 @@ func TestCmdTraceAndPredictFlow(t *testing.T) {
 	if sig.CoreCount != 512 {
 		t.Errorf("extrapolated core count %d", sig.CoreCount)
 	}
-	if err := cmdPredict([]string{"-sig", out, "-app", "stencil3d"}); err != nil {
+	if err := cmdPredict(bg, testEng, []string{"-sig", out, "-app", "stencil3d"}); err != nil {
 		t.Fatalf("predict: %v", err)
 	}
 	// Compare against a collected 512-core signature.
 	real512 := filepath.Join(dir, "real512.json")
-	if err := cmdTrace(collectArgs(real512, 512)); err != nil {
+	if err := cmdTrace(bg, testEng, collectArgs(real512, 512)); err != nil {
 		t.Fatalf("trace 512: %v", err)
 	}
 	if err := cmdCompare([]string{"-extrap", out, "-collected", real512}); err != nil {
@@ -70,7 +79,7 @@ func TestCmdTraceAndPredictFlow(t *testing.T) {
 
 func TestCmdTracePerRankDirectory(t *testing.T) {
 	dir := tmp(t, "sigdir")
-	if err := cmdTrace(collectArgs(dir, 64, "-perrank", "-binary")); err != nil {
+	if err := cmdTrace(bg, testEng, collectArgs(dir, 64, "-perrank", "-binary")); err != nil {
 		t.Fatalf("trace -perrank: %v", err)
 	}
 	if !trace.IsSignatureDir(dir) {
@@ -86,31 +95,31 @@ func TestCmdTracePerRankDirectory(t *testing.T) {
 }
 
 func TestCmdValidation(t *testing.T) {
-	if err := cmdTrace([]string{"-app", "stencil3d"}); err == nil {
+	if err := cmdTrace(bg, testEng, []string{"-app", "stencil3d"}); err == nil {
 		t.Error("trace without -cores/-out accepted")
 	}
-	if err := cmdTrace(collectArgs(tmp(t, "x.json"), 64, "-app", "nope")); err == nil {
+	if err := cmdTrace(bg, testEng, collectArgs(tmp(t, "x.json"), 64, "-app", "nope")); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := cmdExtrap([]string{"-in", "only-one.json", "-target", "512", "-out", "x"}); err == nil {
+	if err := cmdExtrap(bg, testEng, []string{"-in", "only-one.json", "-target", "512", "-out", "x"}); err == nil {
 		t.Error("single input accepted")
 	}
-	if err := cmdExtrap([]string{"-in", "a.json,b.json", "-target", "512", "-out", tmp(t, "o.json")}); err == nil {
+	if err := cmdExtrap(bg, testEng, []string{"-in", "a.json,b.json", "-target", "512", "-out", tmp(t, "o.json")}); err == nil {
 		t.Error("missing input files accepted")
 	}
-	if err := cmdPredict([]string{"-app", "uh3d"}); err == nil {
+	if err := cmdPredict(bg, testEng, []string{"-app", "uh3d"}); err == nil {
 		t.Error("predict without -sig accepted")
 	}
-	if err := cmdMeasure([]string{"-app", "uh3d"}); err == nil {
+	if err := cmdMeasure(bg, testEng, []string{"-app", "uh3d"}); err == nil {
 		t.Error("measure without -cores accepted")
 	}
 	if err := cmdCompare([]string{"-extrap", "x"}); err == nil {
 		t.Error("compare without -collected accepted")
 	}
-	if err := cmdReport([]string{}); err == nil {
+	if err := cmdReport(bg, testEng, []string{}); err == nil {
 		t.Error("report without -app accepted")
 	}
-	if err := cmdReport([]string{"-app", "stencil3d", "-counts", "abc"}); err == nil {
+	if err := cmdReport(bg, testEng, []string{"-app", "stencil3d", "-counts", "abc"}); err == nil {
 		t.Error("malformed counts accepted")
 	}
 }
@@ -119,7 +128,7 @@ func TestCmdMeasureSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measure in -short mode")
 	}
-	if err := cmdMeasure([]string{"-app", "stencil3d", "-cores", "64"}); err != nil {
+	if err := cmdMeasure(bg, testEng, []string{"-app", "stencil3d", "-cores", "64"}); err != nil {
 		t.Fatalf("measure: %v", err)
 	}
 }
@@ -129,7 +138,7 @@ func TestCmdReportToFile(t *testing.T) {
 		t.Skip("report in -short mode")
 	}
 	out := tmp(t, "report.md")
-	err := cmdReport([]string{
+	err := cmdReport(bg, testEng, []string{
 		"-app", "stencil3d", "-counts", "64,128,256", "-target", "512",
 		"-out", out, "-sample", "30000",
 	})

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,8 +18,11 @@ import (
 
 // cmdReport runs the complete analysis for one application — collect at a
 // series of core counts, extrapolate, predict, measure, audit — and writes
-// a self-contained markdown report.
-func cmdReport(args []string) error {
+// a self-contained markdown report. The whole pipeline is one Engine.Study
+// (profile sweep, input collections and the target-scale truth collection
+// all run concurrently on the engine's worker pool) plus the detailed
+// execution simulation.
+func cmdReport(ctx context.Context, eng *tracex.Engine, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	appName := fs.String("app", "", "application name")
 	machineName := fs.String("machine", "bluewaters", "target machine")
@@ -40,17 +45,16 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
 	opt := tracex.CollectOptions{SampleRefs: *sample}
-	return writeReport(w, app, cfg, counts, targetCount, opt, *energy)
+	if *out == "" {
+		return writeReport(ctx, eng, os.Stdout, app, cfg, counts, targetCount, opt, *energy)
+	}
+	// Buffer the report so an interrupted run leaves no partial file.
+	var buf bytes.Buffer
+	if err := writeReport(ctx, eng, &buf, app, cfg, counts, targetCount, opt, *energy); err != nil {
+		return err
+	}
+	return os.WriteFile(*out, buf.Bytes(), 0o644)
 }
 
 // reportScale resolves the input/target core counts, defaulting to the
@@ -89,7 +93,8 @@ func reportScale(appName, countsFlag string, target int) ([]int, int, error) {
 	return counts, target, nil
 }
 
-func writeReport(w io.Writer, app *tracex.App, cfg tracex.MachineConfig,
+func writeReport(ctx context.Context, eng *tracex.Engine, w io.Writer,
+	app *tracex.App, cfg tracex.MachineConfig,
 	counts []int, targetCount int, opt tracex.CollectOptions, includeEnergy bool) error {
 
 	countStrs := make([]string, len(counts))
@@ -100,31 +105,20 @@ func writeReport(w io.Writer, app *tracex.App, cfg tracex.MachineConfig,
 	fmt.Fprintf(w, "Input core counts %s, extrapolated to **%d** cores.\n\n",
 		strings.Join(countStrs, "/"), targetCount)
 
-	prof, err := tracex.BuildProfile(cfg)
+	study, err := eng.Study(ctx, tracex.StudyRequest{
+		App:         app,
+		Machine:     cfg,
+		InputCounts: counts,
+		TargetCores: targetCount,
+		Collect:     opt,
+		WithTruth:   true,
+	})
 	if err != nil {
 		return err
 	}
-	inputs, err := tracex.CollectInputs(app, counts, cfg, opt)
-	if err != nil {
-		return err
-	}
-	res, err := tracex.Extrapolate(inputs, targetCount, tracex.ExtrapOptions{})
-	if err != nil {
-		return err
-	}
-	collected, err := tracex.CollectSignature(app, targetCount, cfg, opt)
-	if err != nil {
-		return err
-	}
-	measured, err := tracex.Measure(app, targetCount, cfg, opt)
-	if err != nil {
-		return err
-	}
-	predExtrap, err := tracex.Predict(res.Signature, prof, app)
-	if err != nil {
-		return err
-	}
-	predColl, err := tracex.Predict(collected, prof, app)
+	prof, inputs, res := study.Profile, study.Inputs, study.Extrapolation
+	predExtrap, predColl := study.Extrapolated, study.Collected
+	measured, err := eng.Measure(ctx, app, targetCount, cfg, opt)
 	if err != nil {
 		return err
 	}
@@ -152,7 +146,7 @@ func writeReport(w io.Writer, app *tracex.App, cfg tracex.MachineConfig,
 	fmt.Fprintln(w)
 
 	// Element audit.
-	errs, err := tracex.CompareTraces(&res.Signature.Traces[0], collected.DominantTrace())
+	errs, err := tracex.CompareTraces(&res.Signature.Traces[0], study.Truth.DominantTrace())
 	if err != nil {
 		return err
 	}

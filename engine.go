@@ -1,0 +1,499 @@
+package tracex
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tracex/internal/extrap"
+	"tracex/internal/memo"
+	"tracex/internal/multimaps"
+	"tracex/internal/pebil"
+	"tracex/internal/psins"
+)
+
+// Engine is a long-lived, concurrency-safe orchestrator for the
+// trace-extrapolation pipeline. It memoizes the two expensive, deterministic
+// artifacts — machine profiles (keyed by a MachineConfig fingerprint) and
+// application signatures (keyed by app, core count, machine and collection
+// options) — deduplicates identical in-flight work so concurrent callers
+// share one simulation, and fans independent collections and predictions out
+// across a bounded worker pool. All methods honour context cancellation:
+// cancelling stops the underlying simulations promptly and returns
+// ctx.Err().
+//
+// Cached profiles and signatures are shared between callers and must be
+// treated as read-only.
+//
+// The package-level convenience functions (BuildProfile, CollectSignature,
+// CollectInputs, ...) are thin wrappers over a process-wide default Engine;
+// construct a dedicated Engine to control parallelism, cache capacity and
+// default collection options.
+type Engine struct {
+	parallelism int
+	collectOpt  CollectOptions
+	sem         chan struct{}
+	profiles    *memo.Cache[string, *Profile]
+	sigs        *memo.Cache[sigKey, *Signature]
+	stats       engineCounters
+}
+
+// sigKey identifies one signature collection. The collect options are
+// normalized (defaults filled, execution-only knobs cleared) so equivalent
+// requests share an entry.
+type sigKey struct {
+	app     string
+	cores   int
+	machine string // machine.Config.Fingerprint()
+	opt     CollectOptions
+}
+
+// engineCounters backs EngineStats with atomics.
+type engineCounters struct {
+	profileBuilds, profileHits uint64
+	collections, collectHits   uint64
+	predictions                uint64
+}
+
+// EngineStats is a snapshot of an Engine's cumulative activity, chiefly for
+// tests, monitoring, and cache-sizing decisions.
+type EngineStats struct {
+	// ProfileBuilds counts MultiMAPS sweeps actually executed;
+	// ProfileHits counts profile requests served without a sweep.
+	ProfileBuilds, ProfileHits uint64
+	// Collections counts signature collections actually simulated;
+	// CollectionHits counts collection requests served without simulation.
+	Collections, CollectionHits uint64
+	// Predictions counts completed convolution+replay predictions.
+	Predictions uint64
+}
+
+// Stats returns a snapshot of the engine's cumulative activity.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		ProfileBuilds:  atomic.LoadUint64(&e.stats.profileBuilds),
+		ProfileHits:    atomic.LoadUint64(&e.stats.profileHits),
+		Collections:    atomic.LoadUint64(&e.stats.collections),
+		CollectionHits: atomic.LoadUint64(&e.stats.collectHits),
+		Predictions:    atomic.LoadUint64(&e.stats.predictions),
+	}
+}
+
+// engineConfig accumulates functional options.
+type engineConfig struct {
+	parallelism int
+	cacheSize   int
+	collectOpt  CollectOptions
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+// WithParallelism bounds the number of pipeline tasks (collections,
+// predictions, study stages) the engine runs concurrently; n ≤ 0 selects
+// one worker per available CPU. Per-block simulation parallelism inside one
+// collection is governed separately by CollectOptions.Parallelism.
+func WithParallelism(n int) EngineOption {
+	return func(c *engineConfig) { c.parallelism = n }
+}
+
+// WithCacheSize sets how many machine profiles and application signatures
+// the engine retains (each in its own LRU cache). Zero disables memoization
+// — every request simulates — while still deduplicating identical in-flight
+// work; negative means unbounded. The default is 64.
+func WithCacheSize(n int) EngineOption {
+	return func(c *engineConfig) { c.cacheSize = n }
+}
+
+// WithCollectOptions sets the collection options used when a caller passes
+// the zero CollectOptions.
+func WithCollectOptions(opt CollectOptions) EngineOption {
+	return func(c *engineConfig) { c.collectOpt = opt }
+}
+
+// NewEngine returns an Engine with the given options applied.
+func NewEngine(opts ...EngineOption) *Engine {
+	cfg := engineConfig{cacheSize: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.parallelism <= 0 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		parallelism: cfg.parallelism,
+		collectOpt:  cfg.collectOpt,
+		sem:         make(chan struct{}, cfg.parallelism),
+		profiles:    memo.New[string, *Profile](cfg.cacheSize),
+		sigs:        memo.New[sigKey, *Signature](cfg.cacheSize),
+	}
+}
+
+// defaultEngine backs the package-level convenience functions.
+var defaultEngine struct {
+	once sync.Once
+	e    *Engine
+}
+
+// DefaultEngine returns the process-wide Engine behind the package-level
+// convenience functions.
+func DefaultEngine() *Engine {
+	defaultEngine.once.Do(func() { defaultEngine.e = NewEngine() })
+	return defaultEngine.e
+}
+
+// fanOut runs n tasks across the engine's worker pool, returning the first
+// error. A failure (or ctx cancellation) cancels the tasks that have not
+// completed; fanOut returns only after every started task has finished.
+func (e *Engine) fanOut(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				errc <- ctx.Err()
+				return
+			}
+			defer func() { <-e.sem }()
+			errc <- task(ctx, i)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+			cancel() // stop the stragglers
+		}
+	}
+	return first
+}
+
+// Profile returns the machine profile for cfg, running the MultiMAPS sweep
+// on the first request and serving memoized results afterwards. Concurrent
+// requests for the same configuration share one sweep.
+func (e *Engine) Profile(ctx context.Context, cfg MachineConfig) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof, hit, err := e.profiles.Do(ctx, cfg.Fingerprint(), func() (*Profile, error) {
+		atomic.AddUint64(&e.stats.profileBuilds, 1)
+		return multimaps.Run(ctx, cfg, multimaps.DefaultOptions(cfg))
+	})
+	if hit {
+		atomic.AddUint64(&e.stats.profileHits, 1)
+	}
+	return prof, err
+}
+
+// CollectSignature traces the application at the given core count against
+// the target machine, memoizing the result: a second identical request is
+// served from cache with zero new simulation. A zero opt selects the
+// engine's default collection options (WithCollectOptions).
+func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, error) {
+	if app == nil {
+		return nil, fmt.Errorf("tracex: nil application")
+	}
+	if opt == (CollectOptions{}) {
+		opt = e.collectOpt
+	}
+	key := sigKey{app: app.Name(), cores: cores, machine: target.Fingerprint(), opt: opt.Normalized()}
+	sig, hit, err := e.sigs.Do(ctx, key, func() (*Signature, error) {
+		atomic.AddUint64(&e.stats.collections, 1)
+		return pebil.Collect(ctx, app, cores, target, nil, opt)
+	})
+	if hit {
+		atomic.AddUint64(&e.stats.collectHits, 1)
+	}
+	return sig, err
+}
+
+// CollectInputs traces the application at each of the given core counts —
+// the "series of smaller core counts" the extrapolation consumes — fanning
+// the collections out across the engine's worker pool.
+func (e *Engine) CollectInputs(ctx context.Context, app *App, counts []int, target MachineConfig, opt CollectOptions) ([]*Signature, error) {
+	out := make([]*Signature, len(counts))
+	err := e.fanOut(ctx, len(counts), func(ctx context.Context, i int) error {
+		sig, err := e.CollectSignature(ctx, app, counts[i], target, opt)
+		if err != nil {
+			return fmt.Errorf("tracex: collecting at %d cores: %w", counts[i], err)
+		}
+		out[i] = sig
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Extrapolate validates opt and fits canonical scaling forms to every
+// feature-vector element of the dominant task across the input signatures,
+// synthesizing the signature at targetCores.
+func (e *Engine) Extrapolate(ctx context.Context, inputs []*Signature, targetCores int, opt ExtrapOptions) (*ExtrapResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return extrap.Extrapolate(inputs, targetCores, opt)
+}
+
+// PredictRequest describes one runtime prediction for Engine.Predict.
+type PredictRequest struct {
+	// Signature is the application signature to predict from (collected or
+	// extrapolated). Required.
+	Signature *Signature
+	// App supplies the communication event trace. Required.
+	App *App
+	// Profile is the machine profile to convolve against. When nil, the
+	// engine builds (and memoizes) the profile for Machine.
+	Profile *Profile
+	// Machine is the configuration to profile when Profile is nil; when
+	// Machine is also nil, the signature's machine name is looked up among
+	// the predefined configurations.
+	Machine *MachineConfig
+	// WithReplay attaches the full per-rank replay result to the returned
+	// Prediction.
+	WithReplay bool
+	// WithTimeline attaches the per-rank segment timeline to the returned
+	// Prediction. Memory grows with rank count × events — intended for
+	// small-to-moderate replays.
+	WithTimeline bool
+}
+
+// Predict produces the PMaC-framework runtime prediction for one request:
+// the signature's dominant trace is convolved with the machine profile
+// (Equation 1) and the resulting per-block times drive a replay of the
+// application's communication event trace. The returned Prediction carries
+// the replay result and timeline when requested. Predict replaces the
+// Predict/PredictDetailed/PredictTimeline trio.
+func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, error) {
+	if req.Signature == nil {
+		return nil, fmt.Errorf("tracex: predict request has no signature")
+	}
+	if req.App == nil {
+		return nil, fmt.Errorf("tracex: predict request has no application")
+	}
+	prof := req.Profile
+	if prof == nil {
+		cfg := req.Machine
+		if cfg == nil {
+			c, err := LoadMachine(req.Signature.Machine)
+			if err != nil {
+				return nil, err
+			}
+			cfg = &c
+		}
+		var err error
+		prof, err = e.Profile(ctx, *cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pred, err := predict(ctx, req.Signature, prof, req.App, req.WithReplay, req.WithTimeline)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddUint64(&e.stats.predictions, 1)
+	return pred, nil
+}
+
+// PredictMany evaluates a batch of predictions across the engine's worker
+// pool, returning results in request order. The first failure cancels the
+// remaining requests.
+func (e *Engine) PredictMany(ctx context.Context, reqs []PredictRequest) ([]*Prediction, error) {
+	out := make([]*Prediction, len(reqs))
+	err := e.fanOut(ctx, len(reqs), func(ctx context.Context, i int) error {
+		pred, err := e.Predict(ctx, reqs[i])
+		if err != nil {
+			return fmt.Errorf("tracex: prediction %d: %w", i, err)
+		}
+		out[i] = pred
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Measure runs the detailed execution simulation of the application at the
+// given core count on the target machine (the reproduction's ground truth).
+func (e *Engine) Measure(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
+	if opt == (CollectOptions{}) {
+		opt = e.collectOpt
+	}
+	return measure(ctx, app, cores, target, opt)
+}
+
+// StudyRequest describes a full extrapolation study: collect signatures at
+// a series of small core counts, extrapolate to a larger count, and predict
+// the large-scale runtime.
+type StudyRequest struct {
+	// App is the proxy application. Required.
+	App *App
+	// Machine is the target system to profile and simulate.
+	Machine MachineConfig
+	// InputCounts are the core counts to trace (the paper uses three).
+	InputCounts []int
+	// TargetCores is the count to extrapolate to (beyond every input).
+	TargetCores int
+	// Collect tunes signature collection; zero selects the engine default.
+	Collect CollectOptions
+	// Extrap tunes the extrapolation.
+	Extrap ExtrapOptions
+	// WithTruth additionally collects a signature at TargetCores and
+	// predicts from it — the paper's Table I comparison baseline.
+	WithTruth bool
+}
+
+// StudyResult is the product of an extrapolation study.
+type StudyResult struct {
+	// Profile is the machine profile the predictions convolved against.
+	Profile *Profile
+	// Inputs are the signatures collected at the small core counts.
+	Inputs []*Signature
+	// Extrapolation is the canonical-form fit and synthesized signature.
+	Extrapolation *ExtrapResult
+	// Extrapolated predicts the target-scale runtime from the synthesized
+	// signature.
+	Extrapolated *Prediction
+	// Truth is the actually-collected target-scale signature and
+	// Collected the prediction made from it (both nil unless
+	// StudyRequest.WithTruth).
+	Truth     *Signature
+	Collected *Prediction
+}
+
+// Study runs a full extrapolation study: the machine profile, every input
+// collection and (optionally) the target-scale truth collection execute
+// concurrently on the worker pool, then the extrapolation and predictions
+// complete the pipeline.
+func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, error) {
+	if req.App == nil {
+		return nil, fmt.Errorf("tracex: study request has no application")
+	}
+	if len(req.InputCounts) == 0 {
+		return nil, fmt.Errorf("tracex: study request has no input core counts")
+	}
+	if err := req.Extrap.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	res := &StudyResult{Inputs: make([]*Signature, len(req.InputCounts))}
+	// One task per input count, plus the profile sweep, plus the optional
+	// truth collection — all independent.
+	n := len(req.InputCounts) + 1
+	if req.WithTruth {
+		n++
+	}
+	err := e.fanOut(ctx, n, func(ctx context.Context, i int) error {
+		switch {
+		case i < len(req.InputCounts):
+			sig, err := e.CollectSignature(ctx, req.App, req.InputCounts[i], req.Machine, req.Collect)
+			if err != nil {
+				return fmt.Errorf("tracex: collecting at %d cores: %w", req.InputCounts[i], err)
+			}
+			res.Inputs[i] = sig
+			return nil
+		case i == len(req.InputCounts):
+			prof, err := e.Profile(ctx, req.Machine)
+			if err != nil {
+				return err
+			}
+			res.Profile = prof
+			return nil
+		default:
+			sig, err := e.CollectSignature(ctx, req.App, req.TargetCores, req.Machine, req.Collect)
+			if err != nil {
+				return fmt.Errorf("tracex: collecting truth at %d cores: %w", req.TargetCores, err)
+			}
+			res.Truth = sig
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Extrapolation, err = e.Extrapolate(ctx, res.Inputs, req.TargetCores, req.Extrap)
+	if err != nil {
+		return nil, err
+	}
+	res.Extrapolated, err = e.Predict(ctx, PredictRequest{
+		Signature: res.Extrapolation.Signature, App: req.App, Profile: res.Profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if req.WithTruth {
+		res.Collected, err = e.Predict(ctx, PredictRequest{
+			Signature: res.Truth, App: req.App, Profile: res.Profile,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// predict is the shared prediction implementation: convolve the dominant
+// trace with the profile, then replay the communication event trace with
+// the convolved per-block costs.
+func predict(ctx context.Context, sig *Signature, prof *Profile, app *App, withReplay, withTimeline bool) (*Prediction, error) {
+	if sig.Machine != prof.Machine.Name {
+		return nil, fmt.Errorf("tracex: %w: signature simulated %q but profile is for %q",
+			ErrMachineMismatch, sig.Machine, prof.Machine.Name)
+	}
+	dom := sig.DominantTrace()
+	if dom == nil {
+		return nil, fmt.Errorf("tracex: %w", ErrNoTraces)
+	}
+	comp, err := psins.Convolve(dom, prof)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := app.Program(sig.CoreCount)
+	if err != nil {
+		return nil, err
+	}
+	net, err := psins.NewNetwork(prof.Machine.Network)
+	if err != nil {
+		return nil, err
+	}
+	// Non-dominant ranks execute the same blocks scaled by their load
+	// factor relative to the dominant rank (the paper scales every trace
+	// file from the slowest task's prediction vector).
+	domFactor := app.LoadFactor(dom.Rank)
+	lf := func(rank int) float64 { return app.LoadFactor(rank) / domFactor }
+	var tl *Timeline
+	if withTimeline {
+		tl = &Timeline{}
+	}
+	res, err := psins.ReplayTraced(ctx, prog, net, psins.CostFromComputation(comp, lf), tl)
+	if err != nil {
+		return nil, err
+	}
+	pred := &Prediction{
+		App:            sig.App,
+		CoreCount:      sig.CoreCount,
+		Machine:        sig.Machine,
+		Runtime:        res.Runtime,
+		ComputeSeconds: res.ComputeTime[dom.Rank],
+		CommSeconds:    res.CommTime[dom.Rank],
+		MemSeconds:     comp.MemSeconds,
+		FPSeconds:      comp.FPSeconds,
+		Timeline:       tl,
+	}
+	if withReplay {
+		pred.Replay = res
+	}
+	return pred, nil
+}

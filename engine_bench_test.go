@@ -1,0 +1,79 @@
+// Benchmarks for the Engine orchestrator: the serial-vs-parallel
+// CollectInputs comparison (the engine's fan-out should beat one worker on
+// any multi-core runner) and the cache-hit fast path.
+package tracex_test
+
+import (
+	"context"
+	"testing"
+
+	"tracex"
+)
+
+// benchCollectOpt keeps one collection cheap enough to repeat while leaving
+// enough simulation work for the pool to amortize goroutine overhead.
+// Per-block parallelism is pinned to 1 so the engine's worker pool is the
+// only concurrency under test.
+var benchCollectOpt = tracex.CollectOptions{
+	SampleRefs:  60_000,
+	MaxWarmRefs: 150_000,
+	Parallelism: 1,
+}
+
+var benchInputCounts = []int{64, 96, 128, 192, 256}
+
+// benchCollectInputs measures CollectInputs on an engine with the given
+// worker count. Caching is disabled so every iteration simulates.
+func benchCollectInputs(b *testing.B, workers int) {
+	app, err := tracex.LoadApp("stencil3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := tracex.LoadMachine("bluewaters")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := tracex.NewEngine(tracex.WithParallelism(workers), tracex.WithCacheSize(0))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CollectInputs(ctx, app, benchInputCounts, target, benchCollectOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectInputsSerial is the one-worker baseline.
+func BenchmarkCollectInputsSerial(b *testing.B) { benchCollectInputs(b, 1) }
+
+// BenchmarkCollectInputsEngine uses the default pool (one worker per CPU);
+// compare against BenchmarkCollectInputsSerial on a multi-core runner.
+func BenchmarkCollectInputsEngine(b *testing.B) { benchCollectInputs(b, 0) }
+
+// BenchmarkCollectSignatureCached measures the memoized fast path: every
+// iteration after the first is a cache hit with zero simulation.
+func BenchmarkCollectSignatureCached(b *testing.B) {
+	app, err := tracex.LoadApp("stencil3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := tracex.LoadMachine("bluewaters")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := tracex.NewEngine()
+	ctx := context.Background()
+	if _, err := eng.CollectSignature(ctx, app, 64, target, benchCollectOpt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CollectSignature(ctx, app, 64, target, benchCollectOpt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := eng.Stats(); st.Collections != 1 {
+		b.Fatalf("cached benchmark ran %d collections", st.Collections)
+	}
+}

@@ -1,0 +1,465 @@
+package tracex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tracex/internal/pebil"
+)
+
+// smallOpt keeps engine-test collections fast.
+var smallOpt = CollectOptions{SampleRefs: 20_000, MaxWarmRefs: 60_000}
+
+func testApp(t testing.TB, name string) *App {
+	t.Helper()
+	app, err := LoadApp(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func testMachine(t testing.TB, name string) MachineConfig {
+	t.Helper()
+	cfg, err := LoadMachine(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestEngineOptions(t *testing.T) {
+	opt := CollectOptions{SampleRefs: 123}
+	e := NewEngine(WithParallelism(3), WithCacheSize(7), WithCollectOptions(opt))
+	if e.parallelism != 3 {
+		t.Errorf("parallelism %d, want 3", e.parallelism)
+	}
+	if cap(e.sem) != 3 {
+		t.Errorf("sem capacity %d, want 3", cap(e.sem))
+	}
+	if e.collectOpt != opt {
+		t.Errorf("collectOpt %+v", e.collectOpt)
+	}
+	if NewEngine(WithParallelism(-1)).parallelism < 1 {
+		t.Error("non-positive parallelism not defaulted")
+	}
+}
+
+// TestEngineCollectCache is the memoization acceptance criterion: a second
+// identical collection must be served from cache with zero new simulation.
+func TestEngineCollectCache(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+
+	first, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("second identical collection did not return the cached signature")
+	}
+	st := e.Stats()
+	if st.Collections != 1 || st.CollectionHits != 1 {
+		t.Errorf("stats %+v, want 1 collection and 1 hit", st)
+	}
+
+	// A different core count is a different key.
+	if _, err := e.CollectSignature(ctx, app, 128, cfg, smallOpt); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Collections != 2 {
+		t.Errorf("collections %d after distinct request, want 2", st.Collections)
+	}
+}
+
+func TestEngineProfileCache(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	cfg := testMachine(t, "opteron2")
+	first, err := e.Profile(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Profile(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("second profile request did not return the cached profile")
+	}
+	if st := e.Stats(); st.ProfileBuilds != 1 || st.ProfileHits != 1 {
+		t.Errorf("stats %+v, want 1 build and 1 hit", e.Stats())
+	}
+	// Same name, different geometry → different fingerprint → new sweep.
+	tweaked := cfg
+	tweaked.MemBandwidthGBs *= 2
+	if _, err := e.Profile(ctx, tweaked); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.ProfileBuilds != 2 {
+		t.Errorf("profile builds %d after geometry change, want 2", st.ProfileBuilds)
+	}
+}
+
+// TestEngineCollectInputsDedup exercises the singleflight path through the
+// public API: duplicate core counts in one batch must run one simulation.
+func TestEngineCollectInputsDedup(t *testing.T) {
+	e := NewEngine()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	sigs, err := e.CollectInputs(context.Background(), app, []int{64, 64, 64, 128}, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 4 {
+		t.Fatalf("got %d signatures", len(sigs))
+	}
+	if sigs[0] != sigs[1] || sigs[1] != sigs[2] {
+		t.Error("duplicate counts produced distinct signatures")
+	}
+	if st := e.Stats(); st.Collections != 2 {
+		t.Errorf("ran %d collections for 2 distinct counts", st.Collections)
+	}
+}
+
+func TestEngineCancelledContext(t *testing.T) {
+	e := NewEngine()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt); !errors.Is(err, context.Canceled) {
+		t.Errorf("CollectSignature on cancelled ctx: %v", err)
+	}
+	if _, err := e.Profile(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("Profile on cancelled ctx: %v", err)
+	}
+	if _, err := e.Extrapolate(ctx, nil, 512, ExtrapOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Extrapolate on cancelled ctx: %v", err)
+	}
+	if _, err := e.Measure(ctx, app, 64, cfg, smallOpt); !errors.Is(err, context.Canceled) {
+		t.Errorf("Measure on cancelled ctx: %v", err)
+	}
+}
+
+// TestEngineCancellationMidCollection is the promptness acceptance
+// criterion: cancelling mid-simulation must abort the collection quickly
+// even though the full run would take far longer.
+func TestEngineCancellationMidCollection(t *testing.T) {
+	e := NewEngine()
+	app := testApp(t, "uh3d")
+	cfg := testMachine(t, "bluewaters")
+	heavy := CollectOptions{SampleRefs: 5_000_000, MaxWarmRefs: 10_000_000}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.CollectSignature(ctx, app, 2048, cfg, heavy)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-collection cancel returned %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestEnginePredictAndBatch(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	sig, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := e.Profile(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := e.Predict(ctx, PredictRequest{Signature: sig, App: app, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Runtime <= 0 {
+		t.Fatalf("non-positive runtime %g", base.Runtime)
+	}
+	if base.Replay != nil || base.Timeline != nil {
+		t.Error("replay/timeline attached without being requested")
+	}
+
+	// One request type covers the old Predict/PredictDetailed/
+	// PredictTimeline trio.
+	full, err := e.Predict(ctx, PredictRequest{
+		Signature: sig, App: app, Profile: prof, WithReplay: true, WithTimeline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Replay == nil || full.Timeline == nil {
+		t.Fatal("requested replay/timeline missing")
+	}
+	if full.Runtime != base.Runtime {
+		t.Errorf("detailed prediction runtime %g != %g", full.Runtime, base.Runtime)
+	}
+
+	// Omitting the profile makes the engine build (and cache) it from the
+	// request's machine config.
+	fromCfg, err := e.Predict(ctx, PredictRequest{Signature: sig, App: app, Machine: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCfg.Runtime != base.Runtime {
+		t.Errorf("machine-config prediction runtime %g != %g", fromCfg.Runtime, base.Runtime)
+	}
+
+	// Batch: results in request order, all identical here.
+	reqs := make([]PredictRequest, 16)
+	for i := range reqs {
+		reqs[i] = PredictRequest{Signature: sig, App: app, Profile: prof, WithReplay: i%2 == 0}
+	}
+	preds, err := e.PredictMany(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if p == nil || p.Runtime != base.Runtime {
+			t.Fatalf("batch prediction %d: %+v", i, p)
+		}
+		if (p.Replay != nil) != (i%2 == 0) {
+			t.Errorf("batch prediction %d replay presence wrong", i)
+		}
+	}
+
+	// Validation errors.
+	if _, err := e.Predict(ctx, PredictRequest{App: app, Profile: prof}); err == nil {
+		t.Error("request without signature accepted")
+	}
+	if _, err := e.Predict(ctx, PredictRequest{Signature: sig, Profile: prof}); err == nil {
+		t.Error("request without app accepted")
+	}
+}
+
+// TestEngineConcurrentUse hammers one engine from many goroutines; run with
+// -race to check the concurrency-safety claim.
+func TestEngineConcurrentUse(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sig, err := e.CollectSignature(ctx, app, 64+32*(i%2), cfg, smallOpt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			prof, err := e.Profile(ctx, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = e.Predict(ctx, PredictRequest{Signature: sig, App: app, Profile: prof})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if st := e.Stats(); st.Collections != 2 {
+		t.Errorf("%d collections for 2 distinct keys across 8 workers", st.Collections)
+	}
+}
+
+func TestEngineStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study in -short mode")
+	}
+	e := NewEngine()
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	res, err := e.Study(ctx, StudyRequest{
+		App:         app,
+		Machine:     cfg,
+		InputCounts: []int{64, 128, 256},
+		TargetCores: 512,
+		Collect:     smallOpt,
+		WithTruth:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil || len(res.Inputs) != 3 || res.Extrapolation == nil {
+		t.Fatalf("incomplete study result %+v", res)
+	}
+	if res.Extrapolated == nil || res.Extrapolated.CoreCount != 512 {
+		t.Fatalf("bad extrapolated prediction %+v", res.Extrapolated)
+	}
+	if res.Truth == nil || res.Collected == nil {
+		t.Fatal("WithTruth did not produce the collected baseline")
+	}
+
+	// Request validation.
+	if _, err := e.Study(ctx, StudyRequest{Machine: cfg, InputCounts: []int{64}}); err == nil {
+		t.Error("study without app accepted")
+	}
+	if _, err := e.Study(ctx, StudyRequest{App: app, Machine: cfg}); err == nil {
+		t.Error("study without input counts accepted")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	e := NewEngine()
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	prof, err := e.Profile(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrNoTraces: a signature without trace files cannot be predicted.
+	empty := &Signature{App: app.Name(), CoreCount: 64, Machine: cfg.Name}
+	if _, err := e.Predict(ctx, PredictRequest{Signature: empty, App: app, Profile: prof}); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("empty signature: %v, want ErrNoTraces", err)
+	}
+
+	// ErrMachineMismatch: signature and profile for different machines.
+	sig, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := *sig
+	wrong.Machine = "kraken"
+	if _, err := e.Predict(ctx, PredictRequest{Signature: &wrong, App: app, Profile: prof}); !errors.Is(err, ErrMachineMismatch) {
+		t.Errorf("mismatched machines: %v, want ErrMachineMismatch", err)
+	}
+
+	// ErrMachineMismatch also covers mixed extrapolation inputs.
+	in128, err := e.CollectSignature(ctx, app, 128, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in256, err := e.CollectSignature(ctx, app, 256, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := *in128
+	mixed.Machine = "kraken"
+	mixed.Traces = append([]Trace(nil), in128.Traces...)
+	for i := range mixed.Traces {
+		mixed.Traces[i].Machine = "kraken"
+	}
+	if _, err := e.Extrapolate(ctx, []*Signature{sig, &mixed, in256}, 512, ExtrapOptions{}); !errors.Is(err, ErrMachineMismatch) {
+		t.Errorf("mixed inputs: %v, want ErrMachineMismatch", err)
+	}
+
+	// ErrRankOutOfRange: selecting a rank ≥ core count during collection.
+	if _, err := pebil.Collect(ctx, app, 64, cfg, []int{64}, pebil.Options(smallOpt)); !errors.Is(err, ErrRankOutOfRange) {
+		t.Errorf("rank 64 of 64: %v, want ErrRankOutOfRange", err)
+	}
+
+	// ErrEmptyWorkload: the facade re-export matches what pebil wraps.
+	wrapped := fmt.Errorf("pebil: shared collection: %w", pebil.ErrEmptyWorkload)
+	if !errors.Is(wrapped, ErrEmptyWorkload) {
+		t.Error("ErrEmptyWorkload re-export does not match pebil's sentinel")
+	}
+}
+
+func TestExtrapOptionsValidate(t *testing.T) {
+	if err := (ExtrapOptions{}).Validate(); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+	if err := (ExtrapOptions{MinInputs: 1}).Validate(); err == nil {
+		t.Error("MinInputs 1 accepted")
+	}
+	if err := (ExtrapOptions{Forms: []Form{nil}}).Validate(); err == nil {
+		t.Error("nil form accepted")
+	}
+	// The engine rejects bad options before touching the inputs.
+	e := NewEngine()
+	if _, err := e.Extrapolate(context.Background(), nil, 512, ExtrapOptions{MinInputs: 1}); err == nil {
+		t.Error("Extrapolate with bad options accepted")
+	}
+}
+
+// TestEngineDefaultCollectOptions checks WithCollectOptions: a zero
+// CollectOptions request adopts the engine default, and the two spellings
+// share one cache entry.
+func TestEngineDefaultCollectOptions(t *testing.T) {
+	e := NewEngine(WithCollectOptions(smallOpt))
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	a, err := e.CollectSignature(ctx, app, 64, cfg, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("zero options and explicit default produced distinct cache entries")
+	}
+	if st := e.Stats(); st.Collections != 1 {
+		t.Errorf("%d collections, want 1", st.Collections)
+	}
+}
+
+// TestDeprecatedWrappers keeps the old free-function trio working on top of
+// the default engine.
+func TestDeprecatedWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wrapper round-trip in -short mode")
+	}
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	sig, err := CollectSignature(app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(sig, prof, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, replay, err := PredictDetailed(sig, prof, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay == nil || det.Runtime != pred.Runtime {
+		t.Error("PredictDetailed disagrees with Predict")
+	}
+	tlPred, tl, err := PredictTimeline(sig, prof, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl == nil || tlPred.Runtime != pred.Runtime {
+		t.Error("PredictTimeline disagrees with Predict")
+	}
+}

@@ -10,18 +10,32 @@
 //     actually-collected trace (Table I's comparison), and
 //  5. check both against the detailed execution simulation.
 //
+// Everything runs through a tracex.Engine: the three input collections fan
+// out across the worker pool, repeated requests are served from the
+// engine's caches, and Ctrl-C cancels the simulations promptly.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"tracex"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := tracex.NewEngine(
+		tracex.WithCollectOptions(tracex.CollectOptions{SampleRefs: 200_000}),
+	)
+
 	app, err := tracex.LoadApp("stencil3d")
 	if err != nil {
 		log.Fatal(err)
@@ -32,15 +46,14 @@ func main() {
 	}
 
 	fmt.Println("== 1. probing the target machine with MultiMAPS")
-	prof, err := tracex.BuildProfile(target)
+	prof, err := eng.Profile(ctx, target)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("   %d bandwidth surface points for %s\n", len(prof.Surface), target.Name)
 
 	fmt.Println("== 2. collecting signatures at 64, 128 and 256 cores")
-	opt := tracex.CollectOptions{SampleRefs: 200_000}
-	inputs, err := tracex.CollectInputs(app, []int{64, 128, 256}, target, opt)
+	inputs, err := eng.CollectInputs(ctx, app, []int{64, 128, 256}, target, tracex.CollectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +64,7 @@ func main() {
 	}
 
 	fmt.Println("== 3. extrapolating to 512 cores")
-	res, err := tracex.Extrapolate(inputs, 512, tracex.ExtrapOptions{})
+	res, err := eng.Extrapolate(ctx, inputs, 512, tracex.ExtrapOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,21 +75,21 @@ func main() {
 	}
 
 	fmt.Println("== 4. predicting the 512-core runtime")
-	predExtrap, err := tracex.Predict(res.Signature, prof, app)
+	collected, err := eng.CollectSignature(ctx, app, 512, target, tracex.CollectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	collected, err := tracex.CollectSignature(app, 512, target, opt)
+	preds, err := eng.PredictMany(ctx, []tracex.PredictRequest{
+		{Signature: res.Signature, App: app, Profile: prof},
+		{Signature: collected, App: app, Profile: prof},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	predColl, err := tracex.Predict(collected, prof, app)
-	if err != nil {
-		log.Fatal(err)
-	}
+	predExtrap, predColl := preds[0], preds[1]
 
 	fmt.Println("== 5. ground truth from the detailed execution simulation")
-	measured, err := tracex.Measure(app, 512, target, opt)
+	measured, err := eng.Measure(ctx, app, 512, target, tracex.CollectOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

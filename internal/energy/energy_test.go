@@ -1,6 +1,8 @@
 package energy
 
 import (
+	"context"
+
 	"math"
 	"sync"
 	"testing"
@@ -27,13 +29,13 @@ func testSetup(t *testing.T) (*trace.Trace, *psins.Computation, machine.Config) 
 	t.Helper()
 	setupOnce.Do(func() {
 		setupCfg = machine.BlueWatersP1()
-		prof, err := multimaps.Run(setupCfg, multimaps.DefaultOptions(setupCfg))
+		prof, err := multimaps.Run(context.Background(), setupCfg, multimaps.DefaultOptions(setupCfg))
 		if err != nil {
 			setupErr = err
 			return
 		}
 		app := synthapp.Stencil3D()
-		sig, err := pebil.Collect(app, 64, setupCfg, []int{0},
+		sig, err := pebil.Collect(context.Background(), app, 64, setupCfg, []int{0},
 			pebil.Options{SampleRefs: 60_000, MaxWarmRefs: 200_000})
 		if err != nil {
 			setupErr = err

@@ -60,11 +60,11 @@ func AblationForms(cfg Config) ([]FormsAblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
-		truth, err := collectSig(app, spec.TargetCount, target, cfg.Collect, []int{0})
+		truth, err := collectSig(cfg.context(), app, spec.TargetCount, target, cfg.Collect, []int{0})
 		if err != nil {
 			return nil, err
 		}
@@ -130,12 +130,12 @@ func AblationInputCounts(cfg Config) ([]InputCountAblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		truth, err := collectSig(app, spec.TargetCount, target, cfg.Collect, []int{0})
+		truth, err := collectSig(cfg.context(), app, spec.TargetCount, target, cfg.Collect, []int{0})
 		if err != nil {
 			return nil, err
 		}
 		for _, counts := range series[spec.App] {
-			inputs, err := collectInputs(app, counts, target, cfg.Collect)
+			inputs, err := collectInputs(cfg.context(), app, counts, target, cfg.Collect)
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +187,7 @@ type ClusteringAblationRow struct {
 //     centroid trace (the future-work proposal).
 func AblationClustering(cfg Config) ([]ClusteringAblationRow, error) {
 	target := TargetMachine()
-	prof, err := buildProfile(target)
+	prof, err := buildProfile(cfg.context(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +202,7 @@ func AblationClustering(cfg Config) ([]ClusteringAblationRow, error) {
 			return nil, err
 		}
 		// Collect all load classes at every input count.
-		inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +327,7 @@ func AblationDistance(cfg Config) ([]DistanceAblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -342,7 +342,7 @@ func AblationDistance(cfg Config) ([]DistanceAblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			truth, err := collectSig(app, tgt, target, cfg.Collect, []int{0})
+			truth, err := collectSig(cfg.context(), app, tgt, target, cfg.Collect, []int{0})
 			if err != nil {
 				return nil, err
 			}
@@ -392,7 +392,7 @@ func AblationSampleSize(cfg Config, samples []int) ([]SampleAblationRow, error) 
 		for _, s := range samples {
 			opt := cfg.Collect
 			opt.SampleRefs = s
-			inputs, err := collectInputs(app, spec.InputCounts, target, opt)
+			inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -400,7 +400,7 @@ func AblationSampleSize(cfg Config, samples []int) ([]SampleAblationRow, error) 
 			if err != nil {
 				return nil, err
 			}
-			truth, err := collectSig(app, spec.TargetCount, target, opt, []int{0})
+			truth, err := collectSig(cfg.context(), app, spec.TargetCount, target, opt, []int{0})
 			if err != nil {
 				return nil, err
 			}
@@ -437,7 +437,7 @@ type CollectionModeRow struct {
 // does the extrapolation methodology care how the signatures were measured?
 func AblationCollectionMode(cfg Config) ([]CollectionModeRow, error) {
 	target := TargetMachine()
-	prof, err := buildProfile(target)
+	prof, err := buildProfile(cfg.context(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +460,7 @@ func AblationCollectionMode(cfg Config) ([]CollectionModeRow, error) {
 		} {
 			opt := cfg.Collect
 			opt.SharedHierarchy = mode.shared
-			inputs, err := collectInputs(app, spec.InputCounts, target, opt)
+			inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -468,7 +468,7 @@ func AblationCollectionMode(cfg Config) ([]CollectionModeRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			truth, err := collectSig(app, spec.TargetCount, target, opt, []int{0})
+			truth, err := collectSig(cfg.context(), app, spec.TargetCount, target, opt, []int{0})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,7 +33,7 @@ func memoKey(app *synthapp.App, p int, target machine.Config, opt pebil.Options,
 
 // collectSig is pebil.Collect with process-wide memoization. Callers must
 // treat the returned signature as read-only.
-func collectSig(app *synthapp.App, p int, target machine.Config, opt pebil.Options, ranks []int) (*trace.Signature, error) {
+func collectSig(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt pebil.Options, ranks []int) (*trace.Signature, error) {
 	key := memoKey(app, p, target, opt, ranks)
 	collectMemo.Lock()
 	if collectMemo.sigs == nil {
@@ -43,7 +44,7 @@ func collectSig(app *synthapp.App, p int, target machine.Config, opt pebil.Optio
 		return sig, nil
 	}
 	collectMemo.Unlock()
-	sig, err := pebil.Collect(app, p, target, ranks, opt)
+	sig, err := pebil.Collect(ctx, app, p, target, ranks, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -54,10 +55,10 @@ func collectSig(app *synthapp.App, p int, target machine.Config, opt pebil.Optio
 }
 
 // collectInputs memoizes a series of collections.
-func collectInputs(app *synthapp.App, counts []int, target machine.Config, opt pebil.Options) ([]*trace.Signature, error) {
+func collectInputs(ctx context.Context, app *synthapp.App, counts []int, target machine.Config, opt pebil.Options) ([]*trace.Signature, error) {
 	out := make([]*trace.Signature, len(counts))
 	for i, p := range counts {
-		sig, err := collectSig(app, p, target, opt, nil)
+		sig, err := collectSig(ctx, app, p, target, opt, nil)
 		if err != nil {
 			return nil, fmt.Errorf("expt: collecting at %d cores: %w", p, err)
 		}
@@ -68,7 +69,7 @@ func collectInputs(app *synthapp.App, counts []int, target machine.Config, opt p
 
 // collectCounters is pebil.CollectCounters with process-wide memoization.
 // Callers must treat the returned slice as read-only.
-func collectCounters(app *synthapp.App, p int, target machine.Config, opt pebil.Options) ([]pebil.BlockCounters, error) {
+func collectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt pebil.Options) ([]pebil.BlockCounters, error) {
 	key := memoKey(app, p, target, opt, []int{-1})
 	collectMemo.Lock()
 	if collectMemo.counters == nil {
@@ -79,7 +80,7 @@ func collectCounters(app *synthapp.App, p int, target machine.Config, opt pebil.
 		return cs, nil
 	}
 	collectMemo.Unlock()
-	cs, err := pebil.CollectCounters(app, p, target, opt)
+	cs, err := pebil.CollectCounters(ctx, app, p, target, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +97,7 @@ var profileMemo struct {
 }
 
 // buildProfile memoizes tracex.BuildProfile-equivalent sweeps.
-func buildProfile(cfg machine.Config) (*machine.Profile, error) {
+func buildProfile(ctx context.Context, cfg machine.Config) (*machine.Profile, error) {
 	profileMemo.Lock()
 	if profileMemo.m == nil {
 		profileMemo.m = map[string]*machine.Profile{}
@@ -106,7 +107,7 @@ func buildProfile(cfg machine.Config) (*machine.Profile, error) {
 		return p, nil
 	}
 	profileMemo.Unlock()
-	p, err := buildProfileUncached(cfg)
+	p, err := buildProfileUncached(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +118,6 @@ func buildProfile(cfg machine.Config) (*machine.Profile, error) {
 }
 
 // buildProfileUncached runs the default MultiMAPS sweep.
-func buildProfileUncached(cfg machine.Config) (*machine.Profile, error) {
-	return multimaps.Run(cfg, multimaps.DefaultOptions(cfg))
+func buildProfileUncached(ctx context.Context, cfg machine.Config) (*machine.Profile, error) {
+	return multimaps.Run(ctx, cfg, multimaps.DefaultOptions(cfg))
 }

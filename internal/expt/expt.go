@@ -5,6 +5,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,6 +23,17 @@ import (
 type Config struct {
 	// Collect tunes signature collection (sampling and warm-up sizes).
 	Collect pebil.Options
+	// Ctx cancels long experiment pipelines mid-simulation; nil means
+	// context.Background() (run to completion).
+	Ctx context.Context
+}
+
+// context returns the configured context, defaulting to Background.
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Spec pins the paper's experimental setup for one application.
@@ -63,7 +75,7 @@ type Table1Row struct {
 // simulation's measured runtime.
 func Table1(cfg Config) ([]Table1Row, error) {
 	target := TargetMachine()
-	prof, err := buildProfile(target)
+	prof, err := buildProfile(cfg.context(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +85,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +93,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		collected, err := collectSig(app, spec.TargetCount, target, cfg.Collect, nil)
+		collected, err := collectSig(cfg.context(), app, spec.TargetCount, target, cfg.Collect, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +143,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 	target := TargetMachine()
 	var rows []Table2Row
 	for _, p := range []int{1024, 2048, 4096, 8192} {
-		counters, err := collectCounters(app, p, target, cfg.Collect)
+		counters, err := collectCounters(cfg.context(), app, p, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +191,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			{sysA, &row.SystemA},
 			{sysB, &row.SystemB},
 		} {
-			counters, err := collectCounters(app, p, sys.cfg, cfg.Collect)
+			counters, err := collectCounters(cfg.context(), app, p, sys.cfg, cfg.Collect)
 			if err != nil {
 				return nil, err
 			}
@@ -213,7 +225,7 @@ type Figure1Row struct {
 // probe achieves.
 func Figure1() ([]Figure1Row, error) {
 	cfg := machine.Opteron2L()
-	prof, err := buildProfile(cfg)
+	prof, err := buildProfile(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +275,7 @@ func fitSeries(appName, blockFunc, element string, counts []int, cfg Config) (*F
 	}
 	fs := &FitSeries{App: appName, Block: blockFunc, Element: element, FitValues: map[string][]float64{}}
 	for _, p := range counts {
-		sig, err := collectSig(app, p, target, cfg.Collect, []int{0})
+		sig, err := collectSig(cfg.context(), app, p, target, cfg.Collect, []int{0})
 		if err != nil {
 			return nil, err
 		}
@@ -336,7 +348,7 @@ func Figure3(cfg Config) ([]Figure3Row, error) {
 	}
 	target := TargetMachine()
 	spec := PaperSpecs()[0]
-	inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+	inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +412,7 @@ func InfluentialElementError(cfg Config) ([]InfluentialErrorResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -408,7 +420,7 @@ func InfluentialElementError(cfg Config) ([]InfluentialErrorResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		truth, err := collectSig(app, spec.TargetCount, target, cfg.Collect, []int{0})
+		truth, err := collectSig(cfg.context(), app, spec.TargetCount, target, cfg.Collect, []int{0})
 		if err != nil {
 			return nil, err
 		}

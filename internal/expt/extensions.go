@@ -33,7 +33,7 @@ type WeakScalingRow struct {
 // at least as well as under strong scaling.
 func WeakScaling(cfg Config) ([]WeakScalingRow, error) {
 	target := TargetMachine()
-	prof, err := buildProfile(target)
+	prof, err := buildProfile(cfg.context(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func WeakScaling(cfg Config) ([]WeakScalingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		inputs, err := collectInputs(app, inputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, inputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +59,7 @@ func WeakScaling(cfg Config) ([]WeakScalingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		truth, err := collectSig(app, targetCount, target, cfg.Collect, []int{0})
+		truth, err := collectSig(cfg.context(), app, targetCount, target, cfg.Collect, []int{0})
 		if err != nil {
 			return nil, err
 		}
@@ -120,11 +120,11 @@ func CrossArch(cfg Config) ([]CrossArchRow, error) {
 		}
 		p := spec.InputCounts[len(spec.InputCounts)-1] // largest traced count
 		for _, sys := range machines {
-			prof, err := buildProfile(sys)
+			prof, err := buildProfile(cfg.context(), sys)
 			if err != nil {
 				return nil, err
 			}
-			sig, err := collectSig(app, p, sys, cfg.Collect, nil)
+			sig, err := collectSig(cfg.context(), app, p, sys, cfg.Collect, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -169,7 +169,7 @@ type ScalingCurveRow struct {
 // simulation.
 func ScalingCurve(cfg Config) ([]ScalingCurveRow, error) {
 	target := TargetMachine()
-	prof, err := buildProfile(target)
+	prof, err := buildProfile(cfg.context(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +178,7 @@ func ScalingCurve(cfg Config) ([]ScalingCurveRow, error) {
 		return nil, err
 	}
 	inputCounts := []int{1024, 2048, 4096}
-	inputs, err := collectInputs(app, inputCounts, target, cfg.Collect)
+	inputs, err := collectInputs(cfg.context(), app, inputCounts, target, cfg.Collect)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +234,7 @@ type EnergyRow struct {
 // use case the paper's feature-vector design anticipates.
 func EnergyDVFS(cfg Config) ([]EnergyRow, error) {
 	target := TargetMachine()
-	prof, err := buildProfile(target)
+	prof, err := buildProfile(cfg.context(), target)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +246,7 @@ func EnergyDVFS(cfg Config) ([]EnergyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		inputs, err := collectInputs(app, spec.InputCounts, target, cfg.Collect)
+		inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, target, cfg.Collect)
 		if err != nil {
 			return nil, err
 		}
@@ -315,11 +315,11 @@ func PrefetchExploration(cfg Config) ([]PrefetchRow, error) {
 			{base, &row.Baseline},
 			{pf, &row.Prefetched},
 		} {
-			prof, err := buildProfile(tc.sys)
+			prof, err := buildProfile(cfg.context(), tc.sys)
 			if err != nil {
 				return nil, err
 			}
-			inputs, err := collectInputs(app, spec.InputCounts, tc.sys, cfg.Collect)
+			inputs, err := collectInputs(cfg.context(), app, spec.InputCounts, tc.sys, cfg.Collect)
 			if err != nil {
 				return nil, err
 			}
@@ -459,7 +459,7 @@ func CalibrationDemo(cfg Config) ([]CalibrationRow, error) {
 		// Observed block timings on the true machine at every input count.
 		var obs []tracex.Observation
 		for _, p := range spec.InputCounts {
-			counters, err := collectCounters(app, p, truth, cfg.Collect)
+			counters, err := collectCounters(cfg.context(), app, p, truth, cfg.Collect)
 			if err != nil {
 				return nil, err
 			}

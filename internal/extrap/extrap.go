@@ -36,6 +36,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Validate checks the option values so that bad inputs fail before any
+// simulation or fitting runs. A zero Options is valid (the defaults).
+func (o Options) Validate() error {
+	if o.MinInputs != 0 && o.MinInputs < 2 {
+		return fmt.Errorf("extrap: MinInputs %d below the 2 points a fit needs", o.MinInputs)
+	}
+	for i, f := range o.Forms {
+		if f == nil {
+			return fmt.Errorf("extrap: nil form at index %d", i)
+		}
+	}
+	return nil
+}
+
 // ElementFit records the model selected for one feature-vector element of
 // one basic block.
 type ElementFit struct {
@@ -82,6 +96,9 @@ func (r *Result) FitsFor(blockID uint64) map[string]ElementFit {
 // required, and the target must exceed the largest input (the methodology
 // infers *larger*-scale behaviour).
 func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	if len(inputs) < opt.MinInputs {
 		return nil, fmt.Errorf("extrap: need at least %d input signatures, have %d", opt.MinInputs, len(inputs))
@@ -97,8 +114,8 @@ func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Resu
 			return nil, err
 		}
 		if s.App != first.App || s.Machine != first.Machine {
-			return nil, fmt.Errorf("extrap: signature (%s on %s) mixed with (%s on %s)",
-				s.App, s.Machine, first.App, first.Machine)
+			return nil, fmt.Errorf("extrap: %w: signature (%s on %s) mixed with (%s on %s)",
+				trace.ErrMachineMismatch, s.App, s.Machine, first.App, first.Machine)
 		}
 	}
 	for i := 1; i < len(sorted); i++ {

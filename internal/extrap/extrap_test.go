@@ -1,6 +1,8 @@
 package extrap
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -250,7 +252,7 @@ func TestEndToEndInfluentialElementError(t *testing.T) {
 	for _, c := range cases {
 		var inputs []*trace.Signature
 		for _, p := range c.counts {
-			sig, err := pebil.Collect(c.app, p, bw, []int{0}, opt)
+			sig, err := pebil.Collect(context.Background(), c.app, p, bw, []int{0}, opt)
 			if err != nil {
 				t.Fatalf("%s collect(%d): %v", c.app.Name(), p, err)
 			}
@@ -260,7 +262,7 @@ func TestEndToEndInfluentialElementError(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s extrapolate: %v", c.app.Name(), err)
 		}
-		truth, err := pebil.Collect(c.app, c.target, bw, []int{0}, opt)
+		truth, err := pebil.Collect(context.Background(), c.app, c.target, bw, []int{0}, opt)
 		if err != nil {
 			t.Fatalf("%s collect(%d): %v", c.app.Name(), c.target, err)
 		}

@@ -107,6 +107,22 @@ func (c Config) Validate() error {
 	return c.Network.Validate()
 }
 
+// Fingerprint returns a stable identity string covering every field of the
+// configuration. Two configs with equal fingerprints drive identical
+// simulations and therefore produce identical profiles and signatures,
+// which makes the fingerprint a safe memoization key — unlike Name alone,
+// which ad-hoc configs may share while differing in geometry.
+func (c Config) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%g|%v|%g|%g|%g|%g|%g|%t|%+v",
+		c.Name, c.ClockGHz, c.CacheLatency, c.MemLatencyCycles, c.MemBandwidthGBs,
+		c.FLOPsPerCycle, c.IssueWidth, c.MLP, c.Prefetch, c.Network)
+	for _, lv := range c.Caches {
+		fmt.Fprintf(&sb, "|%+v", lv)
+	}
+	return sb.String()
+}
+
 // FLOPSPerSecond returns the peak floating-point rate per core in FLOP/s.
 func (c Config) FLOPSPerSecond() float64 { return c.ClockGHz * 1e9 * c.FLOPsPerCycle }
 

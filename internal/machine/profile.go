@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
 
 	"tracex/internal/stats"
 )
@@ -60,6 +61,10 @@ type Profile struct {
 
 	// interp selects the lookup strategy (InterpModel by default).
 	interp Interpolation
+	// mu guards the lazily fitted coef so profiles can be shared across
+	// goroutines (the Engine caches and hands out one *Profile per
+	// machine).
+	mu sync.Mutex
 	// coef caches the fitted per-class cycles-per-reference coefficients
 	// (levels+1 entries, memory last); nil until first fit.
 	coef []float64
@@ -67,8 +72,10 @@ type Profile struct {
 
 // SetInterpolation selects the bandwidth-lookup strategy.
 func (p *Profile) SetInterpolation(i Interpolation) {
+	p.mu.Lock()
 	p.interp = i
 	p.coef = nil
+	p.mu.Unlock()
 }
 
 // Validate checks profile consistency.
@@ -273,15 +280,19 @@ func (p *Profile) fitModel() error {
 // prefetch traffic) and applies the machine's sustained-bandwidth ceiling
 // for the implied total memory traffic.
 func (p *Profile) lookupModel(hitRates []float64, prefetchPerRef float64) (float64, error) {
+	p.mu.Lock()
 	if p.coef == nil {
 		if err := p.fitModel(); err != nil {
+			p.mu.Unlock()
 			return 0, err
 		}
 	}
+	coef := p.coef
+	p.mu.Unlock()
 	ft := modelFeatures(hitRates, prefetchPerRef)
 	var cpr float64
 	for i, f := range ft {
-		cpr += f * p.coef[i]
+		cpr += f * coef[i]
 	}
 	if cpr <= 0 {
 		return 0, fmt.Errorf("machine: memory model gave non-positive cost for rates %v", hitRates)

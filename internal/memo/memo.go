@@ -1,0 +1,140 @@
+// Package memo provides a bounded, concurrency-safe memoization cache with
+// singleflight deduplication: concurrent requests for the same key share one
+// computation, and successful results are retained in an LRU store. The
+// pipeline's expensive artifacts — machine profiles from MultiMAPS sweeps
+// and application signatures from cache simulation — are deterministic
+// functions of their inputs, which makes them ideal memoization targets; the
+// Engine in the root package keys them by machine fingerprint and
+// collection parameters.
+package memo
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// flight is one in-progress computation; waiters block on done.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache memoizes the results of a keyed computation. The zero value is not
+// usable; construct with New. A Cache with capacity 0 stores nothing but
+// still deduplicates concurrent computations of the same key.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // most-recent first; elements hold *stored[K, V]
+	byKey    map[K]*list.Element
+	inflight map[K]*flight[V]
+	hits     uint64
+	misses   uint64
+}
+
+// stored is one retained cache entry.
+type stored[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache retaining up to capacity entries (least recently used
+// evicted first). A capacity of 0 disables retention — every Do runs the
+// function (deduplicating concurrent callers); a negative capacity means
+// unbounded retention.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    map[K]*list.Element{},
+		inflight: map[K]*flight[V]{},
+	}
+}
+
+// Do returns the value for key, computing it with fn on a miss. Concurrent
+// calls for the same key share a single fn invocation. Successful results
+// are cached (subject to capacity); errors are returned to every sharing
+// caller and never cached. A caller whose ctx is cancelled while waiting on
+// another caller's computation returns ctx.Err() immediately; the
+// computation itself keeps running for the callers that remain. hit reports
+// whether the value was served without running fn.
+func (c *Cache[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (val V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*stored[K, V]).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.val, true, fl.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.val, fl.err = fn()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil && c.capacity != 0 {
+		c.insert(key, fl.val)
+	}
+	c.mu.Unlock()
+	return fl.val, false, fl.err
+}
+
+// insert adds an entry and evicts beyond capacity. Caller holds mu.
+func (c *Cache[K, V]) insert(key K, val V) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*stored[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&stored[K, V]{key: key, val: val})
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*stored[K, V]).key)
+	}
+}
+
+// Get returns the cached value for key without computing anything.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*stored[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Len returns the number of retained entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts. A call that joins an
+// in-flight computation counts as a hit (no new work was started).
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,146 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesSuccess(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	fn := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.Do(context.Background(), "k", fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do #%d: %d, %v", i, v, err)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Errorf("Do #%d hit = %v", i, hit)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times", calls)
+	}
+	if hits, misses := c.Stats(); hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestDoDoesNotCacheErrors(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	boom := errors.New("boom")
+	fn := func() (int, error) { calls++; return 0, boom }
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+			t.Fatalf("Do #%d err = %v", i, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("error was cached: fn ran %d times", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache retained a failed entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](2)
+	for k := 0; k < 3; k++ {
+		k := k
+		c.Do(context.Background(), k, func() (int, error) { return k * 10, nil })
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Get(0); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if v, ok := c.Get(2); !ok || v != 20 {
+		t.Errorf("newest entry lost: %d, %v", v, ok)
+	}
+}
+
+func TestZeroCapacityDisablesRetention(t *testing.T) {
+	c := New[string, int](0)
+	calls := 0
+	fn := func() (int, error) { calls++; return 1, nil }
+	c.Do(context.Background(), "k", fn)
+	c.Do(context.Background(), "k", fn)
+	if calls != 2 {
+		t.Errorf("zero-capacity cache retained: fn ran %d times", calls)
+	}
+}
+
+func TestSingleflightDeduplicates(t *testing.T) {
+	c := New[string, int](4)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until all workers have joined
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times for %d concurrent callers", got, workers)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Errorf("worker %d got %d", i, v)
+		}
+	}
+}
+
+func TestWaiterHonoursContext(t *testing.T) {
+	c := New[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter returned %v", err)
+	}
+	close(release)
+}
+
+func TestDistinctKeysComputeIndependently(t *testing.T) {
+	c := New[int, string](-1) // unbounded
+	for k := 0; k < 50; k++ {
+		k := k
+		v, _, err := c.Do(context.Background(), k, func() (string, error) {
+			return fmt.Sprint(k), nil
+		})
+		if err != nil || v != fmt.Sprint(k) {
+			t.Fatalf("key %d: %q, %v", k, v, err)
+		}
+	}
+	if c.Len() != 50 {
+		t.Errorf("unbounded cache len = %d", c.Len())
+	}
+}

@@ -13,6 +13,8 @@
 package multimaps
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -94,11 +96,15 @@ func (o Options) validate() error {
 // elem is the probe element size: 8-byte (double precision) values.
 const elem = 8
 
+// ctxCheckMask throttles cancellation polling in the probe loops: the
+// context is consulted every ctxCheckMask+1 references.
+const ctxCheckMask = 1<<16 - 1
+
 // probe runs a single (working set, stride) measurement on a fresh cache
 // simulator and returns the surface point. A zero stride requests the
 // random-access probe; a negative resident fraction is ignored, a positive
 // one requests a mixed-locality probe (stride is then unused).
-func probe(cfg machine.Config, model *memsim.Model, ws, stride uint64, frac float64, opt Options) (machine.SurfacePoint, error) {
+func probe(ctx context.Context, cfg machine.Config, model *memsim.Model, ws, stride uint64, frac float64, opt Options) (machine.SurfacePoint, error) {
 	sim, err := cache.NewSimulatorOpts(cfg.Caches, cache.Options{NextLinePrefetch: cfg.Prefetch})
 	if err != nil {
 		return machine.SurfacePoint{}, err
@@ -138,10 +144,20 @@ func probe(cfg machine.Config, model *memsim.Model, ws, stride uint64, frac floa
 		warmRefs = max // beyond-LLC regions are miss-bound immediately
 	}
 	for i := 0; i < warmRefs; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return machine.SurfacePoint{}, err
+			}
+		}
 		sim.Access(gen.Next())
 	}
 	sim.ResetCounters()
 	for i := 0; i < opt.RefsPerProbe; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return machine.SurfacePoint{}, err
+			}
+		}
 		sim.Access(gen.Next())
 	}
 	ctr := sim.Counters()
@@ -165,8 +181,9 @@ func probe(cfg machine.Config, model *memsim.Model, ws, stride uint64, frac floa
 
 // Run executes the MultiMAPS sweep against cfg's simulated memory system and
 // returns the machine profile containing the measured bandwidth surface.
-// Probe points are independent, so they run concurrently.
-func Run(cfg machine.Config, opt Options) (*machine.Profile, error) {
+// Probe points are independent, so they run concurrently. Cancelling ctx
+// stops the sweep promptly and returns ctx.Err().
+func Run(ctx context.Context, cfg machine.Config, opt Options) (*machine.Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,7 +229,10 @@ func Run(cfg machine.Config, opt Options) (*machine.Profile, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				points[i], errs[i] = probe(cfg, model, jobs[i].ws, jobs[i].stride, jobs[i].frac, opt)
+				if errs[i] = ctx.Err(); errs[i] != nil {
+					continue // cancelled: drain the remaining jobs cheaply
+				}
+				points[i], errs[i] = probe(ctx, cfg, model, jobs[i].ws, jobs[i].stride, jobs[i].frac, opt)
 			}
 		}()
 	}
@@ -221,10 +241,21 @@ func Run(cfg machine.Config, opt Options) (*machine.Profile, error) {
 	}
 	close(next)
 	wg.Wait()
+	// Prefer a real probe failure over the cancellations it may have left
+	// in sibling probes, falling back to the context error.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	sort.Slice(points, func(i, j int) bool {
 		if points[i].ResidentFraction != points[j].ResidentFraction {

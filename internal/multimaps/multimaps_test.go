@@ -1,6 +1,8 @@
 package multimaps
 
 import (
+	"context"
+
 	"testing"
 
 	"tracex/internal/machine"
@@ -42,7 +44,7 @@ func TestDefaultOptionsStraddleHierarchy(t *testing.T) {
 
 func TestRunProducesValidProfile(t *testing.T) {
 	cfg := machine.Opteron2L()
-	p, err := Run(cfg, smallOptions(cfg))
+	p, err := Run(context.Background(), cfg, smallOptions(cfg))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -59,7 +61,7 @@ func TestSurfaceShapeCacheCliffs(t *testing.T) {
 	// set fits L1, lower when it only fits L2, lowest from memory.
 	cfg := machine.Opteron2L()
 	o := smallOptions(cfg)
-	p, err := Run(cfg, o)
+	p, err := Run(context.Background(), cfg, o)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -85,7 +87,7 @@ func TestSurfaceShapeCacheCliffs(t *testing.T) {
 
 func TestSurfaceHitRatesTrackWorkingSet(t *testing.T) {
 	cfg := machine.Opteron2L()
-	p, err := Run(cfg, smallOptions(cfg))
+	p, err := Run(context.Background(), cfg, smallOptions(cfg))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -112,7 +114,7 @@ func TestSurfaceHitRatesTrackWorkingSet(t *testing.T) {
 
 func TestRandomProbeSlowerThanUnitStrideInMemory(t *testing.T) {
 	cfg := machine.Opteron2L()
-	p, err := Run(cfg, smallOptions(cfg))
+	p, err := Run(context.Background(), cfg, smallOptions(cfg))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -141,12 +143,12 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	cfg := machine.Opteron2L()
 	o := smallOptions(cfg)
 	o.Parallelism = 1
-	serial, err := Run(cfg, o)
+	serial, err := Run(context.Background(), cfg, o)
 	if err != nil {
 		t.Fatalf("serial Run: %v", err)
 	}
 	o.Parallelism = 8
-	parallel, err := Run(cfg, o)
+	parallel, err := Run(context.Background(), cfg, o)
 	if err != nil {
 		t.Fatalf("parallel Run: %v", err)
 	}
@@ -162,27 +164,27 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	cfg := machine.Opteron2L()
-	if _, err := Run(cfg, Options{}); err == nil {
+	if _, err := Run(context.Background(), cfg, Options{}); err == nil {
 		t.Error("empty options accepted")
 	}
 	bad := smallOptions(cfg)
 	bad.RefsPerProbe = 0
-	if _, err := Run(cfg, bad); err == nil {
+	if _, err := Run(context.Background(), cfg, bad); err == nil {
 		t.Error("zero refs accepted")
 	}
 	bad = smallOptions(cfg)
 	bad.WarmupPasses = -1
-	if _, err := Run(cfg, bad); err == nil {
+	if _, err := Run(context.Background(), cfg, bad); err == nil {
 		t.Error("negative warmup accepted")
 	}
 	bad = smallOptions(cfg)
 	bad.WorkingSets = []uint64{4}
-	if _, err := Run(cfg, bad); err == nil {
+	if _, err := Run(context.Background(), cfg, bad); err == nil {
 		t.Error("tiny working set accepted")
 	}
 	invalidCfg := cfg
 	invalidCfg.ClockGHz = 0
-	if _, err := Run(invalidCfg, smallOptions(cfg)); err == nil {
+	if _, err := Run(context.Background(), invalidCfg, smallOptions(cfg)); err == nil {
 		t.Error("invalid machine accepted")
 	}
 }
@@ -194,7 +196,7 @@ func TestStrideLargerThanWorkingSetSkipped(t *testing.T) {
 		Strides:      []uint64{8, 1 << 20}, // second exceeds the working set
 		RefsPerProbe: 1000,
 	}
-	p, err := Run(cfg, o)
+	p, err := Run(context.Background(), cfg, o)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -209,7 +211,7 @@ func BenchmarkProbeSweep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(cfg, o); err != nil {
+		if _, err := Run(context.Background(), cfg, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -217,7 +219,7 @@ func BenchmarkProbeSweep(b *testing.B) {
 
 func TestMixedProbesFillTheSurface(t *testing.T) {
 	cfg := machine.Opteron2L()
-	p, err := Run(cfg, smallOptions(cfg))
+	p, err := Run(context.Background(), cfg, smallOptions(cfg))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -253,18 +255,18 @@ func TestMixedFractionValidation(t *testing.T) {
 	cfg := machine.Opteron2L()
 	o := smallOptions(cfg)
 	o.MixedFractions = []float64{1.5}
-	if _, err := Run(cfg, o); err == nil {
+	if _, err := Run(context.Background(), cfg, o); err == nil {
 		t.Error("fraction >1 accepted")
 	}
 	o.MixedFractions = []float64{0}
-	if _, err := Run(cfg, o); err == nil {
+	if _, err := Run(context.Background(), cfg, o); err == nil {
 		t.Error("zero fraction accepted")
 	}
 }
 
 func TestPrefetchingMachineSurfaceRecordsTraffic(t *testing.T) {
 	cfg := machine.WithPrefetch(machine.Opteron2L())
-	p, err := Run(cfg, smallOptions(cfg))
+	p, err := Run(context.Background(), cfg, smallOptions(cfg))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

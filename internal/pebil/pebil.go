@@ -14,6 +14,7 @@
 package pebil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -61,8 +62,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// errEmptyWorkload reports a workload with no references at all.
-var errEmptyWorkload = errors.New("pebil: workload has no references")
+// Normalized returns the options with defaults filled and execution-only
+// knobs cleared: Parallelism schedules the same simulations across more or
+// fewer workers without changing any result, so it is zeroed. Two option
+// values with equal Normalized forms produce identical signatures, which
+// makes the normalized value a safe memoization key component.
+func (o Options) Normalized() Options {
+	o = o.withDefaults()
+	o.Parallelism = 0
+	return o
+}
+
+// ErrEmptyWorkload reports a workload with no references at all.
+var ErrEmptyWorkload = errors.New("pebil: workload has no references")
+
+// ctxCheckMask throttles cancellation polling in the simulation loops: the
+// context is consulted every ctxCheckMask+1 references, often enough to
+// stop within a fraction of a millisecond without measurable overhead.
+const ctxCheckMask = 1<<16 - 1
 
 // BlockCounters couples one block's workload with its sampled cache
 // accounting on the target system, for the application's dominant rank.
@@ -82,7 +99,8 @@ type BlockCounters struct {
 // count p against the target machine's cache structure, returning per-block
 // sampled counters. Each block runs on a fresh simulator (steady-state
 // warm-up, then a counted sample), and blocks are simulated concurrently.
-func CollectCounters(app *synthapp.App, p int, target machine.Config, opt Options) ([]BlockCounters, error) {
+// Cancelling ctx stops the simulations promptly and returns ctx.Err().
+func CollectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt Options) ([]BlockCounters, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,7 +110,7 @@ func CollectCounters(app *synthapp.App, p int, target machine.Config, opt Option
 		return nil, err
 	}
 	if opt.SharedHierarchy {
-		return collectShared(works, target, opt)
+		return collectShared(ctx, works, target, opt)
 	}
 	out := make([]BlockCounters, len(works))
 	errs := make([]error, len(works))
@@ -104,20 +122,34 @@ func CollectCounters(app *synthapp.App, p int, target machine.Config, opt Option
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = simulateBlock(&works[i], target, opt)
+			if errs[i] = ctx.Err(); errs[i] != nil {
+				return // cancelled while queued behind other blocks
+			}
+			out[i], errs[i] = simulateBlock(ctx, &works[i], target, opt)
 		}(i)
 	}
 	wg.Wait()
+	// Prefer a real simulation failure over the cancellations it may have
+	// triggered in sibling blocks, falling back to the context error.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return out, nil
 }
 
 // simulateBlock runs one block's sampled stream through a fresh simulator.
-func simulateBlock(w *synthapp.Work, target machine.Config, opt Options) (BlockCounters, error) {
+func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config, opt Options) (BlockCounters, error) {
 	sim, err := cache.NewSimulatorOpts(target.Caches, cache.Options{NextLinePrefetch: target.Prefetch})
 	if err != nil {
 		return BlockCounters{}, err
@@ -130,6 +162,11 @@ func simulateBlock(w *synthapp.Work, target machine.Config, opt Options) (BlockC
 		warm = opt.MaxWarmRefs
 	}
 	for i := 0; i < warm; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return BlockCounters{}, err
+			}
+		}
 		sim.Access(w.Gen.Next())
 	}
 	sim.ResetCounters()
@@ -141,6 +178,11 @@ func simulateBlock(w *synthapp.Work, target machine.Config, opt Options) (BlockC
 		sample = 1
 	}
 	for i := 0; i < sample; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return BlockCounters{}, err
+			}
+		}
 		sim.Access(w.Gen.Next())
 	}
 	return BlockCounters{
@@ -179,9 +221,10 @@ func featureVector(bc *BlockCounters, loadFactor float64) trace.FeatureVector {
 // Collect produces the application signature of app at core count p against
 // the target machine: one trace file per requested rank. A nil ranks slice
 // collects the paper's default — one representative rank per load class,
-// always including the dominant rank 0.
-func Collect(app *synthapp.App, p int, target machine.Config, ranks []int, opt Options) (*trace.Signature, error) {
-	counters, err := CollectCounters(app, p, target, opt)
+// always including the dominant rank 0. Cancelling ctx stops the underlying
+// simulations promptly and returns ctx.Err().
+func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, opt Options) (*trace.Signature, error) {
+	counters, err := CollectCounters(ctx, app, p, target, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +237,7 @@ func Collect(app *synthapp.App, p int, target machine.Config, ranks []int, opt O
 	seen := map[int]bool{}
 	for _, r := range ranks {
 		if r < 0 || r >= p {
-			return nil, fmt.Errorf("pebil: rank %d out of range for %d cores", r, p)
+			return nil, fmt.Errorf("pebil: %w: rank %d of %d cores", trace.ErrRankOutOfRange, r, p)
 		}
 		if seen[r] {
 			return nil, fmt.Errorf("pebil: duplicate rank %d requested", r)

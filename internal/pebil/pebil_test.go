@@ -1,6 +1,8 @@
 package pebil
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -14,7 +16,7 @@ var fastOpt = Options{SampleRefs: 60_000, MaxWarmRefs: 120_000}
 func TestCollectCountersBasics(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
-	cs, err := CollectCounters(app, 64, bw, fastOpt)
+	cs, err := CollectCounters(context.Background(), app, 64, bw, fastOpt)
 	if err != nil {
 		t.Fatalf("CollectCounters: %v", err)
 	}
@@ -44,11 +46,11 @@ func TestCollectCountersDeterministicAcrossParallelism(t *testing.T) {
 	o1.Parallelism = 1
 	o2 := fastOpt
 	o2.Parallelism = 8
-	a, err := CollectCounters(app, 64, bw, o1)
+	a, err := CollectCounters(context.Background(), app, 64, bw, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CollectCounters(app, 64, bw, o2)
+	b, err := CollectCounters(context.Background(), app, 64, bw, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestCollectCountersDeterministicAcrossParallelism(t *testing.T) {
 func TestCollectSignatureDefaultRanks(t *testing.T) {
 	app := synthapp.SPECFEM3D()
 	bw := machine.BlueWatersP1()
-	sig, err := Collect(app, 96, bw, nil, fastOpt)
+	sig, err := Collect(context.Background(), app, 96, bw, nil, fastOpt)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -87,7 +89,7 @@ func TestCollectSignatureDefaultRanks(t *testing.T) {
 func TestCollectScalesByLoadFactor(t *testing.T) {
 	app := synthapp.UH3D()
 	bw := machine.BlueWatersP1()
-	sig, err := Collect(app, 1024, bw, []int{0, 1}, fastOpt)
+	sig, err := Collect(context.Background(), app, 1024, bw, []int{0, 1}, fastOpt)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -110,18 +112,18 @@ func TestCollectScalesByLoadFactor(t *testing.T) {
 func TestCollectRankValidation(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
-	if _, err := Collect(app, 64, bw, []int{64}, fastOpt); err == nil {
+	if _, err := Collect(context.Background(), app, 64, bw, []int{64}, fastOpt); err == nil {
 		t.Error("out-of-range rank accepted")
 	}
-	if _, err := Collect(app, 64, bw, []int{1, 1}, fastOpt); err == nil {
+	if _, err := Collect(context.Background(), app, 64, bw, []int{1, 1}, fastOpt); err == nil {
 		t.Error("duplicate rank accepted")
 	}
 	bad := bw
 	bad.ClockGHz = 0
-	if _, err := Collect(app, 64, bad, nil, fastOpt); err == nil {
+	if _, err := Collect(context.Background(), app, 64, bad, nil, fastOpt); err == nil {
 		t.Error("invalid machine accepted")
 	}
-	if _, err := Collect(app, 1, bw, nil, fastOpt); err != nil {
+	if _, err := Collect(context.Background(), app, 1, bw, nil, fastOpt); err != nil {
 		// 1 core is below stencil3d's range: expected failure.
 		return
 	}
@@ -136,7 +138,7 @@ func TestTableIIIResidencyContrast(t *testing.T) {
 	for _, sys := range []machine.Config{machine.SystemA12KB(), machine.SystemB56KB()} {
 		var rates []float64
 		for _, p := range counts {
-			cs, err := CollectCounters(app, p, sys, fastOpt)
+			cs, err := CollectCounters(context.Background(), app, p, sys, fastOpt)
 			if err != nil {
 				t.Fatalf("CollectCounters(%s, %d): %v", sys.Name, p, err)
 			}
@@ -177,7 +179,7 @@ func TestTableIIHitRatesRiseWithCoreCount(t *testing.T) {
 	steadyOpt := Options{SampleRefs: 400_000, MaxWarmRefs: 2_000_000}
 	var l1, l3 []float64
 	for _, p := range []int{1024, 2048, 4096, 8192} {
-		cs, err := CollectCounters(app, p, bw, steadyOpt)
+		cs, err := CollectCounters(context.Background(), app, p, bw, steadyOpt)
 		if err != nil {
 			t.Fatalf("CollectCounters(%d): %v", p, err)
 		}
@@ -208,7 +210,7 @@ func BenchmarkCollectCounters(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CollectCounters(app, 2048, bw, fastOpt); err != nil {
+		if _, err := CollectCounters(context.Background(), app, 2048, bw, fastOpt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package pebil
 
 import (
+	"context"
+
 	"tracex/internal/cache"
 	"tracex/internal/machine"
 	"tracex/internal/synthapp"
@@ -11,7 +13,7 @@ import (
 // the task's total references — the closest sampled analog of processing
 // the task's single interleaved address stream on the fly (Figure 2 of the
 // paper). Per-block accounting is attributed access by access.
-func collectShared(works []synthapp.Work, target machine.Config, opt Options) ([]BlockCounters, error) {
+func collectShared(ctx context.Context, works []synthapp.Work, target machine.Config, opt Options) ([]BlockCounters, error) {
 	sim, err := cache.NewSimulatorOpts(target.Caches, cache.Options{NextLinePrefetch: target.Prefetch})
 	if err != nil {
 		return nil, err
@@ -26,7 +28,7 @@ func collectShared(works []synthapp.Work, target machine.Config, opt Options) ([
 		totalRefs += works[i].Refs
 	}
 	if totalRefs <= 0 {
-		return nil, errEmptyWorkload
+		return nil, ErrEmptyWorkload
 	}
 	weights := make([]float64, len(works))
 	for i := range works {
@@ -48,6 +50,11 @@ func collectShared(works []synthapp.Work, target machine.Config, opt Options) ([
 	// Warm-up: one interleaved pass sized like the per-block warm cap.
 	warm := opt.MaxWarmRefs
 	for i := 0; i < warm; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		b := nextBlock()
 		sim.Access(works[b].Gen.Next())
 	}
@@ -68,6 +75,11 @@ func collectShared(works []synthapp.Work, target machine.Config, opt Options) ([
 	total := opt.SampleRefs * len(works)
 	lastPF := sim.PrefetchFillCount()
 	for i := 0; i < total; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		b := nextBlock()
 		lvl := sim.Access(works[b].Gen.Next())
 		st := &stats[b]
@@ -89,7 +101,7 @@ func collectShared(works []synthapp.Work, target machine.Config, opt Options) ([
 		if st.refs == 0 {
 			// A vanishingly small block may receive no interleaved slots;
 			// give it a private steady-state measurement instead.
-			bc, err := simulateBlock(&works[i], target, opt)
+			bc, err := simulateBlock(ctx, &works[i], target, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package pebil
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -12,7 +14,7 @@ func TestSharedHierarchyCollection(t *testing.T) {
 	app := synthapp.UH3D()
 	bw := machine.BlueWatersP1()
 	opt := Options{SampleRefs: 120_000, MaxWarmRefs: 1_200_000, SharedHierarchy: true}
-	cs, err := CollectCounters(app, 1024, bw, opt)
+	cs, err := CollectCounters(context.Background(), app, 1024, bw, opt)
 	if err != nil {
 		t.Fatalf("CollectCounters(shared): %v", err)
 	}
@@ -57,11 +59,11 @@ func TestSharedVsPrivateContention(t *testing.T) {
 	base := Options{SampleRefs: 120_000, MaxWarmRefs: 1_200_000}
 	shared := base
 	shared.SharedHierarchy = true
-	priv, err := CollectCounters(app, 1024, bw, base)
+	priv, err := CollectCounters(context.Background(), app, 1024, bw, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := CollectCounters(app, 1024, bw, shared)
+	sh, err := CollectCounters(context.Background(), app, 1024, bw, shared)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestSharedHierarchySignature(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
 	opt := Options{SampleRefs: 60_000, MaxWarmRefs: 300_000, SharedHierarchy: true}
-	sig, err := Collect(app, 64, bw, nil, opt)
+	sig, err := Collect(context.Background(), app, 64, bw, nil, opt)
 	if err != nil {
 		t.Fatalf("Collect(shared): %v", err)
 	}

@@ -1,6 +1,8 @@
 package psins
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -16,7 +18,7 @@ func buildProfile(t *testing.T) *machine.Profile {
 	o := multimaps.DefaultOptions(cfg)
 	o.RefsPerProbe = 20_000
 	o.WarmupPasses = 1
-	p, err := multimaps.Run(cfg, o)
+	p, err := multimaps.Run(context.Background(), cfg, o)
 	if err != nil {
 		t.Fatalf("multimaps.Run: %v", err)
 	}

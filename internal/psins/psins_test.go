@@ -1,6 +1,8 @@
 package psins
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -353,7 +355,7 @@ func TestReplayTracedTimeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tl Timeline
-	res, err := ReplayTraced(prog, testNet(t), flatCost(0.5), &tl)
+	res, err := ReplayTraced(context.Background(), prog, testNet(t), flatCost(0.5), &tl)
 	if err != nil {
 		t.Fatalf("ReplayTraced: %v", err)
 	}

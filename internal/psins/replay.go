@@ -1,6 +1,7 @@
 package psins
 
 import (
+	"context"
 	"fmt"
 
 	"tracex/internal/mpi"
@@ -79,14 +80,19 @@ func (tl *Timeline) add(rank int, kind mpi.EventKind, start, end float64, blockI
 // returns an error for structurally invalid programs and for replays that
 // deadlock (which cannot happen for programs produced by mpi.Builder).
 func Replay(prog *mpi.Program, net Network, cost ComputeCost) (*Result, error) {
-	return ReplayTraced(prog, net, cost, nil)
+	return ReplayTraced(context.Background(), prog, net, cost, nil)
 }
 
-// ReplayTraced is Replay with optional timeline recording: when tl is
-// non-nil every rank's compute and communication intervals are appended to
-// it (memory grows with the event count — use judiciously at large rank
-// counts).
-func ReplayTraced(prog *mpi.Program, net Network, cost ComputeCost, tl *Timeline) (*Result, error) {
+// ctxCheckMask throttles cancellation polling in the replay scheduler: the
+// context is consulted every ctxCheckMask+1 replayed events.
+const ctxCheckMask = 1<<12 - 1
+
+// ReplayTraced is Replay with context cancellation and optional timeline
+// recording: cancelling ctx stops the replay promptly mid-schedule and
+// returns ctx.Err(); when tl is non-nil every rank's compute and
+// communication intervals are appended to it (memory grows with the event
+// count — use judiciously at large rank counts).
+func ReplayTraced(ctx context.Context, prog *mpi.Program, net Network, cost ComputeCost, tl *Timeline) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,13 +149,22 @@ func ReplayTraced(prog *mpi.Program, net Network, cost ComputeCost, tl *Timeline
 		return true
 	}
 
+	var replayed int
 	for !allDone() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		progress := false
 		for r := 0; r < n; r++ {
 			// Drain as many events as possible for this rank before moving
 			// on; only a blocked receive or collective stops it.
 		rankLoop:
 			for !done(r) {
+				if replayed++; replayed&ctxCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				e := prog.Ranks[r][pc[r]]
 				switch e.Kind {
 				case mpi.Compute:

@@ -1,0 +1,16 @@
+package trace
+
+import "errors"
+
+// Sentinel errors shared across the pipeline. Producers wrap them with
+// fmt.Errorf("...: %w", ...) so callers can branch with errors.Is while the
+// message keeps its context; the root tracex package re-exports them.
+var (
+	// ErrNoTraces reports a signature with no trace files.
+	ErrNoTraces = errors.New("signature has no traces")
+	// ErrRankOutOfRange reports an MPI rank outside [0, cores).
+	ErrRankOutOfRange = errors.New("rank out of range")
+	// ErrMachineMismatch reports pipeline artifacts (signatures, profiles)
+	// that describe different applications or target machines.
+	ErrMachineMismatch = errors.New("application/machine mismatch")
+)

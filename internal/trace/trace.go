@@ -199,7 +199,7 @@ func (t *Trace) Validate() error {
 		return fmt.Errorf("trace: non-positive core count %d", t.CoreCount)
 	}
 	if t.Rank < 0 || t.Rank >= t.CoreCount {
-		return fmt.Errorf("trace: rank %d out of range for %d cores", t.Rank, t.CoreCount)
+		return fmt.Errorf("trace: %w: rank %d of %d cores", ErrRankOutOfRange, t.Rank, t.CoreCount)
 	}
 	if t.Levels <= 0 {
 		return fmt.Errorf("trace: non-positive level count %d", t.Levels)
@@ -286,7 +286,7 @@ type Signature struct {
 // Validate checks the signature and every contained trace.
 func (s *Signature) Validate() error {
 	if len(s.Traces) == 0 {
-		return fmt.Errorf("trace: signature has no traces")
+		return fmt.Errorf("trace: %w", ErrNoTraces)
 	}
 	for i := range s.Traces {
 		tr := &s.Traces[i]

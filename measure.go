@@ -1,6 +1,7 @@
 package tracex
 
 import (
+	"context"
 	"fmt"
 
 	"tracex/internal/memsim"
@@ -9,14 +10,23 @@ import (
 )
 
 // Measure runs the detailed execution simulation of the application at the
-// given core count on the target machine. This is the reproduction's
-// stand-in for actually running and timing the application on real hardware
-// (the paper's "real measured runtime"): instead of interpolating a
-// benchmark-derived bandwidth surface like the convolution, it prices every
-// basic block directly from its cache-simulator accounting with the
-// cycle-level memory timing model, then replays the full MPI event trace.
+// given core count on the target machine.
+//
+// It is a wrapper over Engine.Measure on the default Engine with
+// context.Background().
 func Measure(app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
-	counters, err := pebil.CollectCounters(app, cores, target, opt)
+	return DefaultEngine().Measure(context.Background(), app, cores, target, opt)
+}
+
+// measure is the detailed execution simulation behind Engine.Measure: the
+// reproduction's stand-in for actually running and timing the application
+// on real hardware (the paper's "real measured runtime"). Instead of
+// interpolating a benchmark-derived bandwidth surface like the convolution,
+// it prices every basic block directly from its cache-simulator accounting
+// with the cycle-level memory timing model, then replays the full MPI event
+// trace.
+func measure(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
+	counters, err := pebil.CollectCounters(ctx, app, cores, target, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +74,7 @@ func Measure(app *App, cores int, target MachineConfig, opt CollectOptions) (*Pr
 		}
 		return t * share * app.LoadFactor(rank), nil
 	}
-	res, err := psins.Replay(prog, net, cost)
+	res, err := psins.ReplayTraced(ctx, prog, net, cost, nil)
 	if err != nil {
 		return nil, err
 	}

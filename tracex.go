@@ -16,16 +16,22 @@
 // machine, multimaps, trace, mpi, psins, synthapp, pebil, extrap, cluster);
 // this package wires them together and re-exports the data types a caller
 // needs via type aliases.
+//
+// The pipeline is orchestrated by Engine, which memoizes machine profiles
+// and application signatures, deduplicates concurrent identical work, and
+// fans batch requests out across a bounded worker pool. The package-level
+// functions below are convenience wrappers over a process-wide default
+// Engine with context.Background(); callers that need cancellation,
+// bounded parallelism or cache control should construct their own Engine.
 package tracex
 
 import (
-	"fmt"
+	"context"
 
 	"tracex/internal/cluster"
 	"tracex/internal/extrap"
 	"tracex/internal/machine"
 	"tracex/internal/mpi"
-	"tracex/internal/multimaps"
 	"tracex/internal/pebil"
 	"tracex/internal/psins"
 	"tracex/internal/stats"
@@ -63,6 +69,23 @@ type (
 	Form = stats.Form
 )
 
+// Sentinel errors for the failure modes callers branch on. Every error
+// returned from the pipeline that stems from one of these conditions wraps
+// the corresponding sentinel, so errors.Is works across all entry points
+// (free functions, Engine methods, and the CLIs).
+var (
+	// ErrMachineMismatch reports signatures and profiles (or mixed input
+	// signatures) that describe different machines or applications.
+	ErrMachineMismatch = trace.ErrMachineMismatch
+	// ErrNoTraces reports a signature with no trace files.
+	ErrNoTraces = trace.ErrNoTraces
+	// ErrRankOutOfRange reports a rank selection outside [0, cores).
+	ErrRankOutOfRange = trace.ErrRankOutOfRange
+	// ErrEmptyWorkload reports an application whose workload generates no
+	// basic blocks at the requested core count.
+	ErrEmptyWorkload = pebil.ErrEmptyWorkload
+)
+
 // CanonicalForms returns the paper's four canonical forms (constant,
 // linear, logarithmic, exponential) in selection tie-break order.
 func CanonicalForms() []Form { return stats.CanonicalForms() }
@@ -87,37 +110,33 @@ func LoadMachine(name string) (MachineConfig, error) { return machine.ByName(nam
 func Machines() []string { return machine.Names() }
 
 // BuildProfile runs the MultiMAPS benchmark against the machine's simulated
-// memory system and returns its machine profile.
+// memory system and returns its machine profile. The result is memoized by
+// the default Engine and must be treated as read-only.
 func BuildProfile(cfg MachineConfig) (*Profile, error) {
-	return multimaps.Run(cfg, multimaps.DefaultOptions(cfg))
+	return DefaultEngine().Profile(context.Background(), cfg)
 }
 
 // CollectSignature traces the application at the given core count against
 // the target machine's cache structure, producing the application signature
-// (one trace per load class by default; the paper's tracing step).
+// (one trace per load class by default; the paper's tracing step). The
+// result is memoized by the default Engine and must be treated as
+// read-only.
 func CollectSignature(app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, error) {
-	return pebil.Collect(app, cores, target, nil, opt)
+	return DefaultEngine().CollectSignature(context.Background(), app, cores, target, opt)
 }
 
 // CollectInputs traces the application at each of the given core counts —
-// the "series of smaller core counts" the extrapolation consumes.
+// the "series of smaller core counts" the extrapolation consumes. The
+// collections run concurrently on the default Engine's worker pool.
 func CollectInputs(app *App, counts []int, target MachineConfig, opt CollectOptions) ([]*Signature, error) {
-	out := make([]*Signature, len(counts))
-	for i, p := range counts {
-		sig, err := CollectSignature(app, p, target, opt)
-		if err != nil {
-			return nil, fmt.Errorf("tracex: collecting at %d cores: %w", p, err)
-		}
-		out[i] = sig
-	}
-	return out, nil
+	return DefaultEngine().CollectInputs(context.Background(), app, counts, target, opt)
 }
 
 // Extrapolate fits canonical scaling forms to every feature-vector element
 // of the dominant task across the input signatures and synthesizes the
 // signature at targetCores.
 func Extrapolate(inputs []*Signature, targetCores int, opt ExtrapOptions) (*ExtrapResult, error) {
-	return extrap.Extrapolate(inputs, targetCores, opt)
+	return DefaultEngine().Extrapolate(context.Background(), inputs, targetCores, opt)
 }
 
 // CompareTraces evaluates an extrapolated trace element-by-element against
@@ -142,69 +161,39 @@ type Prediction struct {
 	CommSeconds float64
 	// MemSeconds and FPSeconds decompose the dominant rank's computation.
 	MemSeconds, FPSeconds float64
+	// Replay is the full per-rank replay result; populated only when the
+	// prediction was requested with PredictRequest.WithReplay.
+	Replay *ReplayResult
+	// Timeline is the per-rank segment record; populated only when the
+	// prediction was requested with PredictRequest.WithTimeline.
+	Timeline *Timeline
 }
 
 // ReplayResult is the discrete-event replay outcome with per-rank detail.
 type ReplayResult = psins.Result
 
-// Predict produces the PMaC-framework runtime prediction for the
-// application at the signature's core count on the profiled machine: the
-// dominant task's trace is convolved with the machine profile (Equation 1)
-// and the resulting per-block times drive a replay of the application's
-// communication event trace.
+// Predict produces the runtime prediction for the application at the
+// signature's core count on the profiled machine.
+//
+// Deprecated: use Engine.Predict, which takes a context and folds the
+// Predict/PredictDetailed/PredictTimeline trio into one request type.
 func Predict(sig *Signature, prof *Profile, app *App) (*Prediction, error) {
-	pred, _, err := PredictDetailed(sig, prof, app)
-	return pred, err
+	return DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: sig, Profile: prof, App: app})
 }
 
 // PredictDetailed is Predict but also returns the full per-rank replay
 // result.
+//
+// Deprecated: use Engine.Predict with PredictRequest.WithReplay; the
+// replay result arrives on Prediction.Replay.
 func PredictDetailed(sig *Signature, prof *Profile, app *App) (*Prediction, *ReplayResult, error) {
-	return predictWith(sig, prof, app, nil)
-}
-
-// predictWith is the shared implementation of the Predict variants; tl may
-// be nil (no timeline recording).
-func predictWith(sig *Signature, prof *Profile, app *App, tl *Timeline) (*Prediction, *ReplayResult, error) {
-	if sig.Machine != prof.Machine.Name {
-		return nil, nil, fmt.Errorf("tracex: signature simulated %q but profile is for %q",
-			sig.Machine, prof.Machine.Name)
-	}
-	dom := sig.DominantTrace()
-	if dom == nil {
-		return nil, nil, fmt.Errorf("tracex: signature has no traces")
-	}
-	comp, err := psins.Convolve(dom, prof)
+	pred, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: sig, Profile: prof, App: app, WithReplay: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	prog, err := app.Program(sig.CoreCount)
-	if err != nil {
-		return nil, nil, err
-	}
-	net, err := psins.NewNetwork(prof.Machine.Network)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Non-dominant ranks execute the same blocks scaled by their load
-	// factor relative to the dominant rank (the paper scales every trace
-	// file from the slowest task's prediction vector).
-	domFactor := app.LoadFactor(dom.Rank)
-	lf := func(rank int) float64 { return app.LoadFactor(rank) / domFactor }
-	res, err := psins.ReplayTraced(prog, net, psins.CostFromComputation(comp, lf), tl)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Prediction{
-		App:            sig.App,
-		CoreCount:      sig.CoreCount,
-		Machine:        sig.Machine,
-		Runtime:        res.Runtime,
-		ComputeSeconds: res.ComputeTime[dom.Rank],
-		CommSeconds:    res.CommTime[dom.Rank],
-		MemSeconds:     comp.MemSeconds,
-		FPSeconds:      comp.FPSeconds,
-	}, res, nil
+	return pred, pred.Replay, nil
 }
 
 // Program builds the application's replayable MPI event trace (exposed for
@@ -224,14 +213,15 @@ func ClusterRanks(sig *Signature, k int, seed int64) (*RankClusters, error) {
 // Timeline is a replay's per-rank segment record (for visualization).
 type Timeline = psins.Timeline
 
-// PredictTimeline is Predict with per-rank timeline recording: every
-// compute and communication interval of every rank is captured. Memory
-// grows with rank count × events — intended for small-to-moderate replays.
+// PredictTimeline is Predict with per-rank timeline recording.
+//
+// Deprecated: use Engine.Predict with PredictRequest.WithTimeline; the
+// timeline arrives on Prediction.Timeline.
 func PredictTimeline(sig *Signature, prof *Profile, app *App) (*Prediction, *Timeline, error) {
-	var tl Timeline
-	pred, _, err := predictWith(sig, prof, app, &tl)
+	pred, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: sig, Profile: prof, App: app, WithTimeline: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	return pred, &tl, nil
+	return pred, pred.Timeline, nil
 }

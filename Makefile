@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine experiments examples csv clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-obs experiments examples csv clean
 
 all: build vet test
 
@@ -14,6 +14,7 @@ vet:
 	$(GO) vet ./...
 
 test: vet
+	$(GO) test -race ./internal/obs
 	$(GO) test ./...
 
 test-short:
@@ -31,6 +32,11 @@ bench:
 # Serial vs Engine-parallel CollectInputs plus the cache-hit fast path.
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkCollectInputs|BenchmarkCollectSignatureCached' -benchtime=3x .
+
+# Observability micro-benchmarks: per-update cost of counters, gauges,
+# histograms and spans, instrumented vs disabled (nil-registry) paths.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem ./internal/obs
 
 # Regenerate every table, figure, ablation and extension (~1 minute).
 experiments:

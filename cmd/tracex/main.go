@@ -11,12 +11,21 @@
 //	tracex measure -app uh3d -cores 8192 -machine bluewaters
 //	tracex compare -extrap sig8192.json -collected real8192.json
 //	tracex report  -app uh3d -out report.md
+//	tracex stats   report -app uh3d -out report.md
 //	tracex apps | machines
 //
 // All commands share one tracex.Engine, so a single invocation that needs
 // the same signature or profile twice (report, notably) simulates it once.
 // Interrupting the process (SIGINT/SIGTERM) cancels the running simulations
 // promptly.
+//
+// Observability: `tracex stats <command> ...` runs any command and then
+// pretty-prints the engine's metrics snapshot (cache effectiveness, stage
+// timings, pipeline counters) to stderr, and the global `-metrics-addr`
+// flag serves the live snapshot as JSON over HTTP for the duration of the
+// run:
+//
+//	tracex -metrics-addr 127.0.0.1:9090 report -app specfem3d -out report.md
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,39 +48,30 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	gfs := flag.NewFlagSet("tracex", flag.ExitOnError)
+	gfs.Usage = usage
+	metricsAddr := gfs.String("metrics-addr", "",
+		"serve the engine's metrics snapshot as JSON on this address (host:port) while the command runs")
+	_ = gfs.Parse(os.Args[1:]) // ExitOnError: Parse never returns an error
+	rest := gfs.Args()
+	if len(rest) == 0 {
 		usage()
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	eng := tracex.NewEngine()
-	var err error
-	switch os.Args[1] {
-	case "trace":
-		err = cmdTrace(ctx, eng, os.Args[2:])
-	case "extrap":
-		err = cmdExtrap(ctx, eng, os.Args[2:])
-	case "predict":
-		err = cmdPredict(ctx, eng, os.Args[2:])
-	case "measure":
-		err = cmdMeasure(ctx, eng, os.Args[2:])
-	case "compare":
-		err = cmdCompare(os.Args[2:])
-	case "report":
-		err = cmdReport(ctx, eng, os.Args[2:])
-	case "apps":
-		for _, a := range tracex.Apps() {
-			fmt.Println(a)
+	if *metricsAddr != "" {
+		addr, err := serveMetrics(eng, *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracex: metrics endpoint: %s\n", err)
+			os.Exit(1)
 		}
-	case "machines":
-		for _, m := range tracex.Machines() {
-			fmt.Println(m)
-		}
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "tracex: unknown command %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "tracex: serving metrics on http://%s/\n", addr)
+	}
+	handled, err := dispatch(ctx, eng, rest[0], rest[1:])
+	if !handled {
+		fmt.Fprintf(os.Stderr, "tracex: unknown command %q\n", rest[0])
 		usage()
 		os.Exit(2)
 	}
@@ -84,8 +86,55 @@ func main() {
 	}
 }
 
+// dispatch routes one subcommand to its implementation; handled reports
+// whether cmd named a known command. The stats wrapper re-enters dispatch
+// with the same engine so the wrapped command's activity is what it prints.
+func dispatch(ctx context.Context, eng *tracex.Engine, cmd string, args []string) (handled bool, err error) {
+	switch cmd {
+	case "trace":
+		return true, cmdTrace(ctx, eng, args)
+	case "extrap":
+		return true, cmdExtrap(ctx, eng, args)
+	case "predict":
+		return true, cmdPredict(ctx, eng, args)
+	case "measure":
+		return true, cmdMeasure(ctx, eng, args)
+	case "compare":
+		return true, cmdCompare(args)
+	case "report":
+		return true, cmdReport(ctx, eng, args)
+	case "stats":
+		return true, cmdStats(ctx, eng, args)
+	case "apps":
+		for _, a := range tracex.Apps() {
+			fmt.Println(a)
+		}
+		return true, nil
+	case "machines":
+		for _, m := range tracex.Machines() {
+			fmt.Println(m)
+		}
+		return true, nil
+	case "-h", "--help", "help":
+		usage()
+		return true, nil
+	}
+	return false, nil
+}
+
+// serveMetrics starts the expvar-style metrics endpoint on addr and returns
+// the bound address (useful with port 0).
+func serveMetrics(eng *tracex.Engine, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, eng.Registry().Handler()) }()
+	return ln.Addr().String(), nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tracex <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] <command> [flags]
 
 commands:
   trace    collect an application signature at one core count
@@ -94,6 +143,7 @@ commands:
   measure  run the detailed execution simulation (ground truth)
   compare  compare an extrapolated trace against a collected one
   report   run the full pipeline and write a markdown report
+  stats    run any command, then print the engine's metrics snapshot
   apps     list available proxy applications
   machines list available machine configurations`)
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -157,6 +160,80 @@ func TestCmdReportToFile(t *testing.T) {
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("report missing section %q", want)
+		}
+	}
+}
+
+// TestCmdStatsWrapper runs a command under the stats wrapper and checks the
+// printed snapshot carries the engine and pipeline metrics.
+func TestCmdStatsWrapper(t *testing.T) {
+	eng := tracex.NewEngine()
+	out := tmp(t, "sig.json")
+	if err := cmdStats(bg, eng, append([]string{"trace"}, collectArgs(out, 64)...)); err != nil {
+		t.Fatalf("stats trace: %v", err)
+	}
+	var buf strings.Builder
+	printStats(&buf, eng)
+	text := buf.String()
+	for _, want := range []string{
+		"== engine stats ==",
+		"1 collected",
+		"engine.collect",
+		"pebil.collect",
+		"pebil.blocks",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Validation.
+	if err := cmdStats(bg, eng, nil); err == nil {
+		t.Error("stats without a wrapped command accepted")
+	}
+	if err := cmdStats(bg, eng, []string{"stats", "apps"}); err == nil {
+		t.Error("stats wrapping itself accepted")
+	}
+	if err := cmdStats(bg, eng, []string{"bogus"}); err == nil {
+		t.Error("stats wrapping an unknown command accepted")
+	}
+}
+
+// TestServeMetrics hits the -metrics-addr HTTP endpoint and checks it
+// serves the engine's JSON snapshot.
+func TestServeMetrics(t *testing.T) {
+	eng := tracex.NewEngine()
+	if err := cmdTrace(bg, eng, collectArgs(tmp(t, "sig.json"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := serveMetrics(eng, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("endpoint served invalid JSON: %v\n%s", err, body)
+	}
+	names := map[string]bool{}
+	for _, m := range snap.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"pebil.blocks", "engine.pool.capacity"} {
+		if !names[want] {
+			t.Errorf("endpoint snapshot missing metric %q", want)
 		}
 	}
 }

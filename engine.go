@@ -2,14 +2,16 @@ package tracex
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"tracex/internal/extrap"
 	"tracex/internal/memo"
 	"tracex/internal/multimaps"
+	"tracex/internal/obs"
 	"tracex/internal/pebil"
 	"tracex/internal/psins"
 )
@@ -24,6 +26,11 @@ import (
 // cancelling stops the underlying simulations promptly and returns
 // ctx.Err().
 //
+// Every engine carries an observability registry (internal/obs): pipeline
+// stages record spans and the simulators publish counters into it, Stats
+// returns the digest, and Registry exposes the raw registry for the HTTP
+// metrics endpoint. WithRegistry(nil) disables collection.
+//
 // Cached profiles and signatures are shared between callers and must be
 // treated as read-only.
 //
@@ -34,10 +41,13 @@ import (
 type Engine struct {
 	parallelism int
 	collectOpt  CollectOptions
+	confErr     error // first configuration error; poisons every method
 	sem         chan struct{}
 	profiles    *memo.Cache[string, *Profile]
 	sigs        *memo.Cache[sigKey, *Signature]
-	stats       engineCounters
+	reg         *obs.Registry
+	predictions *obs.Counter
+	studies     *obs.Counter
 }
 
 // sigKey identifies one signature collection. The collect options are
@@ -50,53 +60,96 @@ type sigKey struct {
 	opt     CollectOptions
 }
 
-// engineCounters backs EngineStats with atomics.
-type engineCounters struct {
-	profileBuilds, profileHits uint64
-	collections, collectHits   uint64
-	predictions                uint64
-}
+// ErrBadParallelism reports a WithParallelism value below 1. The worker
+// pool cannot be sized by guesswork: a zero or negative bound used to be
+// silently replaced, which hid misconfigured callers; it is now rejected up
+// front (errors.Is-matchable against this sentinel).
+var ErrBadParallelism = errors.New("parallelism must be at least 1")
 
-// EngineStats is a snapshot of an Engine's cumulative activity, chiefly for
-// tests, monitoring, and cache-sizing decisions.
+// EngineStats is a snapshot of an Engine's cumulative activity — cache
+// effectiveness, pool pressure and per-stage wall-clock — backed by the
+// engine's observability registry. Chiefly for tests, monitoring and
+// cache-sizing decisions; `tracex stats` pretty-prints it.
 type EngineStats struct {
 	// ProfileBuilds counts MultiMAPS sweeps actually executed;
-	// ProfileHits counts profile requests served without a sweep.
-	ProfileBuilds, ProfileHits uint64
+	// ProfileHits counts profile requests served without a sweep;
+	// ProfileEvictions counts cached profiles discarded by LRU pressure.
+	ProfileBuilds, ProfileHits, ProfileEvictions uint64
 	// Collections counts signature collections actually simulated;
-	// CollectionHits counts collection requests served without simulation.
-	Collections, CollectionHits uint64
-	// Predictions counts completed convolution+replay predictions.
-	Predictions uint64
+	// CollectionHits counts collection requests served without simulation;
+	// SignatureEvictions counts cached signatures discarded by LRU pressure.
+	Collections, CollectionHits, SignatureEvictions uint64
+	// Predictions counts completed convolution+replay predictions; Studies
+	// counts completed extrapolation studies.
+	Predictions, Studies uint64
+	// PoolCapacity is the worker-pool bound; PoolInFlight is how many pool
+	// slots were held when the snapshot was taken.
+	PoolCapacity, PoolInFlight int
+	// Stages summarizes every recorded pipeline span (count, total and max
+	// wall-clock seconds), sorted by stage name. Nil when observability is
+	// disabled.
+	Stages []StageSummary
 }
+
+// StageSummary aggregates the recorded occurrences of one pipeline stage.
+type StageSummary = obs.SpanSummary
 
 // Stats returns a snapshot of the engine's cumulative activity.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
-		ProfileBuilds:  atomic.LoadUint64(&e.stats.profileBuilds),
-		ProfileHits:    atomic.LoadUint64(&e.stats.profileHits),
-		Collections:    atomic.LoadUint64(&e.stats.collections),
-		CollectionHits: atomic.LoadUint64(&e.stats.collectHits),
-		Predictions:    atomic.LoadUint64(&e.stats.predictions),
+	st := EngineStats{
+		Predictions:  e.predictions.Value(),
+		Studies:      e.studies.Value(),
+		PoolCapacity: e.parallelism,
+		PoolInFlight: len(e.sem),
+		Stages:       e.reg.SpanSummaries(),
 	}
+	st.ProfileHits, st.ProfileBuilds = e.profiles.Stats()
+	st.ProfileEvictions = e.profiles.Evictions()
+	st.CollectionHits, st.Collections = e.sigs.Stats()
+	st.SignatureEvictions = e.sigs.Evictions()
+	return st
 }
+
+// Registry returns the engine's observability registry (nil when disabled
+// via WithRegistry(nil)). Serve Registry().Handler() to expose the
+// engine's metrics over HTTP.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Err returns the engine's configuration error, if any. An engine built
+// with invalid options (for example WithParallelism(0)) is inert: Err
+// reports the problem and every pipeline method returns it.
+func (e *Engine) Err() error { return e.confErr }
 
 // engineConfig accumulates functional options.
 type engineConfig struct {
 	parallelism int
 	cacheSize   int
 	collectOpt  CollectOptions
+	registry    *obs.Registry
+	regSet      bool
+	err         error
 }
 
 // EngineOption configures NewEngine.
 type EngineOption func(*engineConfig)
 
 // WithParallelism bounds the number of pipeline tasks (collections,
-// predictions, study stages) the engine runs concurrently; n ≤ 0 selects
-// one worker per available CPU. Per-block simulation parallelism inside one
-// collection is governed separately by CollectOptions.Parallelism.
+// predictions, study stages) the engine runs concurrently. n must be at
+// least 1; zero and negative values are rejected — the engine is
+// constructed but inert, with every method (and Err) returning an error
+// wrapping ErrBadParallelism. Omit the option for the default of one worker
+// per available CPU. Per-block simulation parallelism inside one collection
+// is governed separately by CollectOptions.Parallelism.
 func WithParallelism(n int) EngineOption {
-	return func(c *engineConfig) { c.parallelism = n }
+	return func(c *engineConfig) {
+		if n < 1 {
+			if c.err == nil {
+				c.err = fmt.Errorf("tracex: %w: WithParallelism(%d)", ErrBadParallelism, n)
+			}
+			return
+		}
+		c.parallelism = n
+	}
 }
 
 // WithCacheSize sets how many machine profiles and application signatures
@@ -113,7 +166,18 @@ func WithCollectOptions(opt CollectOptions) EngineOption {
 	return func(c *engineConfig) { c.collectOpt = opt }
 }
 
-// NewEngine returns an Engine with the given options applied.
+// WithRegistry sets the observability registry the engine and the pipeline
+// stages beneath it record into. The default is a fresh registry per
+// engine; pass a shared registry to aggregate several engines, or nil to
+// disable metric collection entirely (instrumentation then costs one
+// predicted branch per update).
+func WithRegistry(r *obs.Registry) EngineOption {
+	return func(c *engineConfig) { c.registry = r; c.regSet = true }
+}
+
+// NewEngine returns an Engine with the given options applied. Invalid
+// options do not panic: the engine is returned inert with Err (and every
+// method) reporting the first configuration error.
 func NewEngine(opts ...EngineOption) *Engine {
 	cfg := engineConfig{cacheSize: 64}
 	for _, o := range opts {
@@ -122,13 +186,31 @@ func NewEngine(opts ...EngineOption) *Engine {
 	if cfg.parallelism <= 0 {
 		cfg.parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	if !cfg.regSet {
+		cfg.registry = obs.New()
+	}
+	e := &Engine{
 		parallelism: cfg.parallelism,
 		collectOpt:  cfg.collectOpt,
+		confErr:     cfg.err,
 		sem:         make(chan struct{}, cfg.parallelism),
 		profiles:    memo.New[string, *Profile](cfg.cacheSize),
 		sigs:        memo.New[sigKey, *Signature](cfg.cacheSize),
+		reg:         cfg.registry,
+		predictions: cfg.registry.Counter("engine.predictions"),
+		studies:     cfg.registry.Counter("engine.studies"),
 	}
+	// Pool and cache health as snapshot-time gauges: cheap to read, always
+	// current, and visible on the HTTP endpoint without Engine.Stats.
+	e.reg.GaugeFunc("engine.pool.capacity", func() float64 { return float64(e.parallelism) })
+	e.reg.GaugeFunc("engine.pool.in_flight", func() float64 { return float64(len(e.sem)) })
+	e.reg.GaugeFunc("engine.cache.profile.hits", func() float64 { h, _ := e.profiles.Stats(); return float64(h) })
+	e.reg.GaugeFunc("engine.cache.profile.misses", func() float64 { _, m := e.profiles.Stats(); return float64(m) })
+	e.reg.GaugeFunc("engine.cache.profile.evictions", func() float64 { return float64(e.profiles.Evictions()) })
+	e.reg.GaugeFunc("engine.cache.signature.hits", func() float64 { h, _ := e.sigs.Stats(); return float64(h) })
+	e.reg.GaugeFunc("engine.cache.signature.misses", func() float64 { _, m := e.sigs.Stats(); return float64(m) })
+	e.reg.GaugeFunc("engine.cache.signature.evictions", func() float64 { return float64(e.sigs.Evictions()) })
+	return e
 }
 
 // defaultEngine backs the package-level convenience functions.
@@ -142,6 +224,13 @@ var defaultEngine struct {
 func DefaultEngine() *Engine {
 	defaultEngine.once.Do(func() { defaultEngine.e = NewEngine() })
 	return defaultEngine.e
+}
+
+// obsCtx threads the engine's registry to the pipeline stages below, so
+// pebil/multimaps/psins/extrap metrics recorded during this engine's work
+// land in this engine's registry rather than the process-wide default.
+func (e *Engine) obsCtx(ctx context.Context) context.Context {
+	return obs.Into(ctx, e.reg)
 }
 
 // fanOut runs n tasks across the engine's worker pool, returning the first
@@ -177,16 +266,18 @@ func (e *Engine) fanOut(ctx context.Context, n int, task func(ctx context.Contex
 // on the first request and serving memoized results afterwards. Concurrent
 // requests for the same configuration share one sweep.
 func (e *Engine) Profile(ctx context.Context, cfg MachineConfig) (*Profile, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	prof, hit, err := e.profiles.Do(ctx, cfg.Fingerprint(), func() (*Profile, error) {
-		atomic.AddUint64(&e.stats.profileBuilds, 1)
+	ctx = e.obsCtx(ctx)
+	sp := e.reg.StartSpan("engine.profile", cfg.Name)
+	defer sp.End()
+	prof, _, err := e.profiles.Do(ctx, cfg.Fingerprint(), func() (*Profile, error) {
 		return multimaps.Run(ctx, cfg, multimaps.DefaultOptions(cfg))
 	})
-	if hit {
-		atomic.AddUint64(&e.stats.profileHits, 1)
-	}
 	return prof, err
 }
 
@@ -195,20 +286,22 @@ func (e *Engine) Profile(ctx context.Context, cfg MachineConfig) (*Profile, erro
 // served from cache with zero new simulation. A zero opt selects the
 // engine's default collection options (WithCollectOptions).
 func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	if app == nil {
 		return nil, fmt.Errorf("tracex: nil application")
 	}
 	if opt == (CollectOptions{}) {
 		opt = e.collectOpt
 	}
+	ctx = e.obsCtx(ctx)
+	sp := e.reg.StartSpan("engine.collect", fmt.Sprintf("%s@%d", app.Name(), cores))
+	defer sp.End()
 	key := sigKey{app: app.Name(), cores: cores, machine: target.Fingerprint(), opt: opt.Normalized()}
-	sig, hit, err := e.sigs.Do(ctx, key, func() (*Signature, error) {
-		atomic.AddUint64(&e.stats.collections, 1)
+	sig, _, err := e.sigs.Do(ctx, key, func() (*Signature, error) {
 		return pebil.Collect(ctx, app, cores, target, nil, opt)
 	})
-	if hit {
-		atomic.AddUint64(&e.stats.collectHits, 1)
-	}
 	return sig, err
 }
 
@@ -216,6 +309,9 @@ func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, targ
 // the "series of smaller core counts" the extrapolation consumes — fanning
 // the collections out across the engine's worker pool.
 func (e *Engine) CollectInputs(ctx context.Context, app *App, counts []int, target MachineConfig, opt CollectOptions) ([]*Signature, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	out := make([]*Signature, len(counts))
 	err := e.fanOut(ctx, len(counts), func(ctx context.Context, i int) error {
 		sig, err := e.CollectSignature(ctx, app, counts[i], target, opt)
@@ -235,13 +331,13 @@ func (e *Engine) CollectInputs(ctx context.Context, app *App, counts []int, targ
 // feature-vector element of the dominant task across the input signatures,
 // synthesizing the signature at targetCores.
 func (e *Engine) Extrapolate(ctx context.Context, inputs []*Signature, targetCores int, opt ExtrapOptions) (*ExtrapResult, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return extrap.Extrapolate(inputs, targetCores, opt)
+	return extrap.Extrapolate(e.obsCtx(ctx), inputs, targetCores, opt)
 }
 
 // PredictRequest describes one runtime prediction for Engine.Predict.
@@ -274,12 +370,18 @@ type PredictRequest struct {
 // the replay result and timeline when requested. Predict replaces the
 // Predict/PredictDetailed/PredictTimeline trio.
 func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	if req.Signature == nil {
 		return nil, fmt.Errorf("tracex: predict request has no signature")
 	}
 	if req.App == nil {
 		return nil, fmt.Errorf("tracex: predict request has no application")
 	}
+	ctx = e.obsCtx(ctx)
+	sp := e.reg.StartSpan("engine.predict", fmt.Sprintf("%s@%d", req.Signature.App, req.Signature.CoreCount))
+	defer sp.End()
 	prof := req.Profile
 	if prof == nil {
 		cfg := req.Machine
@@ -300,7 +402,7 @@ func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, 
 	if err != nil {
 		return nil, err
 	}
-	atomic.AddUint64(&e.stats.predictions, 1)
+	e.predictions.Inc()
 	return pred, nil
 }
 
@@ -308,6 +410,9 @@ func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, 
 // pool, returning results in request order. The first failure cancels the
 // remaining requests.
 func (e *Engine) PredictMany(ctx context.Context, reqs []PredictRequest) ([]*Prediction, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	out := make([]*Prediction, len(reqs))
 	err := e.fanOut(ctx, len(reqs), func(ctx context.Context, i int) error {
 		pred, err := e.Predict(ctx, reqs[i])
@@ -326,15 +431,29 @@ func (e *Engine) PredictMany(ctx context.Context, reqs []PredictRequest) ([]*Pre
 // Measure runs the detailed execution simulation of the application at the
 // given core count on the target machine (the reproduction's ground truth).
 func (e *Engine) Measure(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	if opt == (CollectOptions{}) {
 		opt = e.collectOpt
 	}
+	ctx = e.obsCtx(ctx)
+	sp := e.reg.StartSpan("engine.measure", fmt.Sprintf("%s@%d", appName(app), cores))
+	defer sp.End()
 	return measure(ctx, app, cores, target, opt)
 }
 
+// appName tolerates nil apps in span labels (the callee validates).
+func appName(app *App) string {
+	if app == nil {
+		return "<nil>"
+	}
+	return app.Name()
+}
+
 // StudyRequest describes a full extrapolation study: collect signatures at
-// a series of small core counts, extrapolate to a larger count, and predict
-// the large-scale runtime.
+// a series of small core counts, extrapolate to one or more larger counts,
+// and predict the large-scale runtimes.
 type StudyRequest struct {
 	// App is the proxy application. Required.
 	App *App
@@ -342,15 +461,77 @@ type StudyRequest struct {
 	Machine MachineConfig
 	// InputCounts are the core counts to trace (the paper uses three).
 	InputCounts []int
-	// TargetCores is the count to extrapolate to (beyond every input).
+	// TargetCores is the primary count to extrapolate to (beyond every
+	// input).
 	TargetCores int
+	// TargetCounts optionally adds further extrapolation targets; the study
+	// evaluates the sorted, deduplicated union of TargetCores and
+	// TargetCounts, reusing the same input collections and machine profile
+	// for every target.
+	TargetCounts []int
 	// Collect tunes signature collection; zero selects the engine default.
 	Collect CollectOptions
 	// Extrap tunes the extrapolation.
 	Extrap ExtrapOptions
-	// WithTruth additionally collects a signature at TargetCores and
+	// WithTruth additionally collects a signature at each target count and
 	// predicts from it — the paper's Table I comparison baseline.
 	WithTruth bool
+}
+
+// targets resolves the request's target core counts: the sorted,
+// deduplicated union of TargetCores and TargetCounts.
+func (req *StudyRequest) targets() ([]int, error) {
+	set := map[int]bool{}
+	if req.TargetCores > 0 {
+		set[req.TargetCores] = true
+	}
+	for _, t := range req.TargetCounts {
+		if t <= 0 {
+			return nil, fmt.Errorf("tracex: study target %d is not positive", t)
+		}
+		set[t] = true
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("tracex: study request has no target core count")
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// StudyTarget is the full detail of one extrapolation target within a
+// study.
+type StudyTarget struct {
+	// TargetCores is the extrapolated core count.
+	TargetCores int
+	// Extrapolation is the canonical-form fit and synthesized signature.
+	Extrapolation *ExtrapResult
+	// Extrapolated predicts the target-scale runtime from the synthesized
+	// signature.
+	Extrapolated *Prediction
+	// Truth is the actually-collected target-scale signature and Collected
+	// the prediction made from it (both nil unless StudyRequest.WithTruth).
+	Truth     *Signature
+	Collected *Prediction
+}
+
+// StudyRow is one per-target comparison row of a study: the paper's Table I
+// shape with a stable JSON encoding (fixed field order, rows sorted by
+// target core count).
+type StudyRow struct {
+	// TargetCores is the extrapolated core count.
+	TargetCores int `json:"target_cores"`
+	// PredictedSeconds is the runtime predicted from the extrapolated
+	// signature.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	// ActualSeconds is the runtime predicted from the actually-collected
+	// target-scale signature (0 unless the study ran WithTruth).
+	ActualSeconds float64 `json:"actual_seconds"`
+	// AbsRelErr is |predicted-actual|/actual (0 without truth).
+	AbsRelErr float64 `json:"abs_rel_err"`
 }
 
 // StudyResult is the product of an extrapolation study.
@@ -359,28 +540,79 @@ type StudyResult struct {
 	Profile *Profile
 	// Inputs are the signatures collected at the small core counts.
 	Inputs []*Signature
-	// Extrapolation is the canonical-form fit and synthesized signature.
+	// Targets holds the per-target results, ascending by core count.
+	Targets []StudyTarget
+
+	// Extrapolation, Extrapolated, Truth and Collected mirror the primary
+	// target (the request's TargetCores, or the largest target when only
+	// TargetCounts was set).
+	//
+	// Deprecated: use Targets (sorted) or Rows; these single-target fields
+	// remain for one release.
 	Extrapolation *ExtrapResult
-	// Extrapolated predicts the target-scale runtime from the synthesized
-	// signature.
-	Extrapolated *Prediction
-	// Truth is the actually-collected target-scale signature and
-	// Collected the prediction made from it (both nil unless
-	// StudyRequest.WithTruth).
-	Truth     *Signature
-	Collected *Prediction
+	Extrapolated  *Prediction
+	Truth         *Signature
+	Collected     *Prediction
+}
+
+// Rows returns the study's per-target comparison rows, sorted by target
+// core count. The encoding/json form is stable: fixed field order and
+// deterministic row order for equal results.
+func (r *StudyResult) Rows() []StudyRow {
+	rows := make([]StudyRow, 0, len(r.Targets))
+	for _, t := range r.Targets {
+		row := StudyRow{TargetCores: t.TargetCores}
+		if t.Extrapolated != nil {
+			row.PredictedSeconds = t.Extrapolated.Runtime
+		}
+		if t.Collected != nil {
+			row.ActualSeconds = t.Collected.Runtime
+			if row.ActualSeconds != 0 {
+				row.AbsRelErr = abs(row.PredictedSeconds-row.ActualSeconds) / row.ActualSeconds
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ByTarget returns the per-target results keyed by core count.
+//
+// Deprecated: iterate Targets, which is sorted and allocation-free; the
+// map form is retained for one release for callers of the old map-keyed
+// result shape.
+func (r *StudyResult) ByTarget() map[int]*StudyTarget {
+	m := make(map[int]*StudyTarget, len(r.Targets))
+	for i := range r.Targets {
+		m[r.Targets[i].TargetCores] = &r.Targets[i]
+	}
+	return m
 }
 
 // Study runs a full extrapolation study: the machine profile, every input
-// collection and (optionally) the target-scale truth collection execute
-// concurrently on the worker pool, then the extrapolation and predictions
-// complete the pipeline.
+// collection and (optionally) the per-target truth collections execute
+// concurrently on the worker pool, then each target's extrapolation and
+// predictions complete the pipeline (also fanned out across targets).
 func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, error) {
+	if e.confErr != nil {
+		return nil, e.confErr
+	}
 	if req.App == nil {
 		return nil, fmt.Errorf("tracex: study request has no application")
 	}
 	if len(req.InputCounts) == 0 {
 		return nil, fmt.Errorf("tracex: study request has no input core counts")
+	}
+	targets, err := req.targets()
+	if err != nil {
+		return nil, err
 	}
 	if err := req.Extrap.Validate(); err != nil {
 		return nil, err
@@ -388,14 +620,25 @@ func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, err
 	if err := req.Machine.Validate(); err != nil {
 		return nil, err
 	}
-	res := &StudyResult{Inputs: make([]*Signature, len(req.InputCounts))}
-	// One task per input count, plus the profile sweep, plus the optional
-	// truth collection — all independent.
+	ctx = e.obsCtx(ctx)
+	sp := e.reg.StartSpan("engine.study", fmt.Sprintf("%s→%v", req.App.Name(), targets))
+	defer sp.End()
+
+	res := &StudyResult{
+		Inputs:  make([]*Signature, len(req.InputCounts)),
+		Targets: make([]StudyTarget, len(targets)),
+	}
+	for i, t := range targets {
+		res.Targets[i].TargetCores = t
+	}
+	// Phase 1 — every simulation is independent: one task per input count,
+	// plus the profile sweep, plus one truth collection per target when
+	// requested.
 	n := len(req.InputCounts) + 1
 	if req.WithTruth {
-		n++
+		n += len(targets)
 	}
-	err := e.fanOut(ctx, n, func(ctx context.Context, i int) error {
+	err = e.fanOut(ctx, n, func(ctx context.Context, i int) error {
 		switch {
 		case i < len(req.InputCounts):
 			sig, err := e.CollectSignature(ctx, req.App, req.InputCounts[i], req.Machine, req.Collect)
@@ -412,35 +655,61 @@ func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, err
 			res.Profile = prof
 			return nil
 		default:
-			sig, err := e.CollectSignature(ctx, req.App, req.TargetCores, req.Machine, req.Collect)
+			t := &res.Targets[i-len(req.InputCounts)-1]
+			sig, err := e.CollectSignature(ctx, req.App, t.TargetCores, req.Machine, req.Collect)
 			if err != nil {
-				return fmt.Errorf("tracex: collecting truth at %d cores: %w", req.TargetCores, err)
+				return fmt.Errorf("tracex: collecting truth at %d cores: %w", t.TargetCores, err)
 			}
-			res.Truth = sig
+			t.Truth = sig
 			return nil
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Extrapolation, err = e.Extrapolate(ctx, res.Inputs, req.TargetCores, req.Extrap)
-	if err != nil {
-		return nil, err
-	}
-	res.Extrapolated, err = e.Predict(ctx, PredictRequest{
-		Signature: res.Extrapolation.Signature, App: req.App, Profile: res.Profile,
+	// Phase 2 — per-target pipelines (fit, predict, optionally predict the
+	// truth baseline) share the inputs and profile and run concurrently.
+	err = e.fanOut(ctx, len(targets), func(ctx context.Context, i int) error {
+		t := &res.Targets[i]
+		ext, err := e.Extrapolate(ctx, res.Inputs, t.TargetCores, req.Extrap)
+		if err != nil {
+			return err
+		}
+		t.Extrapolation = ext
+		t.Extrapolated, err = e.Predict(ctx, PredictRequest{
+			Signature: ext.Signature, App: req.App, Profile: res.Profile,
+		})
+		if err != nil {
+			return err
+		}
+		if req.WithTruth {
+			t.Collected, err = e.Predict(ctx, PredictRequest{
+				Signature: t.Truth, App: req.App, Profile: res.Profile,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if req.WithTruth {
-		res.Collected, err = e.Predict(ctx, PredictRequest{
-			Signature: res.Truth, App: req.App, Profile: res.Profile,
-		})
-		if err != nil {
-			return nil, err
+	// Mirror the primary target into the deprecated single-target fields.
+	primary := &res.Targets[len(res.Targets)-1]
+	if req.TargetCores > 0 {
+		for i := range res.Targets {
+			if res.Targets[i].TargetCores == req.TargetCores {
+				primary = &res.Targets[i]
+				break
+			}
 		}
 	}
+	res.Extrapolation = primary.Extrapolation
+	res.Extrapolated = primary.Extrapolated
+	res.Truth = primary.Truth
+	res.Collected = primary.Collected
+	e.studies.Inc()
 	return res, nil
 }
 

@@ -1,7 +1,9 @@
 package tracex
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,8 +46,40 @@ func TestEngineOptions(t *testing.T) {
 	if e.collectOpt != opt {
 		t.Errorf("collectOpt %+v", e.collectOpt)
 	}
-	if NewEngine(WithParallelism(-1)).parallelism < 1 {
-		t.Error("non-positive parallelism not defaulted")
+	if err := e.Err(); err != nil {
+		t.Errorf("valid options reported configuration error %v", err)
+	}
+}
+
+// TestEngineBadParallelism checks the clamp-or-error redesign: zero and
+// negative worker bounds used to be silently replaced, now they poison the
+// engine with an ErrBadParallelism-wrapping error.
+func TestEngineBadParallelism(t *testing.T) {
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	for _, n := range []int{0, -1, -8} {
+		e := NewEngine(WithParallelism(n))
+		if !errors.Is(e.Err(), ErrBadParallelism) {
+			t.Fatalf("WithParallelism(%d): Err() = %v, want ErrBadParallelism", n, e.Err())
+		}
+		// Every pipeline method refuses to run on a misconfigured engine.
+		if _, err := e.Profile(ctx, cfg); !errors.Is(err, ErrBadParallelism) {
+			t.Errorf("Profile on bad engine: %v", err)
+		}
+		if _, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt); !errors.Is(err, ErrBadParallelism) {
+			t.Errorf("CollectSignature on bad engine: %v", err)
+		}
+		if _, err := e.Predict(ctx, PredictRequest{}); !errors.Is(err, ErrBadParallelism) {
+			t.Errorf("Predict on bad engine: %v", err)
+		}
+		if _, err := e.Study(ctx, StudyRequest{}); !errors.Is(err, ErrBadParallelism) {
+			t.Errorf("Study on bad engine: %v", err)
+		}
+	}
+	// A later valid option does not mask an earlier invalid one.
+	if e := NewEngine(WithParallelism(0), WithParallelism(4)); !errors.Is(e.Err(), ErrBadParallelism) {
+		t.Errorf("Err() = %v after invalid-then-valid options", e.Err())
 	}
 }
 
@@ -320,12 +354,179 @@ func TestEngineStudy(t *testing.T) {
 		t.Fatal("WithTruth did not produce the collected baseline")
 	}
 
+	// The deprecated single-target mirror matches the primary target.
+	if bt := res.ByTarget(); bt[512] == nil || bt[512].Extrapolated != res.Extrapolated {
+		t.Error("ByTarget()[512] does not mirror the deprecated single-target fields")
+	}
+	rows := res.Rows()
+	if len(rows) != 1 || rows[0].TargetCores != 512 {
+		t.Fatalf("rows %+v, want one row at 512", rows)
+	}
+	if rows[0].PredictedSeconds != res.Extrapolated.Runtime || rows[0].ActualSeconds != res.Collected.Runtime {
+		t.Errorf("row %+v disagrees with predictions", rows[0])
+	}
+	if want := abs(rows[0].PredictedSeconds-rows[0].ActualSeconds) / rows[0].ActualSeconds; rows[0].AbsRelErr != want {
+		t.Errorf("AbsRelErr %g, want %g", rows[0].AbsRelErr, want)
+	}
+
 	// Request validation.
 	if _, err := e.Study(ctx, StudyRequest{Machine: cfg, InputCounts: []int{64}}); err == nil {
 		t.Error("study without app accepted")
 	}
 	if _, err := e.Study(ctx, StudyRequest{App: app, Machine: cfg}); err == nil {
 		t.Error("study without input counts accepted")
+	}
+	if _, err := e.Study(ctx, StudyRequest{App: app, Machine: cfg, InputCounts: []int{64}}); err == nil {
+		t.Error("study without any target accepted")
+	}
+	if _, err := e.Study(ctx, StudyRequest{
+		App: app, Machine: cfg, InputCounts: []int{64}, TargetCounts: []int{-512},
+	}); err == nil {
+		t.Error("study with negative target accepted")
+	}
+}
+
+// TestEngineStudyMultiTarget exercises the multi-target redesign: one study
+// evaluating several extrapolation targets off shared inputs, with sorted
+// typed rows and a stable JSON encoding.
+func TestEngineStudyMultiTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study in -short mode")
+	}
+	e := NewEngine()
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	res, err := e.Study(ctx, StudyRequest{
+		App:          app,
+		Machine:      cfg,
+		InputCounts:  []int{64, 128, 256},
+		TargetCores:  512,
+		TargetCounts: []int{768, 512}, // duplicate of TargetCores on purpose
+		Collect:      smallOpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Targets) != 2 {
+		t.Fatalf("%d targets after dedup, want 2", len(res.Targets))
+	}
+	if res.Targets[0].TargetCores != 512 || res.Targets[1].TargetCores != 768 {
+		t.Fatalf("targets not sorted ascending: %d, %d",
+			res.Targets[0].TargetCores, res.Targets[1].TargetCores)
+	}
+	for _, tgt := range res.Targets {
+		if tgt.Extrapolation == nil || tgt.Extrapolated == nil {
+			t.Fatalf("target %d incomplete", tgt.TargetCores)
+		}
+		if tgt.Extrapolated.CoreCount != tgt.TargetCores {
+			t.Errorf("target %d predicted at %d cores", tgt.TargetCores, tgt.Extrapolated.CoreCount)
+		}
+		if tgt.Truth != nil || tgt.Collected != nil {
+			t.Errorf("target %d has truth without WithTruth", tgt.TargetCores)
+		}
+	}
+	// Primary mirror follows TargetCores even when it is not the largest.
+	if res.Extrapolated != res.Targets[0].Extrapolated {
+		t.Error("deprecated fields do not mirror TargetCores=512")
+	}
+
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0].TargetCores != 512 || rows[1].TargetCores != 768 {
+		t.Fatalf("rows %+v", rows)
+	}
+	if rows[0].ActualSeconds != 0 || rows[0].AbsRelErr != 0 {
+		t.Error("truthless rows carry actuals")
+	}
+	// Stable JSON: deterministic field order and repeatable bytes.
+	a, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(res.Rows())
+	if !bytes.Equal(a, b) {
+		t.Error("row encoding not stable across calls")
+	}
+	if !bytes.Contains(a, []byte(`"target_cores":512`)) || !bytes.Contains(a, []byte(`"predicted_seconds"`)) {
+		t.Errorf("unexpected row encoding %s", a)
+	}
+}
+
+// TestEngineObservability checks the Stats/Registry surface: cache and pool
+// figures, per-stage span summaries, and the pipeline metrics recorded into
+// the engine's registry by the stages beneath it.
+func TestEngineObservability(t *testing.T) {
+	e := NewEngine(WithParallelism(3))
+	ctx := context.Background()
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	if _, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := e.Profile(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(ctx, PredictRequest{Signature: sig, App: app, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if st.Collections != 1 || st.CollectionHits != 2 {
+		t.Errorf("collections %d hits %d, want 1 and 2", st.Collections, st.CollectionHits)
+	}
+	if st.ProfileBuilds != 1 || st.Predictions != 1 {
+		t.Errorf("builds %d predictions %d, want 1 and 1", st.ProfileBuilds, st.Predictions)
+	}
+	if st.PoolCapacity != 3 {
+		t.Errorf("pool capacity %d, want 3", st.PoolCapacity)
+	}
+	stages := map[string]StageSummary{}
+	for _, s := range st.Stages {
+		stages[s.Name] = s
+	}
+	if s := stages["engine.collect"]; s.Count != 3 || s.TotalSeconds <= 0 {
+		t.Errorf("engine.collect summary %+v, want 3 occurrences", s)
+	}
+	for _, name := range []string{"engine.profile", "engine.predict", "pebil.collect", "multimaps.sweep", "psins.replay"} {
+		if stages[name].Count == 0 {
+			t.Errorf("stage %q not recorded; have %v", name, st.Stages)
+		}
+	}
+
+	// The stages' own metrics land in this engine's registry, not the
+	// process-wide default.
+	snap := e.Registry().Snapshot()
+	vals := map[string]float64{}
+	for _, m := range snap.Metrics {
+		vals[m.Name] = m.Value
+	}
+	for _, name := range []string{"pebil.blocks", "multimaps.refs", "psins.events", "engine.pool.capacity"} {
+		if vals[name] <= 0 {
+			t.Errorf("metric %q missing or zero in engine registry", name)
+		}
+	}
+	if vals["engine.predictions"] != 1 {
+		t.Errorf("engine.predictions = %g, want 1", vals["engine.predictions"])
+	}
+
+	// WithRegistry(nil) disables collection entirely.
+	off := NewEngine(WithRegistry(nil))
+	if _, err := off.CollectSignature(ctx, app, 64, cfg, smallOpt); err != nil {
+		t.Fatal(err)
+	}
+	if off.Registry() != nil {
+		t.Error("disabled engine exposes a registry")
+	}
+	if st := off.Stats(); st.Collections != 1 || st.Stages != nil {
+		t.Errorf("disabled engine stats %+v", st)
 	}
 }
 

@@ -8,9 +8,11 @@
 package extrap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"tracex/internal/obs"
 	"tracex/internal/stats"
 	"tracex/internal/trace"
 )
@@ -94,9 +96,13 @@ func (r *Result) FitsFor(blockID uint64) map[string]ElementFit {
 // targetCores. Input signatures must describe the same application and
 // target machine at distinct core counts; at least opt.MinInputs are
 // required, and the target must exceed the largest input (the methodology
-// infers *larger*-scale behaviour).
-func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Result, error) {
+// infers *larger*-scale behaviour). Cancelling ctx stops the fitting
+// between blocks and returns ctx.Err().
+func Extrapolate(ctx context.Context, inputs []*trace.Signature, targetCores int, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults()
@@ -171,6 +177,14 @@ func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Resu
 		return nil, fmt.Errorf("extrap: no common blocks across the input signatures")
 	}
 
+	m := obs.From(ctx)
+	sp := m.StartSpan("extrap.fit", fmt.Sprintf("%s→%d", first.App, targetCores))
+	defer sp.End()
+	m.Counter("extrap.extrapolations").Inc()
+	m.Counter("extrap.blocks").Add(uint64(len(ids)))
+	m.Counter("extrap.blocks_skipped").Add(uint64(len(skipped)))
+	fits := m.Counter("extrap.fits")
+
 	sel := stats.NewSelector(opt.Forms)
 	names := trace.ElementNames(levels)
 	cons := trace.ElementConstraints(levels)
@@ -183,6 +197,9 @@ func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Resu
 		Levels:    levels,
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Per-element series across the input counts.
 		series := make([][]float64, len(names))
 		for i := range doms {
@@ -214,6 +231,8 @@ func Extrapolate(inputs []*trace.Signature, targetCores int, opt Options) (*Resu
 				v = cons[e].Max
 			}
 			outVals[e] = v
+			fits.Inc()
+			m.Counter("extrap.form." + fit.Model.Name()).Inc()
 			res.Fits = append(res.Fits, ElementFit{
 				BlockID:      id,
 				Element:      names[e],

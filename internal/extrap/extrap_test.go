@@ -39,7 +39,7 @@ func synthSignature(p int) *trace.Signature {
 
 func TestExtrapolateRecoversKnownLaws(t *testing.T) {
 	inputs := []*trace.Signature{synthSignature(1024), synthSignature(2048), synthSignature(4096)}
-	res, err := Extrapolate(inputs, 8192, Options{})
+	res, err := Extrapolate(context.Background(), inputs, 8192, Options{})
 	if err != nil {
 		t.Fatalf("Extrapolate: %v", err)
 	}
@@ -70,7 +70,7 @@ func TestExtrapolateRecoversKnownLaws(t *testing.T) {
 
 func TestExtrapolateSelectsExpectedForms(t *testing.T) {
 	inputs := []*trace.Signature{synthSignature(1024), synthSignature(2048), synthSignature(4096)}
-	res, err := Extrapolate(inputs, 8192, Options{})
+	res, err := Extrapolate(context.Background(), inputs, 8192, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,23 +100,23 @@ func TestExtrapolateSelectsExpectedForms(t *testing.T) {
 
 func TestExtrapolateValidation(t *testing.T) {
 	a, b, c := synthSignature(1024), synthSignature(2048), synthSignature(4096)
-	if _, err := Extrapolate([]*trace.Signature{a, b}, 8192, Options{}); err == nil {
+	if _, err := Extrapolate(context.Background(), []*trace.Signature{a, b}, 8192, Options{}); err == nil {
 		t.Error("two inputs accepted with default MinInputs=3")
 	}
-	if _, err := Extrapolate([]*trace.Signature{a, b, c}, 4096, Options{}); err == nil {
+	if _, err := Extrapolate(context.Background(), []*trace.Signature{a, b, c}, 4096, Options{}); err == nil {
 		t.Error("target equal to largest input accepted")
 	}
-	if _, err := Extrapolate([]*trace.Signature{a, b, b}, 8192, Options{}); err == nil {
+	if _, err := Extrapolate(context.Background(), []*trace.Signature{a, b, b}, 8192, Options{}); err == nil {
 		t.Error("duplicate core counts accepted")
 	}
 	other := synthSignature(4096)
 	other.App = "different"
 	other.Traces[0].App = "different"
-	if _, err := Extrapolate([]*trace.Signature{a, b, other}, 8192, Options{}); err == nil {
+	if _, err := Extrapolate(context.Background(), []*trace.Signature{a, b, other}, 8192, Options{}); err == nil {
 		t.Error("mixed applications accepted")
 	}
 	// Two inputs are fine when MinInputs permits.
-	if _, err := Extrapolate([]*trace.Signature{a, b}, 8192, Options{MinInputs: 2}); err != nil {
+	if _, err := Extrapolate(context.Background(), []*trace.Signature{a, b}, 8192, Options{MinInputs: 2}); err != nil {
 		t.Errorf("MinInputs=2: %v", err)
 	}
 }
@@ -128,7 +128,7 @@ func TestExtrapolateSkipsPartialBlocks(t *testing.T) {
 	extra.ID = 99
 	a.Traces[0].Blocks = append(a.Traces[0].Blocks, extra)
 	b.Traces[0].Blocks = append(b.Traces[0].Blocks, extra)
-	res, err := Extrapolate([]*trace.Signature{a, b, c}, 8192, Options{})
+	res, err := Extrapolate(context.Background(), []*trace.Signature{a, b, c}, 8192, Options{})
 	if err != nil {
 		t.Fatalf("Extrapolate: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestExtrapolateClampsHitRates(t *testing.T) {
 		fv.HitRates = []float64{0.3, 0.3, math.Min(1, 0.5+float64(p)/8192.0)}
 		return s
 	}
-	res, err := Extrapolate([]*trace.Signature{mk(1024), mk(2048), mk(4096)}, 16384, Options{})
+	res, err := Extrapolate(context.Background(), []*trace.Signature{mk(1024), mk(2048), mk(4096)}, 16384, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestEndToEndInfluentialElementError(t *testing.T) {
 			}
 			inputs = append(inputs, sig)
 		}
-		res, err := Extrapolate(inputs, c.target, Options{})
+		res, err := Extrapolate(context.Background(), inputs, c.target, Options{})
 		if err != nil {
 			t.Fatalf("%s extrapolate: %v", c.app.Name(), err)
 		}

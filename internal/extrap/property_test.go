@@ -1,6 +1,7 @@
 package extrap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -62,7 +63,7 @@ func TestExtrapolateRecoversRandomCanonicalLawsProperty(t *testing.T) {
 			sigs[i] = randomCanonicalSignature(seed, p)
 		}
 		const target = 8192
-		res, err := Extrapolate(sigs, target, Options{})
+		res, err := Extrapolate(context.Background(), sigs, target, Options{})
 		if err != nil {
 			return false
 		}
@@ -92,8 +93,8 @@ func TestExtrapolateDeterministicProperty(t *testing.T) {
 			}
 			return sigs
 		}
-		a, err1 := Extrapolate(mk(), 8192, Options{})
-		b, err2 := Extrapolate(mk(), 8192, Options{})
+		a, err1 := Extrapolate(context.Background(), mk(), 8192, Options{})
+		b, err2 := Extrapolate(context.Background(), mk(), 8192, Options{})
 		if err1 != nil || err2 != nil {
 			return err1 != nil && err2 != nil
 		}
@@ -126,8 +127,8 @@ func TestExtrapolateOrderInvarianceProperty(t *testing.T) {
 			sigs[i] = randomCanonicalSignature(seed, p)
 		}
 		shuffled := []*trace.Signature{sigs[2], sigs[0], sigs[1]}
-		a, err1 := Extrapolate(sigs, 8192, Options{})
-		b, err2 := Extrapolate(shuffled, 8192, Options{})
+		a, err1 := Extrapolate(context.Background(), sigs, 8192, Options{})
+		b, err2 := Extrapolate(context.Background(), shuffled, 8192, Options{})
 		if err1 != nil || err2 != nil {
 			return err1 != nil && err2 != nil
 		}
@@ -157,11 +158,11 @@ func TestExtrapolateCVComparableProperty(t *testing.T) {
 		}
 		const target = 8192
 		truth := randomCanonicalSignature(seed, target)
-		plain, err := Extrapolate(sigs, target, Options{})
+		plain, err := Extrapolate(context.Background(), sigs, target, Options{})
 		if err != nil {
 			return false
 		}
-		cv, err := Extrapolate(sigs, target, Options{Forms: stats.CanonicalForms(), CrossValidate: true})
+		cv, err := Extrapolate(context.Background(), sigs, target, Options{Forms: stats.CanonicalForms(), CrossValidate: true})
 		if err != nil {
 			return false
 		}

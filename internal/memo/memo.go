@@ -32,6 +32,7 @@ type Cache[K comparable, V any] struct {
 	inflight map[K]*flight[V]
 	hits     uint64
 	misses   uint64
+	evicted  uint64
 }
 
 // stored is one retained cache entry.
@@ -109,6 +110,7 @@ func (c *Cache[K, V]) insert(key K, val V) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*stored[K, V]).key)
+		c.evicted++
 	}
 }
 
@@ -137,4 +139,11 @@ func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns how many retained entries LRU eviction has discarded.
+func (c *Cache[K, V]) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }

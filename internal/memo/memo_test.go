@@ -144,3 +144,19 @@ func TestDistinctKeysComputeIndependently(t *testing.T) {
 		t.Errorf("unbounded cache len = %d", c.Len())
 	}
 }
+
+func TestEvictionCount(t *testing.T) {
+	c := New[int, int](2)
+	for k := 0; k < 5; k++ {
+		k := k
+		if _, _, err := c.Do(context.Background(), k, func() (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Evictions(); got != 3 {
+		t.Errorf("evictions = %d, want 3 (5 inserts into capacity 2)", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}

@@ -19,11 +19,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"tracex/internal/addrgen"
 	"tracex/internal/cache"
 	"tracex/internal/machine"
 	"tracex/internal/memsim"
+	"tracex/internal/obs"
 )
 
 // Options controls the probe sweep.
@@ -105,6 +107,7 @@ const ctxCheckMask = 1<<16 - 1
 // random-access probe; a negative resident fraction is ignored, a positive
 // one requests a mixed-locality probe (stride is then unused).
 func probe(ctx context.Context, cfg machine.Config, model *memsim.Model, ws, stride uint64, frac float64, opt Options) (machine.SurfacePoint, error) {
+	probeStart := time.Now()
 	sim, err := cache.NewSimulatorOpts(cfg.Caches, cache.Options{NextLinePrefetch: cfg.Prefetch})
 	if err != nil {
 		return machine.SurfacePoint{}, err
@@ -169,6 +172,19 @@ func probe(ctx context.Context, cfg machine.Config, model *memsim.Model, ws, str
 	if ctr.Refs > 0 {
 		pfPerRef = float64(ctr.PrefetchFills) / float64(ctr.Refs)
 	}
+	// One batched update per probe point: which sweep family it belongs
+	// to, how many addresses it streamed, and how long it took.
+	m := obs.From(ctx)
+	switch {
+	case frac > 0:
+		m.Counter("multimaps.points.mixed").Inc()
+	case stride == 0:
+		m.Counter("multimaps.points.random").Inc()
+	default:
+		m.Counter("multimaps.points.strided").Inc()
+	}
+	m.Counter("multimaps.refs").Add(uint64(warmRefs + opt.RefsPerProbe))
+	m.Histogram("multimaps.probe_seconds").Observe(time.Since(probeStart).Seconds())
 	return machine.SurfacePoint{
 		WorkingSetBytes:  ws,
 		StrideBytes:      stride,
@@ -190,6 +206,8 @@ func Run(ctx context.Context, cfg machine.Config, opt Options) (*machine.Profile
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.From(ctx).StartSpan("multimaps.sweep", cfg.Name)
+	defer sp.End()
 	model, err := memsim.New(cfg)
 	if err != nil {
 		return nil, err

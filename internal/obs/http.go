@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler that serves the registry's
+// JSON snapshot (metrics sorted by name, span summaries, and the recent
+// span ring under "recent_spans"). A nil registry serves an empty snapshot.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Errors past the header are the client's disconnect; nothing to do.
+		_ = enc.Encode(struct {
+			Snapshot
+			RecentSpans []SpanRecord `json:"recent_spans,omitempty"`
+		}{Snapshot: r.Snapshot(), RecentSpans: r.Spans()})
+	})
+}

@@ -1,0 +1,364 @@
+// Package obs is the pipeline's zero-dependency observability layer: an
+// atomic metrics registry (counters, gauges, fixed-bucket histograms) plus
+// lightweight stage spans recorded into a bounded ring buffer. It exists so
+// the Engine, the simulators (pebil, multimaps, psins) and the extrapolation
+// can report cache effectiveness, progress and wall-clock decomposition
+// without taking a dependency on a metrics vendor.
+//
+// Instrumentation is compiled in but cheap by construction:
+//
+//   - every handle method is safe on a nil receiver, so a disabled registry
+//     (a nil *Registry) reduces each instrumentation point to one branch;
+//   - hot loops batch their updates (one Add per simulated block or probe,
+//     never one per streamed address);
+//   - handles are plain atomics — no maps or locks on the update path.
+//
+// A Registry travels through the pipeline on the context (Into/From): the
+// Engine injects its own registry so per-engine statistics stay isolated,
+// while direct calls into the internal packages fall back to the process-wide
+// Default registry.
+package obs
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// no-ops on a nil receiver.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions (pool depth,
+// cumulative seconds). All methods are no-ops on a nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds d (CAS loop on the float bits).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed bucket layout. Bucket i counts
+// observations v with v <= bounds[i] (and v > bounds[i-1]); observations
+// beyond the last bound land in an implicit overflow bucket. NaN
+// observations are dropped so Sum stays meaningful. All methods are no-ops
+// on a nil receiver.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// DefTimeBuckets is the default histogram layout for durations in seconds:
+// microseconds through a minute.
+func DefTimeBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 15, 60}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketCount is one histogram bucket in a snapshot: the count of
+// observations at or below UpperBound (and above the previous bound).
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Buckets returns the per-bucket counts; the overflow count (observations
+// beyond the last bound) is returned separately so snapshots stay
+// JSON-encodable (no +Inf bound).
+func (h *Histogram) Buckets() (buckets []BucketCount, overflow uint64) {
+	if h == nil {
+		return nil, 0
+	}
+	buckets = make([]BucketCount, len(h.bounds))
+	for i, b := range h.bounds {
+		buckets[i] = BucketCount{UpperBound: b, Count: h.counts[i].Load()}
+	}
+	return buckets, h.counts[len(h.bounds)].Load()
+}
+
+// Registry holds named metrics and the span recorder. The nil *Registry is
+// the disabled registry: every method is a cheap no-op and every handle it
+// returns is the corresponding nil handle. Construct with New.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+	spans    spanStore
+}
+
+// DefaultSpanCapacity is the span ring-buffer size used by New.
+const DefaultSpanCapacity = 256
+
+// New returns an empty registry with the default span ring capacity.
+func New() *Registry { return NewSized(DefaultSpanCapacity) }
+
+// NewSized returns an empty registry retaining up to spanCap completed spans
+// (older spans are overwritten; aggregate summaries are unbounded and
+// unaffected). spanCap < 1 disables span retention but keeps summaries.
+func NewSized(spanCap int) *Registry {
+	r := &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+	}
+	if spanCap > 0 {
+		r.spans.buf = make([]SpanRecord, spanCap)
+	}
+	r.spans.aggs = map[string]*spanAgg{}
+	return r
+}
+
+// defaultRegistry backs Default.
+var defaultRegistry = New()
+
+// Default returns the process-wide registry, used by pipeline code whose
+// context carries no registry.
+func Default() *Registry { return defaultRegistry }
+
+// ctxKey keys the registry on a context.
+type ctxKey struct{}
+
+// Into returns a context carrying r. Carrying a nil registry explicitly
+// disables metric collection for everything below it.
+func Into(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// From returns the registry carried by ctx, or Default when ctx carries
+// none. The result may be nil (disabled) if a nil registry was injected.
+func From(ctx context.Context) *Registry {
+	if r, ok := ctx.Value(ctxKey{}).(*Registry); ok {
+		return r
+	}
+	return Default()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time (cache sizes, queue depths). Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (sorted, deduplicated copies; empty bounds
+// select DefTimeBuckets). Later calls return the existing histogram and
+// ignore the bounds.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h != nil {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DefTimeBuckets()
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	h = &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// MetricSnapshot is one metric's state at snapshot time.
+type MetricSnapshot struct {
+	// Name and Type ("counter", "gauge", "histogram") identify the metric.
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// Value carries the counter or gauge value (counters are exact up to
+	// 2^53 in the float64).
+	Value float64 `json:"value"`
+	// Count, Sum, Buckets and Overflow carry histogram state; Overflow
+	// counts observations beyond the last bucket bound.
+	Count    uint64        `json:"count,omitempty"`
+	Sum      float64       `json:"sum,omitempty"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+	Overflow uint64        `json:"overflow,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry: metrics sorted by name
+// and per-stage span summaries sorted by name, so the JSON encoding is
+// stable for equal states.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+	Spans   []SpanSummary    `json:"spans,omitempty"`
+}
+
+// Snapshot captures every metric and span summary. Gauge functions are
+// evaluated during the call.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	ms := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFns)+len(r.hists))
+	for name, c := range r.counters {
+		ms = append(ms, MetricSnapshot{Name: name, Type: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		ms = append(ms, MetricSnapshot{Name: name, Type: "gauge", Value: g.Value()})
+	}
+	fns := make(map[string]func() float64, len(r.gaugeFns))
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+	}
+	for name, h := range r.hists {
+		buckets, overflow := h.Buckets()
+		ms = append(ms, MetricSnapshot{
+			Name: name, Type: "histogram",
+			Count: h.Count(), Sum: h.Sum(), Buckets: buckets, Overflow: overflow,
+		})
+	}
+	r.mu.RUnlock()
+	// Gauge functions may take locks of their own (cache stats), so they
+	// run outside the registry lock.
+	for name, fn := range fns {
+		ms = append(ms, MetricSnapshot{Name: name, Type: "gauge", Value: fn()})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return Snapshot{Metrics: ms, Spans: r.SpanSummaries()}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("same name returned a distinct counter")
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Errorf("gauge = %g, want 1", got)
+	}
+	r.GaugeFunc("fn", func() float64 { return 7 })
+	snap := r.Snapshot()
+	byName := map[string]MetricSnapshot{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	if byName["c"].Value != 42 || byName["c"].Type != "counter" {
+		t.Errorf("snapshot counter %+v", byName["c"])
+	}
+	if byName["fn"].Value != 7 || byName["fn"].Type != "gauge" {
+		t.Errorf("snapshot gauge func %+v", byName["fn"])
+	}
+}
+
+// TestHistogramBucketEdges pins the boundary semantics: a value exactly on
+// a bound counts into that bound's bucket; values beyond the last bound go
+// to the overflow bucket; NaN is dropped.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", 1, 10, 100)
+	for _, v := range []float64{0, 1, 1.0000001, 10, 100, 100.5, math.Inf(1)} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN())
+	buckets, overflow := h.Buckets()
+	want := []uint64{2, 2, 1} // {0,1}, {1.0000001,10}, {100}
+	for i, b := range buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket le=%g count %d, want %d", b.UpperBound, b.Count, want[i])
+		}
+	}
+	if overflow != 2 { // 100.5 and +Inf
+		t.Errorf("overflow %d, want 2", overflow)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count %d, want 7 (NaN dropped)", h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Error("NaN observation corrupted the sum")
+	}
+}
+
+func TestHistogramBoundsNormalized(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", 5, 1, 5, 3)
+	h.Observe(2)
+	buckets, _ := h.Buckets()
+	if len(buckets) != 3 || buckets[0].UpperBound != 1 || buckets[2].UpperBound != 5 {
+		t.Fatalf("bounds not sorted/deduplicated: %+v", buckets)
+	}
+	if buckets[1].Count != 1 {
+		t.Errorf("value 2 landed in the wrong bucket: %+v", buckets)
+	}
+	// Later calls with different bounds return the existing histogram.
+	if r.Histogram("h", 42) != h {
+		t.Error("re-creation with new bounds returned a distinct histogram")
+	}
+	if empty := r.Histogram("deftime"); len(empty.bounds) != len(DefTimeBuckets()) {
+		t.Error("empty bounds did not select DefTimeBuckets")
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race (the default `make test` does) to check the safety claim.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", 1, 2, 4).Observe(float64(i % 5))
+				sp := r.StartSpan("stage", "")
+				sp.End()
+				if i%100 == 0 {
+					r.Snapshot()
+					r.Spans()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*iters {
+		t.Errorf("counter %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g").Value(); got != workers*iters {
+		t.Errorf("gauge %g, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h").Count(); got != workers*iters {
+		t.Errorf("histogram count %d, want %d", got, workers*iters)
+	}
+	sums := r.SpanSummaries()
+	if len(sums) != 1 || sums[0].Count != workers*iters {
+		t.Errorf("span summaries %+v, want one stage with %d occurrences", sums, workers*iters)
+	}
+}
+
+func TestNilRegistryDisabled(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1)
+	r.GaugeFunc("fn", func() float64 { return 1 })
+	r.Histogram("h").Observe(1)
+	sp := r.StartSpan("s", "")
+	sp.End()
+	if c := r.Counter("c"); c.Value() != 0 {
+		t.Error("nil registry counter retained a value")
+	}
+	if snap := r.Snapshot(); len(snap.Metrics) != 0 || len(snap.Spans) != 0 {
+		t.Errorf("nil registry snapshot %+v", snap)
+	}
+	if r.Spans() != nil || r.SpanSummaries() != nil {
+		t.Error("nil registry returned spans")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != Default() {
+		t.Error("bare context did not fall back to Default")
+	}
+	r := New()
+	if From(Into(ctx, r)) != r {
+		t.Error("injected registry not returned")
+	}
+	if From(Into(ctx, nil)) != nil {
+		t.Error("explicitly injected nil registry not honoured (disable path)")
+	}
+}
+
+// TestSnapshotStableJSON pins the stable-encoding claim: equal registry
+// states encode to byte-identical JSON.
+func TestSnapshotStableJSON(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		r.Counter("b.count").Add(2)
+		r.Counter("a.count").Add(1)
+		r.Gauge("m.gauge").Set(3.5)
+		r.Histogram("z.h", 1, 2).Observe(1.5)
+		return r
+	}
+	j1, err := json.Marshal(build().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(build().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(j1, &snap); err != nil {
+		t.Fatalf("snapshot JSON round-trip: %v", err)
+	}
+	for i := 1; i < len(snap.Metrics); i++ {
+		if snap.Metrics[i-1].Name >= snap.Metrics[i].Name {
+			t.Errorf("metrics not sorted: %q before %q", snap.Metrics[i-1].Name, snap.Metrics[i].Name)
+		}
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("served").Add(5)
+	sp := r.StartSpan("stage", "label")
+	sp.End()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Snapshot
+		RecentSpans []SpanRecord `json:"recent_spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range body.Metrics {
+		if m.Name == "served" && m.Value == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("handler response missing counter: %+v", body.Metrics)
+	}
+	if len(body.RecentSpans) != 1 || body.RecentSpans[0].Name != "stage" {
+		t.Errorf("handler response spans %+v", body.RecentSpans)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed stage span.
+type SpanRecord struct {
+	// Name identifies the stage ("pebil.collect", "psins.replay", ...).
+	Name string `json:"name"`
+	// Label carries free-form per-occurrence detail ("uh3d@1024").
+	Label string `json:"label,omitempty"`
+	// Start and Duration bound the stage in wall-clock time.
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+}
+
+// SpanSummary aggregates every completed occurrence of one stage name. The
+// aggregate is unbounded: it keeps counting after the ring buffer of
+// individual records wraps.
+type SpanSummary struct {
+	Name         string  `json:"name"`
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// spanAgg accumulates one stage name's summary with atomics.
+type spanAgg struct {
+	count   atomic.Uint64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// spanStore is the registry's span state: a fixed ring of recent records
+// plus per-name aggregates. Aggregate creation shares the registry mutex;
+// ring writes take the dedicated ring mutex (spans complete at stage rate,
+// not address rate, so a mutex is cheap enough).
+type spanStore struct {
+	mu   sync.Mutex
+	buf  []SpanRecord        // fixed capacity; zero Name marks an unused slot
+	next int                 // next write index
+	aggs map[string]*spanAgg // guarded by Registry.mu
+}
+
+// Span is an in-progress stage measurement. The zero Span (from a nil
+// registry) is inert: End is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	label string
+	start time.Time
+}
+
+// StartSpan begins measuring one occurrence of the named stage. The label
+// carries per-occurrence detail and may be empty. Call End on the returned
+// span (typically deferred) to record it.
+func (r *Registry) StartSpan(name, label string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, label: label, start: time.Now()}
+}
+
+// End records the span into the registry's ring buffer and its stage
+// aggregate.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.r.recordSpan(SpanRecord{Name: s.name, Label: s.label, Start: s.start, Duration: d})
+}
+
+// recordSpan updates the stage aggregate and appends to the ring.
+func (r *Registry) recordSpan(rec SpanRecord) {
+	r.mu.RLock()
+	agg := r.spans.aggs[rec.Name]
+	r.mu.RUnlock()
+	if agg == nil {
+		r.mu.Lock()
+		if agg = r.spans.aggs[rec.Name]; agg == nil {
+			agg = &spanAgg{}
+			r.spans.aggs[rec.Name] = agg
+		}
+		r.mu.Unlock()
+	}
+	agg.count.Add(1)
+	agg.totalNs.Add(int64(rec.Duration))
+	for {
+		old := agg.maxNs.Load()
+		if int64(rec.Duration) <= old || agg.maxNs.CompareAndSwap(old, int64(rec.Duration)) {
+			break
+		}
+	}
+	st := &r.spans
+	st.mu.Lock()
+	if len(st.buf) > 0 {
+		st.buf[st.next] = rec
+		st.next = (st.next + 1) % len(st.buf)
+	}
+	st.mu.Unlock()
+}
+
+// Spans returns the retained span records, oldest first. At most the ring
+// capacity of the most recent spans is available.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	st := &r.spans
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SpanRecord, 0, len(st.buf))
+	for i := 0; i < len(st.buf); i++ {
+		rec := st.buf[(st.next+i)%len(st.buf)]
+		if rec.Name != "" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// SpanSummaries returns the per-stage aggregates sorted by name.
+func (r *Registry) SpanSummaries() []SpanSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]SpanSummary, 0, len(r.spans.aggs))
+	for name, agg := range r.spans.aggs {
+		out = append(out, SpanSummary{
+			Name:         name,
+			Count:        agg.count.Load(),
+			TotalSeconds: time.Duration(agg.totalNs.Load()).Seconds(),
+			MaxSeconds:   time.Duration(agg.maxNs.Load()).Seconds(),
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

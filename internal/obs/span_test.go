@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSpanRingWraparound fills a small ring past capacity and checks that
+// only the newest records survive, oldest first, while the aggregate keeps
+// the full count.
+func TestSpanRingWraparound(t *testing.T) {
+	const cap = 4
+	r := NewSized(cap)
+	for i := 0; i < 10; i++ {
+		r.recordSpan(SpanRecord{
+			Name:     "stage",
+			Label:    fmt.Sprintf("occ%d", i),
+			Start:    time.Unix(int64(i), 0),
+			Duration: time.Duration(i) * time.Millisecond,
+		})
+	}
+	got := r.Spans()
+	if len(got) != cap {
+		t.Fatalf("retained %d spans, want %d", len(got), cap)
+	}
+	for i, rec := range got {
+		want := fmt.Sprintf("occ%d", 10-cap+i)
+		if rec.Label != want {
+			t.Errorf("slot %d holds %s, want %s (oldest-first order)", i, rec.Label, want)
+		}
+	}
+	sums := r.SpanSummaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries %+v", sums)
+	}
+	if sums[0].Count != 10 {
+		t.Errorf("aggregate count %d survived wraparound, want 10", sums[0].Count)
+	}
+	if sums[0].MaxSeconds != 0.009 {
+		t.Errorf("aggregate max %g, want 0.009", sums[0].MaxSeconds)
+	}
+}
+
+// TestSpanRingPartialFill reads a ring that has not wrapped yet: unused
+// slots must not surface as empty records.
+func TestSpanRingPartialFill(t *testing.T) {
+	r := NewSized(8)
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan("s", "")
+		sp.End()
+	}
+	if got := r.Spans(); len(got) != 3 {
+		t.Errorf("retained %d spans, want 3", len(got))
+	}
+}
+
+// TestSpanDisabledRetention keeps aggregates when the ring capacity is 0.
+func TestSpanDisabledRetention(t *testing.T) {
+	r := NewSized(0)
+	sp := r.StartSpan("s", "")
+	sp.End()
+	if got := r.Spans(); len(got) != 0 {
+		t.Errorf("zero-capacity ring retained %d spans", len(got))
+	}
+	if sums := r.SpanSummaries(); len(sums) != 1 || sums[0].Count != 1 {
+		t.Errorf("aggregate lost with zero-capacity ring: %+v", sums)
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("timed", "")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sums := r.SpanSummaries()
+	if len(sums) != 1 || sums[0].TotalSeconds <= 0 || sums[0].MaxSeconds < sums[0].TotalSeconds {
+		t.Errorf("span summary %+v", sums)
+	}
+	recs := r.Spans()
+	if len(recs) != 1 || recs[0].Duration < 2*time.Millisecond {
+		t.Errorf("span record %+v", recs)
+	}
+}

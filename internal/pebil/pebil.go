@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"tracex/internal/cache"
 	"tracex/internal/machine"
+	"tracex/internal/obs"
 	"tracex/internal/synthapp"
 	"tracex/internal/trace"
 )
@@ -105,6 +107,8 @@ func CollectCounters(ctx context.Context, app *synthapp.App, p int, target machi
 		return nil, err
 	}
 	opt = opt.withDefaults()
+	sp := obs.From(ctx).StartSpan("pebil.collect", fmt.Sprintf("%s@%d", app.Name(), p))
+	defer sp.End()
 	works, err := app.Work(p)
 	if err != nil {
 		return nil, err
@@ -149,7 +153,10 @@ func CollectCounters(ctx context.Context, app *synthapp.App, p int, target machi
 }
 
 // simulateBlock runs one block's sampled stream through a fresh simulator.
+// Metric updates are batched — one Add per phase, never one per streamed
+// address — so instrumentation stays off the per-reference path.
 func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config, opt Options) (BlockCounters, error) {
+	m := obs.From(ctx)
 	sim, err := cache.NewSimulatorOpts(target.Caches, cache.Options{NextLinePrefetch: target.Prefetch})
 	if err != nil {
 		return BlockCounters{}, err
@@ -161,6 +168,7 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 	if warm > opt.MaxWarmRefs {
 		warm = opt.MaxWarmRefs
 	}
+	warmStart := time.Now()
 	for i := 0; i < warm; i++ {
 		if i&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -169,6 +177,8 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 		}
 		sim.Access(w.Gen.Next())
 	}
+	m.Counter("pebil.warm_refs").Add(uint64(warm))
+	m.Histogram("pebil.block_warm_seconds").Observe(time.Since(warmStart).Seconds())
 	sim.ResetCounters()
 	sample := opt.SampleRefs
 	if full := int(w.Refs); full < sample {
@@ -177,6 +187,7 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 	if sample < 1 {
 		sample = 1
 	}
+	sampleStart := time.Now()
 	for i := 0; i < sample; i++ {
 		if i&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -185,6 +196,9 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 		}
 		sim.Access(w.Gen.Next())
 	}
+	m.Counter("pebil.sample_refs").Add(uint64(sample))
+	m.Histogram("pebil.block_sample_seconds").Observe(time.Since(sampleStart).Seconds())
+	m.Counter("pebil.blocks").Inc()
 	return BlockCounters{
 		Spec:            w.Spec,
 		Refs:            w.Refs,

@@ -2,9 +2,11 @@ package pebil
 
 import (
 	"context"
+	"time"
 
 	"tracex/internal/cache"
 	"tracex/internal/machine"
+	"tracex/internal/obs"
 	"tracex/internal/synthapp"
 )
 
@@ -48,7 +50,10 @@ func collectShared(ctx context.Context, works []synthapp.Work, target machine.Co
 	}
 
 	// Warm-up: one interleaved pass sized like the per-block warm cap.
+	// Metric updates are batched per phase, as in simulateBlock.
+	m := obs.From(ctx)
 	warm := opt.MaxWarmRefs
+	warmStart := time.Now()
 	for i := 0; i < warm; i++ {
 		if i&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
@@ -58,6 +63,8 @@ func collectShared(ctx context.Context, works []synthapp.Work, target machine.Co
 		b := nextBlock()
 		sim.Access(works[b].Gen.Next())
 	}
+	m.Counter("pebil.warm_refs").Add(uint64(warm))
+	m.Histogram("pebil.block_warm_seconds").Observe(time.Since(warmStart).Seconds())
 	sim.ResetCounters()
 
 	// Measured sample: SampleRefs per block on average, attributed per
@@ -73,6 +80,7 @@ func collectShared(ctx context.Context, works []synthapp.Work, target machine.Co
 		stats[i].levelHits = make([]uint64, levels)
 	}
 	total := opt.SampleRefs * len(works)
+	sampleStart := time.Now()
 	lastPF := sim.PrefetchFillCount()
 	for i := 0; i < total; i++ {
 		if i&ctxCheckMask == 0 {
@@ -94,6 +102,10 @@ func collectShared(ctx context.Context, works []synthapp.Work, target machine.Co
 			lastPF = pf
 		}
 	}
+
+	m.Counter("pebil.sample_refs").Add(uint64(total))
+	m.Histogram("pebil.block_sample_seconds").Observe(time.Since(sampleStart).Seconds())
+	m.Counter("pebil.blocks").Add(uint64(len(works)))
 
 	out := make([]BlockCounters, len(works))
 	for i := range works {

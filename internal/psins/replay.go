@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tracex/internal/mpi"
+	"tracex/internal/obs"
 )
 
 // ComputeCost converts one compute event into seconds: the time rank spends
@@ -100,6 +101,8 @@ func ReplayTraced(ctx context.Context, prog *mpi.Program, net Network, cost Comp
 		return nil, fmt.Errorf("psins: nil compute cost")
 	}
 	n := prog.NumRanks()
+	sp := obs.From(ctx).StartSpan("psins.replay", fmt.Sprintf("%d ranks", n))
+	defer sp.End()
 	res := &Result{
 		RankEnd:     make([]float64, n),
 		ComputeTime: make([]float64, n),
@@ -301,6 +304,24 @@ func ReplayTraced(ctx context.Context, prog *mpi.Program, net Network, cost Comp
 		}
 	}
 	res.Messages = prog.TotalMessages()
+	// One batched metrics update per replay: events executed, messages
+	// delivered, and the virtual compute vs communication-wait split summed
+	// across ranks.
+	m := obs.From(ctx)
+	var events int
+	for r := 0; r < n; r++ {
+		events += len(prog.Ranks[r])
+	}
+	var compute, comm float64
+	for r := 0; r < n; r++ {
+		compute += res.ComputeTime[r]
+		comm += res.CommTime[r]
+	}
+	m.Counter("psins.replays").Inc()
+	m.Counter("psins.events").Add(uint64(events))
+	m.Counter("psins.messages").Add(uint64(res.Messages))
+	m.Gauge("psins.compute_seconds").Add(compute)
+	m.Gauge("psins.comm_seconds").Add(comm)
 	return res, nil
 }
 

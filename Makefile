@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-obs experiments examples csv clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-obs bench-server serve experiments examples csv clean
 
 all: build vet test
 
@@ -37,6 +37,15 @@ bench-engine:
 # histograms and spans, instrumented vs disabled (nil-registry) paths.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem ./internal/obs
+
+# Handler-path cost of the prediction service, coalescing on vs off
+# (decode, canonical key, admission, marshal — simulation excluded).
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerPredict' -benchmem ./internal/server
+
+# Run the prediction daemon with development-friendly defaults.
+serve:
+	$(GO) run ./cmd/tracexd -addr 127.0.0.1:8321 -request-timeout 2m
 
 # Regenerate every table, figure, ablation and extension (~1 minute).
 experiments:

@@ -33,21 +33,27 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"tracex"
 	"tracex/internal/extrap"
 	"tracex/internal/machine"
+	"tracex/internal/server"
 	"tracex/internal/trace"
 )
 
 func main() {
+	// os.Exit skips defers, so the exit code is computed in run(), where
+	// the metrics endpoint's deferred drain can execute first.
+	os.Exit(run())
+}
+
+func run() int {
 	gfs := flag.NewFlagSet("tracex", flag.ExitOnError)
 	gfs.Usage = usage
 	metricsAddr := gfs.String("metrics-addr", "",
@@ -56,34 +62,44 @@ func main() {
 	rest := gfs.Args()
 	if len(rest) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	eng := tracex.NewEngine()
 	if *metricsAddr != "" {
-		addr, err := serveMetrics(eng, *metricsAddr)
+		srv, addr, err := serveMetrics(eng, *metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracex: metrics endpoint: %s\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "tracex: serving metrics on http://%s/\n", addr)
+		// Drain and close the endpoint before exit, whether the command
+		// finished or a SIGINT/SIGTERM cancelled it: in-flight scrapes
+		// complete against the final counter values instead of being cut
+		// off mid-response.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
 	}
 	handled, err := dispatch(ctx, eng, rest[0], rest[1:])
 	if !handled {
 		fmt.Fprintf(os.Stderr, "tracex: unknown command %q\n", rest[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "tracex: interrupted")
-			os.Exit(130)
+			return 130
 		}
 		// Library errors already carry the "tracex: " package prefix.
 		fmt.Fprintf(os.Stderr, "tracex: %s\n", strings.TrimPrefix(err.Error(), "tracex: "))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // dispatch routes one subcommand to its implementation; handled reports
@@ -122,15 +138,22 @@ func dispatch(ctx context.Context, eng *tracex.Engine, cmd string, args []string
 	return false, nil
 }
 
-// serveMetrics starts the expvar-style metrics endpoint on addr and returns
-// the bound address (useful with port 0).
-func serveMetrics(eng *tracex.Engine, addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
+// serveMetrics starts the metrics endpoint on addr via the shared server
+// lifecycle (the metrics snapshot answers "/" and "/metrics"; the full
+// /v1 prediction API rides along on the same engine) and returns the
+// server and its bound address (useful with port 0). Unlike the ad-hoc
+// http.Serve this replaces, the returned server has a shutdown path: the
+// caller drains it before exit.
+func serveMetrics(eng *tracex.Engine, addr string) (*server.Server, string, error) {
+	srv, err := server.New(server.Config{Engine: eng})
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
-	go func() { _ = http.Serve(ln, eng.Registry().Handler()) }()
-	return ln.Addr().String(), nil
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound.String(), nil
 }
 
 func usage() {

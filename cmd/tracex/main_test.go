@@ -200,16 +200,21 @@ func TestCmdStatsWrapper(t *testing.T) {
 }
 
 // TestServeMetrics hits the -metrics-addr HTTP endpoint and checks it
-// serves the engine's JSON snapshot.
+// serves the engine's JSON snapshot and then drains cleanly.
 func TestServeMetrics(t *testing.T) {
 	eng := tracex.NewEngine()
 	if err := cmdTrace(bg, eng, collectArgs(tmp(t, "sig.json"), 64)); err != nil {
 		t.Fatal(err)
 	}
-	addr, err := serveMetrics(eng, "127.0.0.1:0")
+	srv, addr, err := serveMetrics(eng, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		if err := srv.Shutdown(bg); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
 	resp, err := http.Get("http://" + addr + "/")
 	if err != nil {
 		t.Fatal(err)

@@ -116,8 +116,12 @@ func writeReport(ctx context.Context, eng *tracex.Engine, w io.Writer,
 	if err != nil {
 		return err
 	}
-	prof, inputs, res := study.Profile, study.Inputs, study.Extrapolation
-	predExtrap, predColl := study.Extrapolated, study.Collected
+	tgt := study.Target(targetCount)
+	if tgt == nil {
+		return fmt.Errorf("study produced no result for %d cores", targetCount)
+	}
+	prof, inputs, res := study.Profile, study.Inputs, tgt.Extrapolation
+	predExtrap, predColl := tgt.Extrapolated, tgt.Collected
 	measured, err := eng.Measure(ctx, app, targetCount, cfg, opt)
 	if err != nil {
 		return err
@@ -146,7 +150,7 @@ func writeReport(ctx context.Context, eng *tracex.Engine, w io.Writer,
 	fmt.Fprintln(w)
 
 	// Element audit.
-	errs, err := tracex.CompareTraces(&res.Signature.Traces[0], study.Truth.DominantTrace())
+	errs, err := tracex.CompareTraces(&res.Signature.Traces[0], tgt.Truth.DominantTrace())
 	if err != nil {
 		return err
 	}

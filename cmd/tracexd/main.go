@@ -1,0 +1,132 @@
+// Command tracexd serves the trace-extrapolation pipeline as a long-lived
+// HTTP JSON service: the deployment mode for extrapolation-based
+// performance predictions at scale, as opposed to the one-shot tracex CLI.
+//
+//	tracexd -addr :8321
+//
+//	curl -s localhost:8321/v1/apps
+//	curl -s localhost:8321/v1/predict -d '{"app":"stencil3d","cores":64,"machine":"bluewaters"}'
+//	curl -s localhost:8321/v1/study -d '{"app":"stencil3d","machine":"bluewaters","input_counts":[64,128,256],"target_cores":1024}'
+//	curl -s localhost:8321/metrics
+//
+// The daemon layers admission control (bounded in-flight work plus a
+// bounded wait queue; overflow answers 429 with Retry-After), coalescing of
+// identical concurrent predict/study requests, per-request deadlines, and
+// structured JSON errors over one shared tracex.Engine, whose caches make
+// repeated predictions cheap. SIGINT/SIGTERM trigger a graceful shutdown:
+// the listener closes, /readyz flips to not-ready, in-flight requests drain
+// (bounded by -drain), and the final metrics snapshot is logged.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tracex"
+	"tracex/internal/server"
+)
+
+// options collects every tracexd flag, separated from main for testing.
+type options struct {
+	addr           string
+	parallelism    int
+	cacheSize      int
+	maxInFlight    int
+	maxQueue       int
+	queueWait      time.Duration
+	requestTimeout time.Duration
+	retryAfter     time.Duration
+	drain          time.Duration
+	noCoalesce     bool
+	quiet          bool
+}
+
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("tracexd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free port)")
+	fs.IntVar(&o.parallelism, "parallelism", 0, "engine worker-pool bound (0 = one worker per CPU)")
+	fs.IntVar(&o.cacheSize, "cache-size", 64, "profiles/signatures retained per LRU cache (0 disables retention, <0 unbounded)")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "concurrently executing compute requests (0 = one per CPU)")
+	fs.IntVar(&o.maxQueue, "max-queue", 0, "requests allowed to wait for a slot (0 = 4x max-inflight)")
+	fs.DurationVar(&o.queueWait, "queue-wait", 2*time.Second, "longest a queued request waits before 429")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", 0, "per-request wall-clock cap (0 = none)")
+	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After advertised on 429 responses")
+	fs.DurationVar(&o.drain, "drain", 15*time.Second, "longest Shutdown waits for in-flight requests")
+	fs.BoolVar(&o.noCoalesce, "no-coalesce", false, "disable coalescing of identical in-flight predict/study requests")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-request access log")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) != 0 {
+		return nil, fmt.Errorf("tracexd takes no positional arguments, got %q", fs.Args())
+	}
+	return o, nil
+}
+
+// build constructs the engine and server for o. Configuration errors
+// (e.g. a negative -parallelism) surface here, before any socket opens.
+func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, error) {
+	var eopts []tracex.EngineOption
+	if o.parallelism != 0 {
+		eopts = append(eopts, tracex.WithParallelism(o.parallelism))
+	}
+	eopts = append(eopts, tracex.WithCacheSize(o.cacheSize))
+	eng := tracex.NewEngine(eopts...)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	if o.quiet {
+		accessLog = nil
+	}
+	return server.New(server.Config{
+		Engine:            eng,
+		MaxInFlight:       o.maxInFlight,
+		MaxQueue:          o.maxQueue,
+		QueueWait:         o.queueWait,
+		RequestTimeout:    o.requestTimeout,
+		RetryAfter:        o.retryAfter,
+		DisableCoalescing: o.noCoalesce,
+		AccessLog:         accessLog,
+		ErrorLog:          errorLog,
+	})
+}
+
+func main() {
+	logger := log.New(os.Stderr, "tracexd: ", log.LstdFlags|log.Lmicroseconds)
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	srv, err := build(o, logger, logger)
+	if err != nil {
+		logger.Printf("configuration: %v", err)
+		os.Exit(1)
+	}
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("serving on http://%s (routes: /v1/{predict,study,extrapolate,signatures,apps,machines}, /healthz, /readyz, /metrics)", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default handling: a second signal kills immediately
+	logger.Printf("signal received; draining (up to %s)", o.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8321" || o.cacheSize != 64 || o.queueWait != 2*time.Second ||
+		o.retryAfter != time.Second || o.drain != 15*time.Second || o.noCoalesce || o.quiet {
+		t.Errorf("defaults: %+v", o)
+	}
+
+	o, err = parseFlags([]string{
+		"-addr", ":0", "-parallelism", "2", "-max-inflight", "3", "-max-queue", "5",
+		"-queue-wait", "250ms", "-request-timeout", "30s", "-no-coalesce", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":0" || o.parallelism != 2 || o.maxInFlight != 3 || o.maxQueue != 5 ||
+		o.queueWait != 250*time.Millisecond || o.requestTimeout != 30*time.Second ||
+		!o.noCoalesce || !o.quiet {
+		t.Errorf("explicit flags: %+v", o)
+	}
+
+	if _, err := parseFlags([]string{"serve"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestBuildRejectsBadEngineConfig(t *testing.T) {
+	o, err := parseFlags([]string{"-parallelism", "-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := log.New(io.Discard, "", 0)
+	if _, err := build(o, logger, logger); err == nil {
+		t.Error("negative -parallelism accepted")
+	}
+}
+
+// TestBuildAndServe boots the daemon's server the way main does and hits
+// one route end to end.
+func TestBuildAndServe(t *testing.T) {
+	o, err := parseFlags([]string{"-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := log.New(io.Discard, "", 0)
+	srv, err := build(o, logger, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}

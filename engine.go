@@ -2,6 +2,9 @@ package tracex
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -65,6 +68,27 @@ type sigKey struct {
 // silently replaced, which hid misconfigured callers; it is now rejected up
 // front (errors.Is-matchable against this sentinel).
 var ErrBadParallelism = errors.New("parallelism must be at least 1")
+
+// CanonicalRequestKey returns a stable, collision-resistant identity for a
+// request value: a SHA-256 over kind and the value's canonical JSON
+// encoding, rendered as "kind:hex". Two requests share a key exactly when
+// they marshal to the same bytes — encoding/json emits struct fields in
+// declaration order and map keys sorted, so the encoding (and therefore the
+// key) is deterministic. Callers deduplicating identical in-flight work
+// (the HTTP server's request coalescing, batch schedulers) should pass a
+// kind per operation so a predict and a study over the same payload never
+// collide.
+func CanonicalRequestKey(kind string, req any) (string, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("tracex: canonical key for %s request: %w", kind, err)
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(b)
+	return kind + ":" + hex.EncodeToString(h.Sum(nil)), nil
+}
 
 // EngineStats is a snapshot of an Engine's cumulative activity — cache
 // effectiveness, pool pressure and per-stage wall-clock — backed by the
@@ -542,17 +566,17 @@ type StudyResult struct {
 	Inputs []*Signature
 	// Targets holds the per-target results, ascending by core count.
 	Targets []StudyTarget
+}
 
-	// Extrapolation, Extrapolated, Truth and Collected mirror the primary
-	// target (the request's TargetCores, or the largest target when only
-	// TargetCounts was set).
-	//
-	// Deprecated: use Targets (sorted) or Rows; these single-target fields
-	// remain for one release.
-	Extrapolation *ExtrapResult
-	Extrapolated  *Prediction
-	Truth         *Signature
-	Collected     *Prediction
+// Target returns the per-target result for the given core count, or nil
+// when the study did not evaluate it.
+func (r *StudyResult) Target(cores int) *StudyTarget {
+	for i := range r.Targets {
+		if r.Targets[i].TargetCores == cores {
+			return &r.Targets[i]
+		}
+	}
+	return nil
 }
 
 // Rows returns the study's per-target comparison rows, sorted by target
@@ -581,19 +605,6 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
-}
-
-// ByTarget returns the per-target results keyed by core count.
-//
-// Deprecated: iterate Targets, which is sorted and allocation-free; the
-// map form is retained for one release for callers of the old map-keyed
-// result shape.
-func (r *StudyResult) ByTarget() map[int]*StudyTarget {
-	m := make(map[int]*StudyTarget, len(r.Targets))
-	for i := range r.Targets {
-		m[r.Targets[i].TargetCores] = &r.Targets[i]
-	}
-	return m
 }
 
 // Study runs a full extrapolation study: the machine profile, every input
@@ -695,20 +706,6 @@ func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, err
 	if err != nil {
 		return nil, err
 	}
-	// Mirror the primary target into the deprecated single-target fields.
-	primary := &res.Targets[len(res.Targets)-1]
-	if req.TargetCores > 0 {
-		for i := range res.Targets {
-			if res.Targets[i].TargetCores == req.TargetCores {
-				primary = &res.Targets[i]
-				break
-			}
-		}
-	}
-	res.Extrapolation = primary.Extrapolation
-	res.Extrapolated = primary.Extrapolated
-	res.Truth = primary.Truth
-	res.Collected = primary.Collected
 	e.studies.Inc()
 	return res, nil
 }

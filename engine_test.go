@@ -344,25 +344,24 @@ func TestEngineStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Profile == nil || len(res.Inputs) != 3 || res.Extrapolation == nil {
+	tgt := res.Target(512)
+	if res.Profile == nil || len(res.Inputs) != 3 || tgt == nil || tgt.Extrapolation == nil {
 		t.Fatalf("incomplete study result %+v", res)
 	}
-	if res.Extrapolated == nil || res.Extrapolated.CoreCount != 512 {
-		t.Fatalf("bad extrapolated prediction %+v", res.Extrapolated)
+	if tgt.Extrapolated == nil || tgt.Extrapolated.CoreCount != 512 {
+		t.Fatalf("bad extrapolated prediction %+v", tgt.Extrapolated)
 	}
-	if res.Truth == nil || res.Collected == nil {
+	if tgt.Truth == nil || tgt.Collected == nil {
 		t.Fatal("WithTruth did not produce the collected baseline")
 	}
-
-	// The deprecated single-target mirror matches the primary target.
-	if bt := res.ByTarget(); bt[512] == nil || bt[512].Extrapolated != res.Extrapolated {
-		t.Error("ByTarget()[512] does not mirror the deprecated single-target fields")
+	if res.Target(4096) != nil {
+		t.Error("Target(4096) found a target the study never evaluated")
 	}
 	rows := res.Rows()
 	if len(rows) != 1 || rows[0].TargetCores != 512 {
 		t.Fatalf("rows %+v, want one row at 512", rows)
 	}
-	if rows[0].PredictedSeconds != res.Extrapolated.Runtime || rows[0].ActualSeconds != res.Collected.Runtime {
+	if rows[0].PredictedSeconds != tgt.Extrapolated.Runtime || rows[0].ActualSeconds != tgt.Collected.Runtime {
 		t.Errorf("row %+v disagrees with predictions", rows[0])
 	}
 	if want := abs(rows[0].PredictedSeconds-rows[0].ActualSeconds) / rows[0].ActualSeconds; rows[0].AbsRelErr != want {
@@ -426,9 +425,9 @@ func TestEngineStudyMultiTarget(t *testing.T) {
 			t.Errorf("target %d has truth without WithTruth", tgt.TargetCores)
 		}
 	}
-	// Primary mirror follows TargetCores even when it is not the largest.
-	if res.Extrapolated != res.Targets[0].Extrapolated {
-		t.Error("deprecated fields do not mirror TargetCores=512")
+	// Target() addresses each evaluated count directly.
+	if res.Target(512) != &res.Targets[0] || res.Target(768) != &res.Targets[1] {
+		t.Error("Target() does not address the evaluated counts")
 	}
 
 	rows := res.Rows()

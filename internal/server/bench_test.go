@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"tracex"
+)
+
+// benchServer builds a server over an instant synthetic Predict, so the
+// benchmarks measure the handler path (decode, canonical key, admission,
+// coalescing, marshal) rather than the simulation.
+func benchServer(b *testing.B, disableCoalescing bool) (*Server, []byte) {
+	b.Helper()
+	shim := &shimEngine{
+		Engine: tracex.NewEngine(),
+		predict: func(_ context.Context, req tracex.PredictRequest) (*tracex.Prediction, error) {
+			return &tracex.Prediction{
+				App: req.Signature.App, CoreCount: req.Signature.CoreCount,
+				Machine: req.Signature.Machine, Runtime: 1.5,
+			}, nil
+		},
+	}
+	s, err := New(Config{Engine: shim, DisableCoalescing: disableCoalescing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(&PredictRequest{Signature: inlineSig(64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, body
+}
+
+// benchPredict drives b.N parallel /v1/predict requests through the full
+// handler stack in-process.
+func benchPredict(b *testing.B, s *Server, body []byte) {
+	b.Helper()
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %.200s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	reg := s.eng.Registry()
+	b.ReportMetric(float64(reg.Counter("server.coalesced").Value())/float64(b.N), "coalesced/op")
+	b.ReportMetric(float64(reg.Counter("server.rejected").Value())/float64(b.N), "rejected/op")
+}
+
+func BenchmarkServerPredict(b *testing.B) {
+	s, body := benchServer(b, false)
+	benchPredict(b, s, body)
+}
+
+func BenchmarkServerPredictNoCoalesce(b *testing.B) {
+	s, body := benchServer(b, true)
+	benchPredict(b, s, body)
+}

@@ -1,0 +1,629 @@
+// Package server turns a tracex.Engine into a long-lived HTTP JSON
+// service: the tracexd daemon's core. It layers onto the engine exactly
+// what a shared deployment needs and the library deliberately does not
+// have:
+//
+//   - admission control — a bounded in-flight limit plus a bounded wait
+//     queue; requests beyond both bounds are answered 429 with a
+//     Retry-After header instead of piling onto the worker pool;
+//   - request coalescing — identical in-flight /v1/predict and /v1/study
+//     requests (keyed by tracex.CanonicalRequestKey over the decoded body)
+//     share one computation and one marshalled response, on top of the
+//     engine's memo singleflight;
+//   - deadline and disconnect propagation — each request's context (plus
+//     the optional per-request timeout) flows into the engine, so a client
+//     hanging up cancels the simulations it asked for;
+//   - structured errors — every failure renders a stable JSON ErrorBody
+//     whose code is derived from the library's exported sentinel errors;
+//   - lifecycle — Start serves in the background, Shutdown stops the
+//     listener, flips /readyz to not-ready, drains in-flight requests and
+//     flushes a final metrics snapshot.
+//
+// Observability rides on the engine's obs.Registry under the server.*
+// namespace (requests, per-route latency histograms, in-flight and queue
+// gauges, coalesced/rejected counters) and is served at /metrics.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tracex"
+	"tracex/internal/memo"
+	"tracex/internal/obs"
+)
+
+// Engine is the slice of tracex.Engine the server drives. It is an
+// interface so tests can interpose slow or blocking pipelines; a
+// *tracex.Engine satisfies it directly.
+type Engine interface {
+	Predict(ctx context.Context, req tracex.PredictRequest) (*tracex.Prediction, error)
+	Study(ctx context.Context, req tracex.StudyRequest) (*tracex.StudyResult, error)
+	Extrapolate(ctx context.Context, inputs []*tracex.Signature, targetCores int, opt tracex.ExtrapOptions) (*tracex.ExtrapResult, error)
+	CollectSignature(ctx context.Context, app *tracex.App, cores int, target tracex.MachineConfig, opt tracex.CollectOptions) (*tracex.Signature, error)
+	Registry() *obs.Registry
+}
+
+// Config parameterizes New. The zero value of every field except Engine is
+// usable; defaults are documented per field.
+type Config struct {
+	// Engine executes the pipeline. Required.
+	Engine Engine
+	// MaxInFlight bounds concurrently executing compute requests
+	// (/v1/predict, /v1/study, /v1/extrapolate, /v1/signatures). Health,
+	// listing and metrics routes are never gated. Default: GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; arrivals
+	// beyond MaxInFlight+MaxQueue are rejected immediately with 429.
+	// Default: 4×MaxInFlight.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for an in-flight
+	// slot before giving up with 429. Default: 2s.
+	QueueWait time.Duration
+	// RequestTimeout caps each compute request's wall-clock via its
+	// context; 0 disables the cap (the client's disconnect still cancels).
+	RequestTimeout time.Duration
+	// RetryAfter is advertised on 429 responses (header and body),
+	// rounded up to whole seconds. Default: 1s.
+	RetryAfter time.Duration
+	// DisableCoalescing turns off identical-request coalescing on
+	// /v1/predict and /v1/study.
+	DisableCoalescing bool
+	// AccessLog, when non-nil, receives one line per completed request
+	// (method, path, status, bytes, duration, coalesced).
+	AccessLog *log.Logger
+	// ErrorLog, when non-nil, receives lifecycle messages and the final
+	// metrics snapshot flushed by Shutdown.
+	ErrorLog *log.Logger
+}
+
+// withDefaults fills unset Config fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// maxBodyBytes caps request bodies (inline signatures with many ranks are
+// the large case).
+const maxBodyBytes = 64 << 20
+
+// flightOut is one computed response, shared verbatim between coalesced
+// requests.
+type flightOut struct {
+	status int
+	body   []byte
+}
+
+// Server is the HTTP service. Construct with New; it is ready to serve
+// (Handler, Serve, Start) immediately and stops accepting work after
+// Shutdown.
+type Server struct {
+	cfg   Config
+	eng   Engine
+	reg   *obs.Registry
+	hs    *http.Server
+	mux   *http.ServeMux
+	ready atomic.Bool
+
+	inflight chan struct{} // in-flight slots; cap MaxInFlight
+	queue    chan struct{} // wait-queue slots; cap MaxQueue
+	flights  *memo.Cache[string, *flightOut]
+
+	requests  *obs.Counter
+	coalesced *obs.Counter
+	rejected  *obs.Counter
+}
+
+// New returns a Server over cfg.Engine. The registry gains the server.*
+// metrics; a nil registry (engine with observability disabled) is fine —
+// instrumentation degrades to no-ops.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: config has no engine")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		eng:      cfg.Engine,
+		reg:      cfg.Engine.Registry(),
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		queue:    make(chan struct{}, cfg.MaxQueue),
+		// Capacity 0: pure singleflight — responses are deduplicated while
+		// in flight and never retained (the engine's caches already hold
+		// the expensive artifacts; retaining marshalled bodies would buy
+		// no extra hit rate for the memory).
+		flights: memo.New[string, *flightOut](0),
+	}
+	s.requests = s.reg.Counter("server.requests")
+	s.coalesced = s.reg.Counter("server.coalesced")
+	s.rejected = s.reg.Counter("server.rejected")
+	s.reg.GaugeFunc("server.in_flight", func() float64 { return float64(len(s.inflight)) })
+	s.reg.GaugeFunc("server.queue.depth", func() float64 { return float64(len(s.queue)) })
+
+	s.routes()
+	s.hs = &http.Server{Handler: s.instrument(s.mux), ErrorLog: cfg.ErrorLog}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// routes registers every endpoint on the server's mux.
+func (s *Server) routes() {
+	s.mux.Handle("POST /v1/predict", handleJSON(s, "predict", true, s.predict))
+	s.mux.Handle("POST /v1/study", handleJSON(s, "study", true, s.study))
+	s.mux.Handle("POST /v1/extrapolate", handleJSON(s, "extrapolate", false, s.extrapolate))
+	s.mux.Handle("POST /v1/signatures", handleJSON(s, "signatures", false, s.collect))
+	s.mux.HandleFunc("GET /v1/apps", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"apps": tracex.Apps()})
+	})
+	s.mux.HandleFunc("GET /v1/machines", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"machines": tracex.Machines()})
+	})
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.ready.Load() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
+	// The metrics snapshot answers both its canonical path and the root
+	// (the pre-daemon `tracex -metrics-addr` endpoint served it at every
+	// path; keeping "/" preserves scrapers pointed at the old URL).
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.Handle("GET /{$}", s.reg.Handler())
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, notFoundf("no route %s %s", r.Method, r.URL.Path))
+	})
+}
+
+// Handler returns the server's full handler (instrumentation included),
+// for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.hs.Handler }
+
+// Start listens on addr and serves in the background, returning the bound
+// address (useful with port 0). Serve errors other than a clean shutdown
+// go to ErrorLog.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := s.hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.logf("serve error: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil here)
+// or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	if err := s.hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown gracefully stops the server: the listener closes, /readyz
+// flips to not-ready, in-flight requests drain (bounded by ctx), and the
+// final metrics snapshot is flushed to ErrorLog. If ctx expires before the
+// drain completes, remaining connections are force-closed and ctx's error
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	err := s.hs.Shutdown(ctx)
+	if err != nil {
+		s.hs.Close()
+	}
+	if s.cfg.ErrorLog != nil && s.reg != nil {
+		if b, merr := json.Marshal(s.reg.Snapshot()); merr == nil {
+			s.cfg.ErrorLog.Printf("final metrics snapshot: %s", b)
+		}
+	}
+	return err
+}
+
+// logf writes a lifecycle message to ErrorLog, if configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.ErrorLog != nil {
+		s.cfg.ErrorLog.Printf(format, args...)
+	}
+}
+
+// routeName maps a request path to its metric label.
+func routeName(path string) string {
+	switch path {
+	case "/healthz":
+		return "healthz"
+	case "/readyz":
+		return "readyz"
+	case "/metrics":
+		return "metrics"
+	case "/":
+		return "root"
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		switch rest {
+		case "predict", "study", "extrapolate", "signatures", "apps", "machines":
+			return rest
+		}
+	}
+	return "other"
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps the mux with request counting, per-route latency
+// histograms and access logging.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeName(r.URL.Path)
+		s.requests.Inc()
+		s.reg.Counter("server.requests." + route).Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		s.reg.Histogram("server.latency." + route).Observe(dur.Seconds())
+		if s.cfg.AccessLog != nil {
+			s.cfg.AccessLog.Printf("%s %s %d %dB %.3fms coalesced=%t",
+				r.Method, r.URL.Path, sw.status, sw.bytes,
+				float64(dur.Microseconds())/1000,
+				sw.Header().Get("Tracex-Coalesced") == "true")
+		}
+	})
+}
+
+// admit acquires an in-flight slot, queueing within the configured bounds.
+// The returned release must be called when the work completes. Arrivals
+// beyond MaxInFlight+MaxQueue, and queued requests that outwait QueueWait,
+// fail with errOverloaded (→ 429); a cancelled ctx fails with its error.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	release = func() { <-s.inflight }
+	select {
+	case s.inflight <- struct{}{}:
+		return release, nil
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("server: %w: %d in-flight and %d queued requests",
+			errOverloaded, cap(s.inflight), cap(s.queue))
+	}
+	defer func() { <-s.queue }()
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.inflight <- struct{}{}:
+		return release, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("server: %w: no free slot within %s", errOverloaded, s.cfg.QueueWait)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handleJSON adapts one typed compute handler into an http.Handler with
+// the server's shared requirements: bounded body decoding with unknown
+// -field rejection, per-request deadline, admission control, optional
+// coalescing, and structured error rendering.
+//
+// When coalescing, the canonical key is computed from the decoded request
+// value (not the raw bytes), so formatting differences between identical
+// requests still coalesce. The first request leads: admission and the
+// computation run on its goroutine and its context. Followers share the
+// leader's marshalled response (marked by the Tracex-Coalesced header) —
+// including an error response; a follower whose own context ends while
+// waiting gets its context error instead.
+func handleJSON[Req any](s *Server, route string, coalesce bool, impl func(ctx context.Context, req *Req) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.writeError(w, badRequestf("reading body: %v", err))
+			return
+		}
+		req := new(Req)
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			s.writeError(w, badRequestf("decoding %s request: %v", route, err))
+			return
+		}
+		run := func() (*flightOut, error) {
+			release, err := s.admit(ctx)
+			if err != nil {
+				if errors.Is(err, errOverloaded) {
+					s.rejected.Inc()
+				}
+				return nil, err
+			}
+			defer release()
+			v, err := impl(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("server: encoding %s response: %w", route, err)
+			}
+			return &flightOut{status: http.StatusOK, body: b}, nil
+		}
+		var out *flightOut
+		var joined bool
+		if coalesce && !s.cfg.DisableCoalescing {
+			key, kerr := tracex.CanonicalRequestKey(route, req)
+			if kerr != nil {
+				s.writeError(w, kerr)
+				return
+			}
+			out, joined, err = s.flights.Do(ctx, key, run)
+			if joined {
+				s.coalesced.Inc()
+				w.Header().Set("Tracex-Coalesced", "true")
+			}
+		} else {
+			out, err = run()
+		}
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeRaw(w, out.status, out.body)
+	})
+}
+
+// writeError renders err as the structured ErrorBody, attaching
+// Retry-After on 429.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	body := ErrorBody{Error: ErrorDetail{Code: code, Message: err.Error(), Status: status}}
+	if status == http.StatusTooManyRequests {
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.Error.RetryAfterSeconds = secs
+	}
+	writeJSON(w, status, body)
+}
+
+// writeJSON marshals v and writes it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Wire types are marshal-safe by construction; this is a
+		// programming error, not a request error.
+		http.Error(w, `{"error":{"code":"internal","message":"encoding response","status":500}}`, http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, b)
+}
+
+// writeRaw writes pre-marshalled JSON. Write errors are the client's
+// disconnect; there is nothing left to do with them.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte{'\n'})
+}
+
+// collectOpt builds the collection options for a wire request.
+func collectOpt(sampleRefs int) tracex.CollectOptions {
+	return tracex.CollectOptions{SampleRefs: sampleRefs}
+}
+
+// extrapOpt builds the extrapolation options for a wire request.
+func extrapOpt(extended bool) tracex.ExtrapOptions {
+	if extended {
+		return tracex.ExtrapOptions{Forms: tracex.ExtendedForms()}
+	}
+	return tracex.ExtrapOptions{}
+}
+
+// lookupApp resolves an application name to 404-classified errors.
+func lookupApp(name string) (*tracex.App, error) {
+	if name == "" {
+		return nil, badRequestf("request names no application")
+	}
+	app, err := tracex.LoadApp(name)
+	if err != nil {
+		return nil, notFoundf("%v", err)
+	}
+	return app, nil
+}
+
+// lookupMachine resolves a machine name to 404-classified errors.
+func lookupMachine(name string) (tracex.MachineConfig, error) {
+	if name == "" {
+		return tracex.MachineConfig{}, badRequestf("request names no machine")
+	}
+	cfg, err := tracex.LoadMachine(name)
+	if err != nil {
+		return tracex.MachineConfig{}, notFoundf("%v", err)
+	}
+	return cfg, nil
+}
+
+// predict implements POST /v1/predict.
+func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) {
+	sig := req.Signature
+	if sig != nil {
+		if err := sig.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if req.Cores <= 0 {
+			return nil, badRequestf("predict requires cores > 0 (or an inline signature)")
+		}
+		app, err := lookupApp(req.App)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := lookupMachine(req.Machine)
+		if err != nil {
+			return nil, err
+		}
+		sig, err = s.eng.CollectSignature(ctx, app, req.Cores, cfg, collectOpt(req.SampleRefs))
+		if err != nil {
+			return nil, err
+		}
+	}
+	appName := req.App
+	if appName == "" {
+		appName = sig.App
+	}
+	app, err := lookupApp(appName)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := s.eng.Predict(ctx, tracex.PredictRequest{Signature: sig, App: app})
+	if err != nil {
+		return nil, err
+	}
+	return &PredictResponse{
+		App:            pred.App,
+		Cores:          pred.CoreCount,
+		Machine:        pred.Machine,
+		RuntimeSeconds: pred.Runtime,
+		ComputeSeconds: pred.ComputeSeconds,
+		CommSeconds:    pred.CommSeconds,
+		MemSeconds:     pred.MemSeconds,
+		FPSeconds:      pred.FPSeconds,
+	}, nil
+}
+
+// study implements POST /v1/study.
+func (s *Server) study(ctx context.Context, req *StudyRequest) (any, error) {
+	app, err := lookupApp(req.App)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := lookupMachine(req.Machine)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.eng.Study(ctx, tracex.StudyRequest{
+		App:          app,
+		Machine:      cfg,
+		InputCounts:  req.InputCounts,
+		TargetCores:  req.TargetCores,
+		TargetCounts: req.TargetCounts,
+		Collect:      collectOpt(req.SampleRefs),
+		Extrap:       extrapOpt(req.ExtendedForms),
+		WithTruth:    req.WithTruth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StudyResponse{
+		App:         req.App,
+		Machine:     req.Machine,
+		InputCounts: req.InputCounts,
+		Rows:        res.Rows(),
+	}, nil
+}
+
+// extrapolate implements POST /v1/extrapolate.
+func (s *Server) extrapolate(ctx context.Context, req *ExtrapolateRequest) (any, error) {
+	if len(req.Signatures) < 2 {
+		return nil, badRequestf("extrapolate requires at least 2 input signatures, got %d", len(req.Signatures))
+	}
+	if req.TargetCores <= 0 {
+		return nil, badRequestf("extrapolate requires target_cores > 0")
+	}
+	res, err := s.eng.Extrapolate(ctx, req.Signatures, req.TargetCores, extrapOpt(req.ExtendedForms))
+	if err != nil {
+		return nil, err
+	}
+	return &ExtrapolateResponse{
+		Signature:     res.Signature,
+		Fits:          len(res.Fits),
+		SkippedBlocks: res.SkippedBlocks,
+	}, nil
+}
+
+// collect implements POST /v1/signatures.
+func (s *Server) collect(ctx context.Context, req *SignatureRequest) (any, error) {
+	if req.Cores <= 0 {
+		return nil, badRequestf("signatures requires cores > 0")
+	}
+	app, err := lookupApp(req.App)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := lookupMachine(req.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := s.eng.CollectSignature(ctx, app, req.Cores, cfg, collectOpt(req.SampleRefs))
+	if err != nil {
+		return nil, err
+	}
+	dom := sig.DominantTrace()
+	return &SignatureResponse{
+		Ranks:        len(sig.Traces),
+		Blocks:       len(dom.Blocks),
+		DominantRank: dom.Rank,
+		Signature:    sig,
+	}, nil
+}

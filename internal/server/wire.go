@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tracex"
+)
+
+// This file defines the service's wire formats: the JSON request and
+// response bodies of every /v1 route, and the structured error body every
+// failure path renders. Wire types are distinct from the library types so
+// the HTTP contract can stay stable while the library evolves; field order
+// is fixed by struct declaration, which makes the encodings golden-file
+// testable.
+
+// PredictRequest is the body of POST /v1/predict. Either an inline
+// Signature or an (App, Cores, Machine) triple must be supplied; with the
+// triple, the server collects the signature first (the engine memoizes it).
+type PredictRequest struct {
+	// App names the proxy application (see GET /v1/apps). Optional with an
+	// inline signature, where it defaults to the signature's application.
+	App string `json:"app,omitempty"`
+	// Machine names the target system (see GET /v1/machines). Required
+	// when collecting; ignored with an inline signature.
+	Machine string `json:"machine,omitempty"`
+	// Cores is the core count to collect at. Required without a signature.
+	Cores int `json:"cores,omitempty"`
+	// SampleRefs tunes collection (references simulated per block; 0 =
+	// server default).
+	SampleRefs int `json:"sample_refs,omitempty"`
+	// Signature predicts from an already-collected (or extrapolated)
+	// signature instead of collecting one.
+	Signature *tracex.Signature `json:"signature,omitempty"`
+}
+
+// PredictResponse is the body of a successful POST /v1/predict.
+type PredictResponse struct {
+	App            string  `json:"app"`
+	Cores          int     `json:"cores"`
+	Machine        string  `json:"machine"`
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	MemSeconds     float64 `json:"mem_seconds"`
+	FPSeconds      float64 `json:"fp_seconds"`
+}
+
+// StudyRequest is the body of POST /v1/study: the full
+// collect → extrapolate → predict pipeline in one call.
+type StudyRequest struct {
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	// InputCounts are the small core counts to trace (the paper uses
+	// three).
+	InputCounts []int `json:"input_counts"`
+	// TargetCores and TargetCounts name the extrapolation targets; the
+	// study evaluates their sorted, deduplicated union.
+	TargetCores  int   `json:"target_cores,omitempty"`
+	TargetCounts []int `json:"target_counts,omitempty"`
+	// SampleRefs tunes collection (0 = server default).
+	SampleRefs int `json:"sample_refs,omitempty"`
+	// ExtendedForms adds the power-law and quadratic forms to the fit.
+	ExtendedForms bool `json:"extended_forms,omitempty"`
+	// WithTruth additionally collects at each target count and predicts
+	// from it (the paper's Table I baseline). Expensive at scale.
+	WithTruth bool `json:"with_truth,omitempty"`
+}
+
+// StudyResponse is the body of a successful POST /v1/study.
+type StudyResponse struct {
+	App         string            `json:"app"`
+	Machine     string            `json:"machine"`
+	InputCounts []int             `json:"input_counts"`
+	Rows        []tracex.StudyRow `json:"rows"`
+}
+
+// ExtrapolateRequest is the body of POST /v1/extrapolate.
+type ExtrapolateRequest struct {
+	// Signatures are the input signatures (≥ 2, same app and machine,
+	// distinct core counts).
+	Signatures []*tracex.Signature `json:"signatures"`
+	// TargetCores is the count to synthesize a signature for.
+	TargetCores int `json:"target_cores"`
+	// ExtendedForms adds the power-law and quadratic forms to the fit.
+	ExtendedForms bool `json:"extended_forms,omitempty"`
+}
+
+// ExtrapolateResponse is the body of a successful POST /v1/extrapolate.
+type ExtrapolateResponse struct {
+	Signature     *tracex.Signature `json:"signature"`
+	Fits          int               `json:"fits"`
+	SkippedBlocks []uint64          `json:"skipped_blocks,omitempty"`
+}
+
+// SignatureRequest is the body of POST /v1/signatures: collect one
+// application signature.
+type SignatureRequest struct {
+	App        string `json:"app"`
+	Cores      int    `json:"cores"`
+	Machine    string `json:"machine"`
+	SampleRefs int    `json:"sample_refs,omitempty"`
+}
+
+// SignatureResponse is the body of a successful POST /v1/signatures.
+type SignatureResponse struct {
+	Ranks        int               `json:"ranks"`
+	Blocks       int               `json:"blocks"`
+	DominantRank int               `json:"dominant_rank"`
+	Signature    *tracex.Signature `json:"signature"`
+}
+
+// ErrorBody is the JSON rendering of every failed request. Codes are
+// stable API: clients branch on Code, not Message.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries one error's machine-readable classification and
+// human-readable context.
+type ErrorDetail struct {
+	// Code is the stable, snake_case error class (see classify).
+	Code string `json:"code"`
+	// Message is the underlying error text.
+	Message string `json:"message"`
+	// Status mirrors the HTTP status code for clients that only see the
+	// body.
+	Status int `json:"status"`
+	// RetryAfterSeconds accompanies 429 responses (it mirrors the
+	// Retry-After header).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// StatusClientClosedRequest reports a request abandoned by its client
+// before a response was produced (nginx's conventional 499; there is no
+// standard code).
+const StatusClientClosedRequest = 499
+
+// Server-side sentinels for request classification. Handlers wrap them so
+// classify can map handler-level failures without string matching.
+var (
+	// errOverloaded reports admission-control rejection: no in-flight or
+	// queue slot within the configured bounds. Mapped to 429.
+	errOverloaded = errors.New("server overloaded")
+	// errNotFound reports an unknown application, machine or route.
+	errNotFound = errors.New("not found")
+	// errBadRequest reports an unparseable or semantically invalid body.
+	errBadRequest = errors.New("bad request")
+)
+
+// badRequestf wraps a formatted message as a 400-classified error.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// notFoundf wraps a formatted message as a 404-classified error.
+func notFoundf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errNotFound, fmt.Sprintf(format, args...))
+}
+
+// classify maps an error from the handler or pipeline to its HTTP status
+// and stable error code. Every exported tracex sentinel has a fixed
+// mapping, so library refactors cannot silently change the API contract.
+func classify(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "client_closed_request"
+	case errors.Is(err, tracex.ErrRankOutOfRange):
+		return http.StatusBadRequest, "rank_out_of_range"
+	case errors.Is(err, tracex.ErrMachineMismatch):
+		return http.StatusConflict, "machine_mismatch"
+	case errors.Is(err, tracex.ErrNoTraces):
+		return http.StatusUnprocessableEntity, "no_traces"
+	case errors.Is(err, tracex.ErrEmptyWorkload):
+		return http.StatusUnprocessableEntity, "empty_workload"
+	case errors.Is(err, tracex.ErrBadParallelism):
+		return http.StatusInternalServerError, "bad_parallelism"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}

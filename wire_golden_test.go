@@ -1,0 +1,165 @@
+package tracex
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// These tests pin the on-disk and over-the-wire encodings that external
+// consumers depend on: signature files written by the CLI and read back
+// by extrapolation, and the study rows served by tracexd. A drift in
+// field names, ordering or shape fails against the checked-in goldens.
+
+// goldenSignature builds a small, fully-populated, valid signature by
+// hand, so the golden bytes are independent of the collection pipeline.
+func goldenSignature() *Signature {
+	fv := func(scale float64) FeatureVector {
+		return FeatureVector{
+			FPOps: 1000 * scale, FPAdd: 500 * scale, FPMul: 400 * scale, FPDivSqrt: 100 * scale,
+			MemOps: 2000 * scale, Loads: 1500 * scale, Stores: 500 * scale,
+			BytesPerRef: 8, HitRates: []float64{0.85, 0.95, 0.99},
+			WorkingSetBytes: 1 << 20, ILP: 2.5, PrefetchPerRef: 0.125,
+		}
+	}
+	mkTrace := func(rank int) Trace {
+		return Trace{
+			App: "stencil3d", CoreCount: 64, Rank: rank, Machine: "bluewaters", Levels: 3,
+			Blocks: []Block{
+				{ID: 11, Func: "stencil_sweep", File: "stencil.c", Line: 42, FV: fv(1)},
+				{ID: 23, Func: "halo_exchange", File: "halo.c", Line: 17, FV: fv(0.25)},
+			},
+		}
+	}
+	return &Signature{
+		App: "stencil3d", CoreCount: 64, Machine: "bluewaters",
+		Traces: []Trace{mkTrace(0), mkTrace(1)},
+	}
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s (rerun with -update to regenerate): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+func TestSignatureGoldenRoundTrip(t *testing.T) {
+	sig := goldenSignature()
+	if err := sig.Validate(); err != nil {
+		t.Fatalf("golden signature invalid: %v", err)
+	}
+	got, err := json.MarshalIndent(sig, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	checkGolden(t, "signature.golden.json", got)
+
+	// Round-trip: the decoded signature must validate and match exactly.
+	var back Signature
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("golden signature does not decode: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped signature invalid: %v", err)
+	}
+	if !reflect.DeepEqual(&back, sig) {
+		t.Error("signature changed across a JSON round-trip")
+	}
+}
+
+func TestStudyRowsGolden(t *testing.T) {
+	res := &StudyResult{Targets: []StudyTarget{
+		{
+			TargetCores:  512,
+			Extrapolated: &Prediction{Runtime: 10.5},
+			Collected:    &Prediction{Runtime: 10.0},
+		},
+		{
+			TargetCores:  1024,
+			Extrapolated: &Prediction{Runtime: 21.25},
+			// No truth collection at this count: actual/error stay zero.
+		},
+	}}
+	got, err := json.MarshalIndent(res.Rows(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	checkGolden(t, "study_rows.golden.json", got)
+
+	// Round-trip: rows decode into the same values.
+	var back []StudyRow
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("golden rows do not decode: %v", err)
+	}
+	if !reflect.DeepEqual(back, res.Rows()) {
+		t.Error("study rows changed across a JSON round-trip")
+	}
+	// Target lookups agree with the rows.
+	if tgt := res.Target(512); tgt == nil || tgt.Extrapolated.Runtime != 10.5 {
+		t.Errorf("Target(512) = %+v", res.Target(512))
+	}
+	if res.Target(2048) != nil {
+		t.Error("Target(2048) found a target the study never evaluated")
+	}
+}
+
+func TestCanonicalRequestKey(t *testing.T) {
+	type req struct {
+		App   string `json:"app"`
+		Cores int    `json:"cores"`
+	}
+	k1, err := CanonicalRequestKey("predict", &req{App: "stencil3d", Cores: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CanonicalRequestKey("predict", &req{App: "stencil3d", Cores: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("identical requests produced different keys: %s vs %s", k1, k2)
+	}
+	if !strings.HasPrefix(k1, "predict:") {
+		t.Errorf("key %q does not carry its kind prefix", k1)
+	}
+	k3, err := CanonicalRequestKey("study", &req{App: "stencil3d", Cores: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("different kinds share a key")
+	}
+	k4, err := CanonicalRequestKey("predict", &req{App: "stencil3d", Cores: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Error("different requests share a key")
+	}
+	if _, err := CanonicalRequestKey("predict", func() {}); err == nil {
+		t.Error("unmarshalable request accepted")
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-obs bench-server serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-engine bench-obs bench-server bench-store serve experiments examples csv clean
 
 all: build vet test
 
@@ -25,6 +25,10 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# Short fuzz pass over the signature codec (CI runs the same smoke).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSignatureDecode -fuzztime 10s ./internal/store
+
 # One iteration of every exhibit benchmark (Table/Figure regeneration).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
@@ -42,6 +46,12 @@ bench-obs:
 # (decode, canonical key, admission, marshal — simulation excluded).
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerPredict' -benchmem ./internal/server
+
+# Signature-store costs: codec encode/decode throughput and the
+# cold-collect vs disk-warm-start ratio on the Table-1 uh3d workload.
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreEncode|BenchmarkStoreDecode' -benchmem ./internal/store
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreWarmStart' -benchtime=3x .
 
 # Run the prediction daemon with development-friendly defaults.
 serve:

@@ -1,6 +1,7 @@
 package tracex
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"sync"
@@ -77,10 +78,12 @@ func TestExtrapolateWithCrossValidation(t *testing.T) {
 
 func TestPredictDetailedExposesPerRank(t *testing.T) {
 	app, _, prof, inputs := smallSetup(t)
-	pred, replay, err := PredictDetailed(inputs[0], prof, app)
+	pred, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: inputs[0], Profile: prof, App: app, WithReplay: true})
 	if err != nil {
-		t.Fatalf("PredictDetailed: %v", err)
+		t.Fatalf("Predict(WithReplay): %v", err)
 	}
+	replay := pred.Replay
 	if len(replay.RankEnd) != inputs[0].CoreCount {
 		t.Fatalf("replay has %d ranks", len(replay.RankEnd))
 	}
@@ -187,14 +190,17 @@ func TestPrefetchVariantMachine(t *testing.T) {
 
 func TestPredictTimeline(t *testing.T) {
 	app, _, prof, inputs := smallSetup(t)
-	pred, tl, err := PredictTimeline(inputs[0], prof, app)
+	pred, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: inputs[0], Profile: prof, App: app, WithTimeline: true})
 	if err != nil {
-		t.Fatalf("PredictTimeline: %v", err)
+		t.Fatalf("Predict(WithTimeline): %v", err)
 	}
-	if len(tl.Segments) == 0 {
+	tl := pred.Timeline
+	if tl == nil || len(tl.Segments) == 0 {
 		t.Fatal("empty timeline")
 	}
-	plain, err := Predict(inputs[0], prof, app)
+	plain, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: inputs[0], Profile: prof, App: app})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,11 +232,13 @@ func TestSignatureSerializationPreservesPrediction(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Load(%s): %v", ext, err)
 		}
-		orig, err := Predict(inputs[0], prof, app)
+		orig, err := DefaultEngine().Predict(context.Background(),
+			PredictRequest{Signature: inputs[0], Profile: prof, App: app})
 		if err != nil {
 			t.Fatal(err)
 		}
-		round, err := Predict(loaded, prof, app)
+		round, err := DefaultEngine().Predict(context.Background(),
+			PredictRequest{Signature: loaded, Profile: prof, App: app})
 		if err != nil {
 			t.Fatalf("Predict(loaded %s): %v", ext, err)
 		}

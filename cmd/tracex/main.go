@@ -58,6 +58,8 @@ func run() int {
 	gfs.Usage = usage
 	metricsAddr := gfs.String("metrics-addr", "",
 		"serve the engine's metrics snapshot as JSON on this address (host:port) while the command runs")
+	storeDir := gfs.String("store-dir", "",
+		"persistent signature store directory (default: $XDG_CACHE_HOME/tracex/store, else $HOME/.cache/tracex/store; \"off\" disables persistence)")
 	_ = gfs.Parse(os.Args[1:]) // ExitOnError: Parse never returns an error
 	rest := gfs.Args()
 	if len(rest) == 0 {
@@ -66,7 +68,16 @@ func run() int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	eng := tracex.NewEngine()
+	dir, err := resolveStoreDir(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracex: %s\n", err)
+		return 1
+	}
+	var eopts []tracex.EngineOption
+	if dir != "" {
+		eopts = append(eopts, tracex.WithStore(dir))
+	}
+	eng := tracex.NewEngine(eopts...)
 	if *metricsAddr != "" {
 		srv, addr, err := serveMetrics(eng, *metricsAddr)
 		if err != nil {
@@ -121,6 +132,12 @@ func dispatch(ctx context.Context, eng *tracex.Engine, cmd string, args []string
 		return true, cmdReport(ctx, eng, args)
 	case "stats":
 		return true, cmdStats(ctx, eng, args)
+	case "export":
+		return true, cmdExport(eng, args)
+	case "import":
+		return true, cmdImport(eng, args)
+	case "store":
+		return true, cmdStore(eng, args)
 	case "apps":
 		for _, a := range tracex.Apps() {
 			fmt.Println(a)
@@ -157,7 +174,7 @@ func serveMetrics(eng *tracex.Engine, addr string) (*server.Server, string, erro
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] [-store-dir dir|off] <command> [flags]
 
 commands:
   trace    collect an application signature at one core count
@@ -167,8 +184,14 @@ commands:
   compare  compare an extrapolated trace against a collected one
   report   run the full pipeline and write a markdown report
   stats    run any command, then print the engine's metrics snapshot
+  export   copy a stored signature out of the persistent store
+  import   file a signature into the persistent store
+  store    persistent store maintenance: store ls | store gc
   apps     list available proxy applications
-  machines list available machine configurations`)
+  machines list available machine configurations
+
+signatures collected by trace/report persist in the signature store
+($XDG_CACHE_HOME/tracex/store by default) and warm-start later runs.`)
 }
 
 // loadSignature reads a signature from a file (.json/.bin) or a per-rank

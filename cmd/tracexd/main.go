@@ -45,6 +45,7 @@ type options struct {
 	drain          time.Duration
 	noCoalesce     bool
 	quiet          bool
+	storeDir       string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -62,6 +63,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.drain, "drain", 15*time.Second, "longest Shutdown waits for in-flight requests")
 	fs.BoolVar(&o.noCoalesce, "no-coalesce", false, "disable coalescing of identical in-flight predict/study requests")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-request access log")
+	fs.StringVar(&o.storeDir, "store-dir", "", "persistent signature store directory; signatures survive restarts and GET/PUT /v1/signatures/{key} are served (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -79,6 +81,9 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, error) 
 		eopts = append(eopts, tracex.WithParallelism(o.parallelism))
 	}
 	eopts = append(eopts, tracex.WithCacheSize(o.cacheSize))
+	if o.storeDir != "" {
+		eopts = append(eopts, tracex.WithStore(o.storeDir))
+	}
 	eng := tracex.NewEngine(eopts...)
 	if err := eng.Err(); err != nil {
 		return nil, err

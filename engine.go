@@ -17,6 +17,7 @@ import (
 	"tracex/internal/obs"
 	"tracex/internal/pebil"
 	"tracex/internal/psins"
+	"tracex/internal/store"
 )
 
 // Engine is a long-lived, concurrency-safe orchestrator for the
@@ -48,9 +49,11 @@ type Engine struct {
 	sem         chan struct{}
 	profiles    *memo.Cache[string, *Profile]
 	sigs        *memo.Cache[sigKey, *Signature]
+	disk        *store.Store
 	reg         *obs.Registry
 	predictions *obs.Counter
 	studies     *obs.Counter
+	putErrors   *obs.Counter
 }
 
 // sigKey identifies one signature collection. The collect options are
@@ -61,6 +64,53 @@ type sigKey struct {
 	cores   int
 	machine string // machine.Config.Fingerprint()
 	opt     CollectOptions
+}
+
+// Provenance reports which tier of the engine's signature cache satisfied
+// a collection request: the in-memory memo, the persistent on-disk store,
+// or a fresh simulation. The HTTP service surfaces it as the `from` field
+// on predict responses.
+type Provenance string
+
+const (
+	// FromMemory: served by the in-memory memo cache (or by joining an
+	// identical in-flight collection).
+	FromMemory Provenance = "memory"
+	// FromDisk: loaded from the persistent signature store — a warm
+	// start, no simulation ran.
+	FromDisk Provenance = "disk"
+	// FromCollected: simulated fresh (and written through to both cache
+	// tiers).
+	FromCollected Provenance = "collected"
+)
+
+// SignatureStore is the persistent, content-addressed signature store an
+// Engine warm-starts from (see WithStore and internal/store).
+type SignatureStore = store.Store
+
+// SignatureKey is the logical identity of a stored signature: application,
+// machine (name plus configuration fingerprint), core count and normalized
+// collection options, flattened to the store's string form.
+type SignatureKey = store.Key
+
+// StoreKey returns the persistent-store key the Engine files a collection
+// under. Exported so tools importing or exporting signatures (the tracex
+// CLI) index them exactly as a warm-starting Engine will look them up.
+func StoreKey(app string, cores int, m MachineConfig, opt CollectOptions) SignatureKey {
+	return store.Key{
+		App:       app,
+		Machine:   m.Name,
+		MachineFP: shortHash(m.Fingerprint()),
+		Cores:     cores,
+		Opt:       shortHash(fmt.Sprintf("%+v", opt.Normalized())),
+	}
+}
+
+// shortHash condenses a long identity string (machine fingerprint, option
+// set) into a 16-hex-digit discriminator for manifest keys.
+func shortHash(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:8])
 }
 
 // ErrBadParallelism reports a WithParallelism value below 1. The worker
@@ -106,6 +156,11 @@ type EngineStats struct {
 	// Predictions counts completed convolution+replay predictions; Studies
 	// counts completed extrapolation studies.
 	Predictions, Studies uint64
+	// StoreHits and StoreMisses count persistent-store lookups (zero
+	// without WithStore); StorePuts counts signatures written through to
+	// disk; StoreCorruptions counts records that failed checksum or
+	// structural validation and were quarantined.
+	StoreHits, StoreMisses, StorePuts, StoreCorruptions uint64
 	// PoolCapacity is the worker-pool bound; PoolInFlight is how many pool
 	// slots were held when the snapshot was taken.
 	PoolCapacity, PoolInFlight int
@@ -131,6 +186,10 @@ func (e *Engine) Stats() EngineStats {
 	st.ProfileEvictions = e.profiles.Evictions()
 	st.CollectionHits, st.Collections = e.sigs.Stats()
 	st.SignatureEvictions = e.sigs.Evictions()
+	st.StoreHits = e.reg.Counter("store.hits").Value()
+	st.StoreMisses = e.reg.Counter("store.misses").Value()
+	st.StorePuts = e.reg.Counter("store.puts").Value()
+	st.StoreCorruptions = e.reg.Counter("store.corruptions").Value()
 	return st
 }
 
@@ -149,6 +208,7 @@ type engineConfig struct {
 	parallelism int
 	cacheSize   int
 	collectOpt  CollectOptions
+	storeDir    string
 	registry    *obs.Registry
 	regSet      bool
 	err         error
@@ -190,6 +250,19 @@ func WithCollectOptions(opt CollectOptions) EngineOption {
 	return func(c *engineConfig) { c.collectOpt = opt }
 }
 
+// WithStore attaches a persistent signature store rooted at dir (created
+// with 0700 permissions if missing), making the engine's signature cache
+// two-tiered: a collection request checks memory, then disk, then
+// simulates, writing fresh results through both tiers. A restarted process
+// pointed at the same directory warm-starts — its first repeated request
+// is a disk hit instead of a re-collection. An unopenable directory does
+// not panic: the engine is returned inert with Err reporting the problem.
+// Machine profiles are not persisted; a MultiMAPS sweep is orders of
+// magnitude cheaper than a signature collection.
+func WithStore(dir string) EngineOption {
+	return func(c *engineConfig) { c.storeDir = dir }
+}
+
 // WithRegistry sets the observability registry the engine and the pipeline
 // stages beneath it record into. The default is a fresh registry per
 // engine; pass a shared registry to aggregate several engines, or nil to
@@ -223,6 +296,14 @@ func NewEngine(opts ...EngineOption) *Engine {
 		reg:         cfg.registry,
 		predictions: cfg.registry.Counter("engine.predictions"),
 		studies:     cfg.registry.Counter("engine.studies"),
+		putErrors:   cfg.registry.Counter("store.put_errors"),
+	}
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir, cfg.registry)
+		if err != nil && e.confErr == nil {
+			e.confErr = fmt.Errorf("tracex: %w", err)
+		}
+		e.disk = st
 	}
 	// Pool and cache health as snapshot-time gauges: cheap to read, always
 	// current, and visible on the HTTP endpoint without Engine.Stats.
@@ -310,11 +391,22 @@ func (e *Engine) Profile(ctx context.Context, cfg MachineConfig) (*Profile, erro
 // served from cache with zero new simulation. A zero opt selects the
 // engine's default collection options (WithCollectOptions).
 func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, error) {
+	sig, _, err := e.CollectSignatureFrom(ctx, app, cores, target, opt)
+	return sig, err
+}
+
+// CollectSignatureFrom is CollectSignature with provenance: it reports
+// which tier satisfied the request — the in-memory cache, the persistent
+// store (WithStore), or a fresh simulation. The tiers are checked in that
+// order; a simulated signature is written through both on the way out, so
+// the next identical request in this process is a memory hit and the next
+// one in a restarted process is a disk hit.
+func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, Provenance, error) {
 	if e.confErr != nil {
-		return nil, e.confErr
+		return nil, "", e.confErr
 	}
 	if app == nil {
-		return nil, fmt.Errorf("tracex: nil application")
+		return nil, "", fmt.Errorf("tracex: nil application")
 	}
 	if opt == (CollectOptions{}) {
 		opt = e.collectOpt
@@ -323,11 +415,40 @@ func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, targ
 	sp := e.reg.StartSpan("engine.collect", fmt.Sprintf("%s@%d", app.Name(), cores))
 	defer sp.End()
 	key := sigKey{app: app.Name(), cores: cores, machine: target.Fingerprint(), opt: opt.Normalized()}
-	sig, _, err := e.sigs.Do(ctx, key, func() (*Signature, error) {
-		return pebil.Collect(ctx, app, cores, target, nil, opt)
+	// prov is written only inside the memoized function, which either
+	// runs on this goroutine (miss) or not at all (hit) — never on
+	// another goroutine — so the read below is race-free.
+	prov := FromCollected
+	sig, hit, err := e.sigs.Do(ctx, key, func() (*Signature, error) {
+		if e.disk != nil {
+			if sig, ok, _ := e.disk.Get(StoreKey(app.Name(), cores, target, opt)); ok {
+				prov = FromDisk
+				return sig, nil
+			}
+		}
+		sig, err := pebil.Collect(ctx, app, cores, target, nil, opt)
+		if err == nil && e.disk != nil {
+			if _, perr := e.disk.Put(sig, StoreKey(app.Name(), cores, target, opt)); perr != nil {
+				// A full or read-only disk must not fail the
+				// collection that just succeeded; the lost write is
+				// only a future cold start.
+				e.putErrors.Inc()
+			}
+		}
+		return sig, err
 	})
-	return sig, err
+	if err != nil {
+		return nil, "", err
+	}
+	if hit {
+		prov = FromMemory
+	}
+	return sig, prov, nil
 }
+
+// Store returns the engine's persistent signature store, or nil when the
+// engine was built without WithStore.
+func (e *Engine) Store() *SignatureStore { return e.disk }
 
 // CollectInputs traces the application at each of the given core counts —
 // the "series of smaller core counts" the extrapolation consumes — fanning

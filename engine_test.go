@@ -628,11 +628,13 @@ func TestEngineDefaultCollectOptions(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappers keeps the old free-function trio working on top of
-// the default engine.
-func TestDeprecatedWrappers(t *testing.T) {
+// TestPredictRequestVariants checks that the replay and timeline
+// attachments of Engine.Predict agree with the plain prediction (the
+// single-request replacement for the removed package-level
+// Predict/PredictDetailed/PredictTimeline trio).
+func TestPredictRequestVariants(t *testing.T) {
 	if testing.Short() {
-		t.Skip("wrapper round-trip in -short mode")
+		t.Skip("variant round-trip in -short mode")
 	}
 	app := testApp(t, "stencil3d")
 	cfg := testMachine(t, "bluewaters")
@@ -644,22 +646,24 @@ func TestDeprecatedWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, err := Predict(sig, prof, app)
+	ctx := context.Background()
+	e := DefaultEngine()
+	pred, err := e.Predict(ctx, PredictRequest{Signature: sig, Profile: prof, App: app})
 	if err != nil {
 		t.Fatal(err)
 	}
-	det, replay, err := PredictDetailed(sig, prof, app)
+	det, err := e.Predict(ctx, PredictRequest{Signature: sig, Profile: prof, App: app, WithReplay: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if replay == nil || det.Runtime != pred.Runtime {
-		t.Error("PredictDetailed disagrees with Predict")
+	if det.Replay == nil || det.Runtime != pred.Runtime {
+		t.Error("WithReplay prediction disagrees with the plain one")
 	}
-	tlPred, tl, err := PredictTimeline(sig, prof, app)
+	tlPred, err := e.Predict(ctx, PredictRequest{Signature: sig, Profile: prof, App: app, WithTimeline: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tl == nil || tlPred.Runtime != pred.Runtime {
-		t.Error("PredictTimeline disagrees with Predict")
+	if tlPred.Timeline == nil || tlPred.Runtime != pred.Runtime {
+		t.Error("WithTimeline prediction disagrees with the plain one")
 	}
 }

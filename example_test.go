@@ -1,6 +1,7 @@
 package tracex_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,8 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := tracex.Predict(res.Signature, prof, app)
+	pred, err := tracex.DefaultEngine().Predict(context.Background(),
+		tracex.PredictRequest{Signature: res.Signature, Profile: prof, App: app})
 	if err != nil {
 		log.Fatal(err)
 	}

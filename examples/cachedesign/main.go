@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		pred, err := tracex.Predict(sig, prof, app)
+		pred, err := tracex.DefaultEngine().Predict(context.Background(),
+			tracex.PredictRequest{Signature: sig, Profile: prof, App: app})
 		if err != nil {
 			log.Fatal(err)
 		}

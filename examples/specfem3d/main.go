@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -74,11 +75,13 @@ func main() {
 	fmt.Printf("influential-element audit: max error %.1f%% (%s) — paper claims <20%%\n",
 		100*maxErr, worst)
 
-	predExtrap, err := tracex.Predict(res.Signature, prof, app)
+	predExtrap, err := tracex.DefaultEngine().Predict(context.Background(),
+		tracex.PredictRequest{Signature: res.Signature, Profile: prof, App: app})
 	if err != nil {
 		log.Fatal(err)
 	}
-	predColl, err := tracex.Predict(collected, prof, app)
+	predColl, err := tracex.DefaultEngine().Predict(context.Background(),
+		tracex.PredictRequest{Signature: collected, Profile: prof, App: app})
 	if err != nil {
 		log.Fatal(err)
 	}

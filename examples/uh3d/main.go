@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -67,11 +68,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	predExtrap, err := tracex.Predict(res.Signature, prof, app)
+	predExtrap, err := tracex.DefaultEngine().Predict(context.Background(),
+		tracex.PredictRequest{Signature: res.Signature, Profile: prof, App: app})
 	if err != nil {
 		log.Fatal(err)
 	}
-	predColl, err := tracex.Predict(collected, prof, app)
+	predColl, err := tracex.DefaultEngine().Predict(context.Background(),
+		tracex.PredictRequest{Signature: collected, Profile: prof, App: app})
 	if err != nil {
 		log.Fatal(err)
 	}

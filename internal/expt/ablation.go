@@ -476,7 +476,7 @@ func AblationCollectionMode(cfg Config) ([]CollectionModeRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			pred, err := tracex.Predict(res.Signature, prof, app)
+			pred, err := predictSig(cfg.context(), res.Signature, prof, app)
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"tracex"
 	"tracex/internal/machine"
 	"tracex/internal/multimaps"
 	"tracex/internal/pebil"
@@ -120,4 +121,10 @@ func buildProfile(ctx context.Context, cfg machine.Config) (*machine.Profile, er
 // buildProfileUncached runs the default MultiMAPS sweep.
 func buildProfileUncached(ctx context.Context, cfg machine.Config) (*machine.Profile, error) {
 	return multimaps.Run(ctx, cfg, multimaps.DefaultOptions(cfg))
+}
+
+// predictSig runs one Engine prediction from an existing signature and
+// profile on the process-wide default engine.
+func predictSig(ctx context.Context, sig *trace.Signature, prof *machine.Profile, app *synthapp.App) (*tracex.Prediction, error) {
+	return tracex.DefaultEngine().Predict(ctx, tracex.PredictRequest{Signature: sig, Profile: prof, App: app})
 }

@@ -108,7 +108,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 			{"Extrap.", res.Signature},
 			{"Coll.", collected},
 		} {
-			pred, err := tracex.Predict(tc.sig, prof, app)
+			pred, err := predictSig(cfg.context(), tc.sig, prof, app)
 			if err != nil {
 				return nil, fmt.Errorf("expt: predicting %s from %s trace: %w", spec.App, tc.kind, err)
 			}

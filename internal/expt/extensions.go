@@ -79,7 +79,7 @@ func WeakScaling(cfg Config) ([]WeakScalingRow, error) {
 		if len(infl) > 0 {
 			row.MeanErr = sum / float64(len(infl))
 		}
-		pred, err := tracex.Predict(res.Signature, prof, app)
+		pred, err := predictSig(cfg.context(), res.Signature, prof, app)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +128,7 @@ func CrossArch(cfg Config) ([]CrossArchRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			pred, err := tracex.Predict(sig, prof, app)
+			pred, err := predictSig(cfg.context(), sig, prof, app)
 			if err != nil {
 				return nil, err
 			}
@@ -189,7 +189,7 @@ func ScalingCurve(cfg Config) ([]ScalingCurveRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred, err := tracex.Predict(res.Signature, prof, app)
+		pred, err := predictSig(cfg.context(), res.Signature, prof, app)
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +327,7 @@ func PrefetchExploration(cfg Config) ([]PrefetchRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			pred, err := tracex.Predict(res.Signature, prof, app)
+			pred, err := predictSig(cfg.context(), res.Signature, prof, app)
 			if err != nil {
 				return nil, err
 			}

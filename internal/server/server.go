@@ -53,6 +53,8 @@ type Engine interface {
 	Study(ctx context.Context, req tracex.StudyRequest) (*tracex.StudyResult, error)
 	Extrapolate(ctx context.Context, inputs []*tracex.Signature, targetCores int, opt tracex.ExtrapOptions) (*tracex.ExtrapResult, error)
 	CollectSignature(ctx context.Context, app *tracex.App, cores int, target tracex.MachineConfig, opt tracex.CollectOptions) (*tracex.Signature, error)
+	CollectSignatureFrom(ctx context.Context, app *tracex.App, cores int, target tracex.MachineConfig, opt tracex.CollectOptions) (*tracex.Signature, tracex.Provenance, error)
+	Store() *tracex.SignatureStore
 	Registry() *obs.Registry
 }
 
@@ -176,6 +178,8 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/study", handleJSON(s, "study", true, s.study))
 	s.mux.Handle("POST /v1/extrapolate", handleJSON(s, "extrapolate", false, s.extrapolate))
 	s.mux.Handle("POST /v1/signatures", handleJSON(s, "signatures", false, s.collect))
+	s.mux.HandleFunc("GET /v1/signatures/{key}", s.storeGet)
+	s.mux.HandleFunc("PUT /v1/signatures/{key}", s.storePut)
 	s.mux.HandleFunc("GET /v1/apps", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"apps": tracex.Apps()})
 	})
@@ -507,6 +511,10 @@ func lookupMachine(name string) (tracex.MachineConfig, error) {
 // predict implements POST /v1/predict.
 func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) {
 	sig := req.Signature
+	// from records which tier produced the signature ("inline" when the
+	// client sent it; otherwise the engine's provenance — memory, disk or
+	// collected).
+	from := "inline"
 	if sig != nil {
 		if err := sig.Validate(); err != nil {
 			return nil, err
@@ -523,10 +531,12 @@ func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) 
 		if err != nil {
 			return nil, err
 		}
-		sig, err = s.eng.CollectSignature(ctx, app, req.Cores, cfg, collectOpt(req.SampleRefs))
+		var prov tracex.Provenance
+		sig, prov, err = s.eng.CollectSignatureFrom(ctx, app, req.Cores, cfg, collectOpt(req.SampleRefs))
 		if err != nil {
 			return nil, err
 		}
+		from = string(prov)
 	}
 	appName := req.App
 	if appName == "" {
@@ -549,6 +559,7 @@ func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) 
 		CommSeconds:    pred.CommSeconds,
 		MemSeconds:     pred.MemSeconds,
 		FPSeconds:      pred.FPSeconds,
+		From:           from,
 	}, nil
 }
 

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"tracex"
+)
+
+// This file implements the persistent signature store's HTTP surface:
+//
+//	GET /v1/signatures/{key}  — fetch a stored signature
+//	PUT /v1/signatures/{key}  — import a signature into the store
+//
+// {key} is either a 64-hex content hash (exact object fetch) or the
+// human-readable triple "app@cores@machine" (e.g. "uh3d@512@bluewaters"),
+// which GET resolves to the most recently stored matching signature and
+// PUT checks against the inline signature's own identity. Both routes
+// answer 501 no_store on a daemon started without a store directory.
+
+// storeKeySep separates the fields of a human-readable store key.
+const storeKeySep = "@"
+
+// parseTripleKey splits "app@cores@machine" into its fields.
+func parseTripleKey(key string) (app string, cores int, machine string, err error) {
+	parts := strings.Split(key, storeKeySep)
+	if len(parts) != 3 {
+		return "", 0, "", badRequestf("store key %q is neither a 64-hex content hash nor app@cores@machine", key)
+	}
+	cores, err = strconv.Atoi(parts[1])
+	if err != nil || cores <= 0 {
+		return "", 0, "", badRequestf("store key %q has a non-positive core count", key)
+	}
+	return parts[0], cores, parts[2], nil
+}
+
+// isContentHash reports whether key looks like a hex SHA-256.
+func isContentHash(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// store returns the engine's persistent store or the errNoStore failure.
+func (s *Server) store() (*tracex.SignatureStore, error) {
+	st := s.eng.Store()
+	if st == nil {
+		return nil, fmt.Errorf("server: %w: the daemon was started without a store directory", errNoStore)
+	}
+	return st, nil
+}
+
+// storeGet implements GET /v1/signatures/{key}.
+func (s *Server) storeGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.store()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.rejected.Inc()
+		}
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	key := r.PathValue("key")
+	resp := &StoredSignatureResponse{}
+	switch {
+	case isContentHash(key):
+		sig, err := st.GetHash(key)
+		if err != nil {
+			s.writeError(w, notFoundf("no stored signature %s: %v", key, err))
+			return
+		}
+		resp.Signature, resp.Hash = sig, key
+		// Attach manifest metadata when the hash is still referenced.
+		for _, e := range st.Entries() {
+			if e.Hash == key {
+				resp.Bytes, resp.Unix = e.Bytes, e.Unix
+				break
+			}
+		}
+	default:
+		app, cores, machine, err := parseTripleKey(key)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		sig, entry, ok, err := st.Latest(app, machine, cores)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("server: reading stored signature %s: %w", key, err))
+			return
+		}
+		if !ok {
+			s.writeError(w, notFoundf("no stored signature for %s", key))
+			return
+		}
+		resp.Signature = sig
+		resp.Hash, resp.Bytes, resp.Unix = entry.Hash, entry.Bytes, entry.Unix
+	}
+	resp.App = resp.Signature.App
+	resp.Machine = resp.Signature.Machine
+	resp.Cores = resp.Signature.CoreCount
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// storePut implements PUT /v1/signatures/{key}: import an inline signature
+// (collected elsewhere, or extrapolated) into the store so later predicts
+// warm-start from disk.
+func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
+	st, err := s.store()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, badRequestf("reading body: %v", err))
+		return
+	}
+	var sig tracex.Signature
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sig); err != nil {
+		s.writeError(w, badRequestf("decoding signature: %v", err))
+		return
+	}
+	if err := sig.Validate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	app, cores, machine, err := parseTripleKey(r.PathValue("key"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if app != sig.App || cores != sig.CoreCount || machine != sig.Machine {
+		s.writeError(w, badRequestf("store key %s does not match the signature (%s%s%d%s%s)",
+			r.PathValue("key"), sig.App, storeKeySep, sig.CoreCount, storeKeySep, sig.Machine))
+		return
+	}
+	cfg, err := lookupMachine(sig.Machine)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.rejected.Inc()
+		}
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+	// Imports are filed under the default collection options: the caller is
+	// asserting this signature stands in for a default collection at that
+	// identity, which is exactly what the engine's warm-start consults.
+	entry, err := st.Put(&sig, tracex.StoreKey(sig.App, sig.CoreCount, cfg, tracex.CollectOptions{}))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("server: storing signature: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, &StorePutResponse{
+		App:     entry.App,
+		Machine: entry.Machine,
+		Cores:   entry.Cores,
+		Hash:    entry.Hash,
+		Bytes:   entry.Bytes,
+	})
+}

@@ -46,6 +46,10 @@ type PredictResponse struct {
 	CommSeconds    float64 `json:"comm_seconds"`
 	MemSeconds     float64 `json:"mem_seconds"`
 	FPSeconds      float64 `json:"fp_seconds"`
+	// From reports where the signature came from: "inline" when the client
+	// supplied it, otherwise the engine cache tier that satisfied the
+	// collection ("memory", "disk" or "collected").
+	From string `json:"from,omitempty"`
 }
 
 // StudyRequest is the body of POST /v1/study: the full
@@ -112,6 +116,30 @@ type SignatureResponse struct {
 	Signature    *tracex.Signature `json:"signature"`
 }
 
+// StoredSignatureResponse is the body of a successful
+// GET /v1/signatures/{key}.
+type StoredSignatureResponse struct {
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+	// Hash is the object's hex SHA-256 content hash.
+	Hash string `json:"hash"`
+	// Bytes and Unix carry the manifest entry's metadata when the object
+	// is still referenced (zero for an unreferenced hash fetch).
+	Bytes     int64             `json:"bytes,omitempty"`
+	Unix      int64             `json:"unix,omitempty"`
+	Signature *tracex.Signature `json:"signature"`
+}
+
+// StorePutResponse is the body of a successful PUT /v1/signatures/{key}.
+type StorePutResponse struct {
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+	Hash    string `json:"hash"`
+	Bytes   int64  `json:"bytes"`
+}
+
 // ErrorBody is the JSON rendering of every failed request. Codes are
 // stable API: clients branch on Code, not Message.
 type ErrorBody struct {
@@ -148,6 +176,9 @@ var (
 	errNotFound = errors.New("not found")
 	// errBadRequest reports an unparseable or semantically invalid body.
 	errBadRequest = errors.New("bad request")
+	// errNoStore reports a store route on a daemon running without a
+	// persistent store. Mapped to 501.
+	errNoStore = errors.New("no signature store configured")
 )
 
 // badRequestf wraps a formatted message as a 400-classified error.
@@ -171,6 +202,8 @@ func classify(err error) (status int, code string) {
 		return http.StatusNotFound, "not_found"
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, errNoStore):
+		return http.StatusNotImplemented, "no_store"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// benchSignature builds one representative signature for the codec
+// benchmarks (deterministic seed, so runs are comparable).
+func benchSignature(b *testing.B) ([]byte, int) {
+	b.Helper()
+	sig := genSignature(rand.New(rand.NewSource(99)))
+	var buf bytes.Buffer
+	if err := Encode(&buf, sig); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), len(buf.Bytes())
+}
+
+// BenchmarkStoreEncode measures codec write throughput (bytes/s via
+// SetBytes) and the encoded size per signature.
+func BenchmarkStoreEncode(b *testing.B) {
+	sig := genSignature(rand.New(rand.NewSource(99)))
+	encoded, size := benchSignature(b)
+	_ = encoded
+	b.SetBytes(int64(size))
+	b.ReportMetric(float64(size), "encoded_bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreDecode measures codec read throughput, CRC verification
+// included.
+func BenchmarkStoreDecode(b *testing.B) {
+	encoded, size := benchSignature(b)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(encoded)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

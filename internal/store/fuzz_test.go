@@ -1,0 +1,51 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzSignatureDecode throws arbitrary bytes at the codec. The decoder must
+// never panic or allocate unboundedly; every failure must wrap ErrCorrupt
+// (so the store quarantines instead of crashing); and anything that does
+// decode must re-encode and decode back to the same value.
+func FuzzSignatureDecode(f *testing.F) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, genSignature(r)); err != nil {
+			f.Fatalf("seeding: %v", err)
+		}
+		f.Add(buf.Bytes())
+		// A truncated and a bit-flipped variant seed the corrupt paths.
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		flipped := append([]byte(nil), buf.Bytes()...)
+		flipped[buf.Len()/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TXSG\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, sig); err != nil {
+			t.Fatalf("re-encoding a decoded signature: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded signature: %v", err)
+		}
+		if !reflect.DeepEqual(sig, again) {
+			t.Fatalf("re-encode round trip diverged:\nfirst  %+v\nsecond %+v", sig, again)
+		}
+	})
+}

@@ -172,30 +172,6 @@ type Prediction struct {
 // ReplayResult is the discrete-event replay outcome with per-rank detail.
 type ReplayResult = psins.Result
 
-// Predict produces the runtime prediction for the application at the
-// signature's core count on the profiled machine.
-//
-// Deprecated: use Engine.Predict, which takes a context and folds the
-// Predict/PredictDetailed/PredictTimeline trio into one request type.
-func Predict(sig *Signature, prof *Profile, app *App) (*Prediction, error) {
-	return DefaultEngine().Predict(context.Background(),
-		PredictRequest{Signature: sig, Profile: prof, App: app})
-}
-
-// PredictDetailed is Predict but also returns the full per-rank replay
-// result.
-//
-// Deprecated: use Engine.Predict with PredictRequest.WithReplay; the
-// replay result arrives on Prediction.Replay.
-func PredictDetailed(sig *Signature, prof *Profile, app *App) (*Prediction, *ReplayResult, error) {
-	pred, err := DefaultEngine().Predict(context.Background(),
-		PredictRequest{Signature: sig, Profile: prof, App: app, WithReplay: true})
-	if err != nil {
-		return nil, nil, err
-	}
-	return pred, pred.Replay, nil
-}
-
 // Program builds the application's replayable MPI event trace (exposed for
 // tools and experiments that drive the replay engine directly).
 func Program(app *App, cores int) (*mpi.Program, error) { return app.Program(cores) }
@@ -212,16 +188,3 @@ func ClusterRanks(sig *Signature, k int, seed int64) (*RankClusters, error) {
 
 // Timeline is a replay's per-rank segment record (for visualization).
 type Timeline = psins.Timeline
-
-// PredictTimeline is Predict with per-rank timeline recording.
-//
-// Deprecated: use Engine.Predict with PredictRequest.WithTimeline; the
-// timeline arrives on Prediction.Timeline.
-func PredictTimeline(sig *Signature, prof *Profile, app *App) (*Prediction, *Timeline, error) {
-	pred, err := DefaultEngine().Predict(context.Background(),
-		PredictRequest{Signature: sig, Profile: prof, App: app, WithTimeline: true})
-	if err != nil {
-		return nil, nil, err
-	}
-	return pred, pred.Timeline, nil
-}

@@ -1,6 +1,7 @@
 package tracex
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -72,11 +73,13 @@ func TestTableIPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	predExtrap, err := Predict(res.Signature, prof, app)
+	predExtrap, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: res.Signature, Profile: prof, App: app})
 	if err != nil {
 		t.Fatalf("Predict(extrapolated): %v", err)
 	}
-	predColl, err := Predict(collected, prof, app)
+	predColl, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: collected, Profile: prof, App: app})
 	if err != nil {
 		t.Fatalf("Predict(collected): %v", err)
 	}
@@ -113,7 +116,8 @@ func TestPredictValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Predict(sig, prof, app); err == nil {
+	if _, err := DefaultEngine().Predict(context.Background(),
+		PredictRequest{Signature: sig, Profile: prof, App: app}); err == nil {
 		t.Error("machine mismatch accepted")
 	}
 }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-engine bench-obs bench-server bench-store serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-collect bench-engine bench-obs bench-server bench-store bench-smoke serve experiments examples csv clean
 
 all: build vet test
 
@@ -32,6 +32,18 @@ fuzz:
 # One iteration of every exhibit benchmark (Table/Figure regeneration).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Serial vs batched vs arena-parallel signature collection (the PR's
+# tentpole), plus the batched hot loops underneath it (address generation
+# and cache AccessBatch). Allocation counts should be 0 in steady state.
+bench-collect:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollect/' -benchmem -benchtime=3x ./internal/pebil
+	$(GO) test -run '^$$' -bench 'BenchmarkAccessBatch|BenchmarkStrideNextBatch|BenchmarkRandomNextBatch' -benchmem ./internal/cache ./internal/addrgen
+
+# One iteration of every benchmark in the tree: a cheap CI smoke that
+# catches benchmarks that no longer compile or crash, without timing noise.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Serial vs Engine-parallel CollectInputs plus the cache-hit fast path.
 bench-engine:

@@ -45,7 +45,7 @@ func CalibrateMachine(cfg MachineConfig, obs []Observation, params []MachinePara
 // real deployment the times would come from hardware measurement; here the
 // detailed simulator plays that role.
 func ObserveBlocks(app *App, cores int, cfg MachineConfig, opt CollectOptions) ([]Observation, error) {
-	counters, err := pebil.CollectCounters(context.Background(), app, cores, cfg, opt)
+	counters, err := pebil.DefaultCollector().Counters(context.Background(), app, cores, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -53,13 +53,17 @@ func ObserveBlocks(app *App, cores int, cfg MachineConfig, opt CollectOptions) (
 	if err != nil {
 		return nil, err
 	}
+	snaps := make([]cache.Counters, len(counters))
+	for i := range counters {
+		snaps[i] = counters[i].Counters
+	}
+	cycles, err := model.BlockCycles(snaps)
+	if err != nil {
+		return nil, err
+	}
 	obs := make([]Observation, 0, len(counters))
-	for _, bc := range counters {
-		cy, err := model.Cycles(bc.Counters)
-		if err != nil {
-			return nil, err
-		}
-		obs = append(obs, Observation{Counters: bc.Counters, Seconds: model.Seconds(cy)})
+	for i := range counters {
+		obs = append(obs, Observation{Counters: snaps[i], Seconds: model.Seconds(cycles[i])})
 	}
 	return obs, nil
 }

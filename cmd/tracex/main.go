@@ -60,6 +60,10 @@ func run() int {
 		"serve the engine's metrics snapshot as JSON on this address (host:port) while the command runs")
 	storeDir := gfs.String("store-dir", "",
 		"persistent signature store directory (default: $XDG_CACHE_HOME/tracex/store, else $HOME/.cache/tracex/store; \"off\" disables persistence)")
+	gfs.IntVar(&collectWorkers, "collect-workers", 0,
+		"worker goroutines per signature collection (0 = one per CPU); results are identical for any value")
+	gfs.IntVar(&collectBatch, "collect-batch", 0,
+		"addresses simulated per batch during collection (0 = default); results are identical for any value")
 	_ = gfs.Parse(os.Args[1:]) // ExitOnError: Parse never returns an error
 	rest := gfs.Args()
 	if len(rest) == 0 {
@@ -78,6 +82,9 @@ func run() int {
 		eopts = append(eopts, tracex.WithStore(dir))
 	}
 	eng := tracex.NewEngine(eopts...)
+	// Drain the collection arena and release the store lock on the way out
+	// (after the deferred metrics drain below, which registers later).
+	defer eng.Close()
 	if *metricsAddr != "" {
 		srv, addr, err := serveMetrics(eng, *metricsAddr)
 		if err != nil {
@@ -111,6 +118,18 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// Global collection tuning, shared by every subcommand that simulates:
+// -collect-workers and -collect-batch schedule the same collection
+// differently without changing any result (pebil.CollectorConfig zeroes both
+// out of cache and store identities).
+var collectWorkers, collectBatch int
+
+// collectOptions builds a subcommand's collection options from the global
+// tuning flags; sample ≤ 0 keeps the default per-block sample length.
+func collectOptions(sample int) tracex.CollectOptions {
+	return tracex.CollectOptions{SampleRefs: sample, Workers: collectWorkers, BatchSize: collectBatch}
 }
 
 // dispatch routes one subcommand to its implementation; handled reports
@@ -174,7 +193,8 @@ func serveMetrics(eng *tracex.Engine, addr string) (*server.Server, string, erro
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] [-store-dir dir|off] <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] [-store-dir dir|off]
+              [-collect-workers n] [-collect-batch n] <command> [flags]
 
 commands:
   trace    collect an application signature at one core count
@@ -234,7 +254,7 @@ func cmdTrace(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	sig, err := eng.CollectSignature(ctx, app, *cores, cfg, tracex.CollectOptions{SampleRefs: *sample})
+	sig, err := eng.CollectSignature(ctx, app, *cores, cfg, collectOptions(*sample))
 	if err != nil {
 		return err
 	}
@@ -348,7 +368,7 @@ func cmdMeasure(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := eng.Measure(ctx, app, *cores, cfg, tracex.CollectOptions{})
+	pred, err := eng.Measure(ctx, app, *cores, cfg, collectOptions(0))
 	if err != nil {
 		return err
 	}

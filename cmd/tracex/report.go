@@ -45,7 +45,7 @@ func cmdReport(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := tracex.CollectOptions{SampleRefs: *sample}
+	opt := collectOptions(*sample)
 	if *out == "" {
 		return writeReport(ctx, eng, os.Stdout, app, cfg, counts, targetCount, opt, *energy)
 	}

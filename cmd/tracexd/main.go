@@ -74,8 +74,10 @@ func parseFlags(args []string) (*options, error) {
 }
 
 // build constructs the engine and server for o. Configuration errors
-// (e.g. a negative -parallelism) surface here, before any socket opens.
-func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, error) {
+// (e.g. a negative -parallelism) surface here, before any socket opens. The
+// engine is returned alongside the server so main can Close it — releasing
+// the collection arena and the store lock — after the server has drained.
+func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex.Engine, error) {
 	var eopts []tracex.EngineOption
 	if o.parallelism != 0 {
 		eopts = append(eopts, tracex.WithParallelism(o.parallelism))
@@ -86,12 +88,12 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, error) 
 	}
 	eng := tracex.NewEngine(eopts...)
 	if err := eng.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if o.quiet {
 		accessLog = nil
 	}
-	return server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Engine:            eng,
 		MaxInFlight:       o.maxInFlight,
 		MaxQueue:          o.maxQueue,
@@ -102,6 +104,11 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, error) 
 		AccessLog:         accessLog,
 		ErrorLog:          errorLog,
 	})
+	if err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	return srv, eng, nil
 }
 
 func main() {
@@ -110,7 +117,7 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	srv, err := build(o, logger, logger)
+	srv, eng, err := build(o, logger, logger)
 	if err != nil {
 		logger.Printf("configuration: %v", err)
 		os.Exit(1)
@@ -131,6 +138,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		logger.Printf("shutdown: %v", err)
+		eng.Close()
+		os.Exit(1)
+	}
+	// Release the engine only after the drain: in-flight requests may still
+	// be collecting on its arena until Shutdown returns.
+	if err := eng.Close(); err != nil {
+		logger.Printf("engine close: %v", err)
 		os.Exit(1)
 	}
 	logger.Printf("drained cleanly")

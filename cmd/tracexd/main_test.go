@@ -46,7 +46,7 @@ func TestBuildRejectsBadEngineConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	logger := log.New(io.Discard, "", 0)
-	if _, err := build(o, logger, logger); err == nil {
+	if _, _, err := build(o, logger, logger); err == nil {
 		t.Error("negative -parallelism accepted")
 	}
 }
@@ -59,7 +59,7 @@ func TestBuildAndServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	logger := log.New(io.Discard, "", 0)
-	srv, err := build(o, logger, logger)
+	srv, eng, err := build(o, logger, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +72,9 @@ func TestBuildAndServe(t *testing.T) {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			t.Errorf("shutdown: %v", err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
 		}
 	}()
 	resp, err := http.Get("http://" + addr.String() + "/healthz")

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tracex/internal/extrap"
 	"tracex/internal/memo"
@@ -38,6 +39,10 @@ import (
 // Cached profiles and signatures are shared between callers and must be
 // treated as read-only.
 //
+// An Engine holds long-lived resources — the collection worker arena and,
+// with WithStore, the on-disk store handle. Call Close when finished with
+// it; the process-wide DefaultEngine is intentionally never closed.
+//
 // The package-level convenience functions (BuildProfile, CollectSignature,
 // CollectInputs, ...) are thin wrappers over a process-wide default Engine;
 // construct a dedicated Engine to control parallelism, cache capacity and
@@ -47,6 +52,7 @@ type Engine struct {
 	collectOpt  CollectOptions
 	confErr     error // first configuration error; poisons every method
 	sem         chan struct{}
+	collector   *pebil.Collector
 	profiles    *memo.Cache[string, *Profile]
 	sigs        *memo.Cache[sigKey, *Signature]
 	disk        *store.Store
@@ -54,6 +60,9 @@ type Engine struct {
 	predictions *obs.Counter
 	studies     *obs.Counter
 	putErrors   *obs.Counter
+	closeOnce   sync.Once
+	closed      atomic.Bool
+	closeErr    error
 }
 
 // sigKey identifies one signature collection. The collect options are
@@ -118,6 +127,10 @@ func shortHash(s string) string {
 // silently replaced, which hid misconfigured callers; it is now rejected up
 // front (errors.Is-matchable against this sentinel).
 var ErrBadParallelism = errors.New("parallelism must be at least 1")
+
+// ErrEngineClosed reports a pipeline call on an Engine whose Close has been
+// called. Errors returned after Close wrap this sentinel (errors.Is).
+var ErrEngineClosed = errors.New("tracex: engine is closed")
 
 // CanonicalRequestKey returns a stable, collision-resistant identity for a
 // request value: a SHA-256 over kind and the value's canonical JSON
@@ -203,6 +216,38 @@ func (e *Engine) Registry() *obs.Registry { return e.reg }
 // reports the problem and every pipeline method returns it.
 func (e *Engine) Err() error { return e.confErr }
 
+// usable gates every pipeline method: a misconfigured engine returns its
+// configuration error, a closed one ErrEngineClosed.
+func (e *Engine) usable() error {
+	if e.confErr != nil {
+		return e.confErr
+	}
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	return nil
+}
+
+// Close releases the engine's long-lived resources: the collection worker
+// arena is drained (its goroutines exit) and the persistent signature store,
+// if any, is closed. Close is idempotent — further calls return the first
+// call's result — and after it every pipeline method fails with
+// ErrEngineClosed. Callers should let in-flight work finish (or cancel its
+// contexts) before closing; collections racing a Close fail with
+// pebil.ErrArenaClosed rather than corrupting state.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		if e.collector != nil {
+			e.collector.Close()
+		}
+		if e.disk != nil {
+			e.closeErr = e.disk.Close()
+		}
+	})
+	return e.closeErr
+}
+
 // engineConfig accumulates functional options.
 type engineConfig struct {
 	parallelism int
@@ -222,8 +267,9 @@ type EngineOption func(*engineConfig)
 // least 1; zero and negative values are rejected — the engine is
 // constructed but inert, with every method (and Err) returning an error
 // wrapping ErrBadParallelism. Omit the option for the default of one worker
-// per available CPU. Per-block simulation parallelism inside one collection
-// is governed separately by CollectOptions.Parallelism.
+// per available CPU. The same bound sizes the engine's collection worker
+// arena; CollectOptions.Workers further restricts how many of those workers
+// a single collection may occupy.
 func WithParallelism(n int) EngineOption {
 	return func(c *engineConfig) {
 		if n < 1 {
@@ -298,6 +344,14 @@ func NewEngine(opts ...EngineOption) *Engine {
 		studies:     cfg.registry.Counter("engine.studies"),
 		putErrors:   cfg.registry.Counter("store.put_errors"),
 	}
+	// The collection arena is shared by every collection the engine runs;
+	// sizing it by the pool bound keeps total simulation concurrency at
+	// parallelism even when several collections are in flight.
+	col, err := pebil.NewCollector(pebil.WithWorkers(cfg.parallelism))
+	if err != nil && e.confErr == nil {
+		e.confErr = fmt.Errorf("tracex: %w", err)
+	}
+	e.collector = col
 	if cfg.storeDir != "" {
 		st, err := store.Open(cfg.storeDir, cfg.registry)
 		if err != nil && e.confErr == nil {
@@ -371,8 +425,8 @@ func (e *Engine) fanOut(ctx context.Context, n int, task func(ctx context.Contex
 // on the first request and serving memoized results afterwards. Concurrent
 // requests for the same configuration share one sweep.
 func (e *Engine) Profile(ctx context.Context, cfg MachineConfig) (*Profile, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -402,8 +456,8 @@ func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, targ
 // the next identical request in this process is a memory hit and the next
 // one in a restarted process is a disk hit.
 func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, Provenance, error) {
-	if e.confErr != nil {
-		return nil, "", e.confErr
+	if err := e.usable(); err != nil {
+		return nil, "", err
 	}
 	if app == nil {
 		return nil, "", fmt.Errorf("tracex: nil application")
@@ -426,7 +480,7 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 				return sig, nil
 			}
 		}
-		sig, err := pebil.Collect(ctx, app, cores, target, nil, opt)
+		sig, err := e.collector.Collect(ctx, app, cores, target, nil, opt)
 		if err == nil && e.disk != nil {
 			if _, perr := e.disk.Put(sig, StoreKey(app.Name(), cores, target, opt)); perr != nil {
 				// A full or read-only disk must not fail the
@@ -454,8 +508,8 @@ func (e *Engine) Store() *SignatureStore { return e.disk }
 // the "series of smaller core counts" the extrapolation consumes — fanning
 // the collections out across the engine's worker pool.
 func (e *Engine) CollectInputs(ctx context.Context, app *App, counts []int, target MachineConfig, opt CollectOptions) ([]*Signature, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	out := make([]*Signature, len(counts))
 	err := e.fanOut(ctx, len(counts), func(ctx context.Context, i int) error {
@@ -476,8 +530,8 @@ func (e *Engine) CollectInputs(ctx context.Context, app *App, counts []int, targ
 // feature-vector element of the dominant task across the input signatures,
 // synthesizing the signature at targetCores.
 func (e *Engine) Extrapolate(ctx context.Context, inputs []*Signature, targetCores int, opt ExtrapOptions) (*ExtrapResult, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -515,8 +569,8 @@ type PredictRequest struct {
 // the replay result and timeline when requested. Predict replaces the
 // Predict/PredictDetailed/PredictTimeline trio.
 func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	if req.Signature == nil {
 		return nil, fmt.Errorf("tracex: predict request has no signature")
@@ -555,8 +609,8 @@ func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, 
 // pool, returning results in request order. The first failure cancels the
 // remaining requests.
 func (e *Engine) PredictMany(ctx context.Context, reqs []PredictRequest) ([]*Prediction, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	out := make([]*Prediction, len(reqs))
 	err := e.fanOut(ctx, len(reqs), func(ctx context.Context, i int) error {
@@ -576,8 +630,8 @@ func (e *Engine) PredictMany(ctx context.Context, reqs []PredictRequest) ([]*Pre
 // Measure runs the detailed execution simulation of the application at the
 // given core count on the target machine (the reproduction's ground truth).
 func (e *Engine) Measure(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	if opt == (CollectOptions{}) {
 		opt = e.collectOpt
@@ -585,7 +639,7 @@ func (e *Engine) Measure(ctx context.Context, app *App, cores int, target Machin
 	ctx = e.obsCtx(ctx)
 	sp := e.reg.StartSpan("engine.measure", fmt.Sprintf("%s@%d", appName(app), cores))
 	defer sp.End()
-	return measure(ctx, app, cores, target, opt)
+	return measure(ctx, e.collector, app, cores, target, opt)
 }
 
 // appName tolerates nil apps in span labels (the callee validates).
@@ -733,8 +787,8 @@ func abs(x float64) float64 {
 // concurrently on the worker pool, then each target's extrapolation and
 // predictions complete the pipeline (also fanned out across targets).
 func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, error) {
-	if e.confErr != nil {
-		return nil, e.confErr
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	if req.App == nil {
 		return nil, fmt.Errorf("tracex: study request has no application")

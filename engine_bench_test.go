@@ -17,13 +17,14 @@ import (
 var benchCollectOpt = tracex.CollectOptions{
 	SampleRefs:  60_000,
 	MaxWarmRefs: 150_000,
-	Parallelism: 1,
+	Workers:     1,
 }
 
 var benchInputCounts = []int{64, 96, 128, 192, 256}
 
 // benchCollectInputs measures CollectInputs on an engine with the given
-// worker count. Caching is disabled so every iteration simulates.
+// worker count (0 keeps the engine's one-worker-per-CPU default). Caching
+// is disabled so every iteration simulates.
 func benchCollectInputs(b *testing.B, workers int) {
 	app, err := tracex.LoadApp("stencil3d")
 	if err != nil {
@@ -33,7 +34,11 @@ func benchCollectInputs(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := tracex.NewEngine(tracex.WithParallelism(workers), tracex.WithCacheSize(0))
+	opts := []tracex.EngineOption{tracex.WithCacheSize(0)}
+	if workers > 0 {
+		opts = append(opts, tracex.WithParallelism(workers))
+	}
+	eng := tracex.NewEngine(opts...)
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

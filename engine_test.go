@@ -51,6 +51,45 @@ func TestEngineOptions(t *testing.T) {
 	}
 }
 
+// TestEngineClose covers the lifecycle redesign: Close drains the
+// collection arena and releases the store handle, is idempotent, and flips
+// every pipeline method to ErrEngineClosed.
+func TestEngineClose(t *testing.T) {
+	app := testApp(t, "stencil3d")
+	cfg := testMachine(t, "bluewaters")
+	ctx := context.Background()
+	e := NewEngine(WithParallelism(2), WithStore(t.TempDir()))
+	if _, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt); err != nil {
+		t.Fatalf("collect before Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Profile(ctx, cfg); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Profile after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.CollectSignature(ctx, app, 64, cfg, smallOpt); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("CollectSignature after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Measure(ctx, app, 64, cfg, smallOpt); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Measure after Close: %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Study(ctx, StudyRequest{}); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Study after Close: %v, want ErrEngineClosed", err)
+	}
+	// Err still reports configuration state, not closure.
+	if err := e.Err(); err != nil {
+		t.Errorf("Err after Close: %v, want nil", err)
+	}
+	// The store handle was released: writes through it now fail.
+	if _, err := e.Store().Put(&Signature{}, SignatureKey{}); err == nil {
+		t.Error("store Put after Close succeeded, want error from released handle")
+	}
+}
+
 // TestEngineBadParallelism checks the clamp-or-error redesign: zero and
 // negative worker bounds used to be silently replaced, now they poison the
 // engine with an ErrBadParallelism-wrapping error.
@@ -575,8 +614,10 @@ func TestSentinelErrors(t *testing.T) {
 		t.Errorf("mixed inputs: %v, want ErrMachineMismatch", err)
 	}
 
-	// ErrRankOutOfRange: selecting a rank ≥ core count during collection.
-	if _, err := pebil.Collect(ctx, app, 64, cfg, []int{64}, pebil.Options(smallOpt)); !errors.Is(err, ErrRankOutOfRange) {
+	// ErrRankOutOfRange: selecting a rank ≥ core count during collection
+	// (via the deprecated Options shim, pinning its error passthrough).
+	if _, err := pebil.Collect(ctx, app, 64, cfg, []int{64},
+		pebil.Options{SampleRefs: smallOpt.SampleRefs, MaxWarmRefs: smallOpt.MaxWarmRefs}); !errors.Is(err, ErrRankOutOfRange) {
 		t.Errorf("rank 64 of 64: %v, want ErrRankOutOfRange", err)
 	}
 

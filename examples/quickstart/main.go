@@ -35,6 +35,7 @@ func main() {
 	eng := tracex.NewEngine(
 		tracex.WithCollectOptions(tracex.CollectOptions{SampleRefs: 200_000}),
 	)
+	defer eng.Close()
 
 	app, err := tracex.LoadApp("stencil3d")
 	if err != nil {

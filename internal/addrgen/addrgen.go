@@ -26,12 +26,36 @@ type Generator interface {
 	WorkingSet() uint64
 }
 
+// BatchGenerator is implemented by generators that can fill a slab of
+// addresses in one call, amortizing the per-reference interface dispatch of
+// Next across a whole batch. NextBatch must produce exactly the stream that
+// len(dst) consecutive Next calls would, advancing the generator state
+// identically — batching is an execution detail, never a semantic one.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills dst entirely with the next len(dst) addresses.
+	NextBatch(dst []uint64)
+}
+
 // Fill appends n addresses from g to dst and returns the extended slice.
 func Fill(g Generator, dst []uint64, n int) []uint64 {
 	for i := 0; i < n; i++ {
 		dst = append(dst, g.Next())
 	}
 	return dst
+}
+
+// FillBatch fills dst entirely with the next len(dst) addresses from g,
+// using the generator's NextBatch fast path when it has one and falling
+// back to repeated Next calls otherwise. Both paths yield the same stream.
+func FillBatch(g Generator, dst []uint64) {
+	if b, ok := g.(BatchGenerator); ok {
+		b.NextBatch(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = g.Next()
+	}
 }
 
 // Stride sweeps a working set with a fixed byte stride, wrapping at the end.
@@ -75,6 +99,20 @@ func (s *Stride) Next() uint64 {
 	return a
 }
 
+// NextBatch implements BatchGenerator with pure register arithmetic: the
+// stream position is carried in a local and written back once per batch.
+func (s *Stride) NextBatch(dst []uint64) {
+	base, stride, ws, cur := s.base, s.stride, s.ws, s.cur
+	for i := range dst {
+		dst[i] = base + cur
+		cur += stride
+		if cur >= ws {
+			cur = 0
+		}
+	}
+	s.cur = cur
+}
+
 // Reset implements Generator.
 func (s *Stride) Reset() { s.cur = 0 }
 
@@ -85,6 +123,7 @@ type Random struct {
 	base uint64
 	ws   uint64
 	elem uint64
+	n    int64 // element count ws/elem, hoisted out of the per-address path
 	seed int64
 	rng  *rand.Rand
 }
@@ -95,7 +134,7 @@ func NewRandom(base, ws, elem uint64, seed int64) (*Random, error) {
 	if elem == 0 || ws < elem {
 		return nil, fmt.Errorf("addrgen: working set %d smaller than element %d", ws, elem)
 	}
-	return &Random{base: base, ws: ws, elem: elem, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Random{base: base, ws: ws, elem: elem, n: int64(ws / elem), seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
 // Name implements Generator.
@@ -106,8 +145,16 @@ func (r *Random) WorkingSet() uint64 { return r.ws }
 
 // Next implements Generator.
 func (r *Random) Next() uint64 {
-	n := r.ws / r.elem
-	return r.base + uint64(r.rng.Int63n(int64(n)))*r.elem
+	return r.base + uint64(r.rng.Int63n(r.n))*r.elem
+}
+
+// NextBatch implements BatchGenerator, keeping the rand.Rand pointer and
+// geometry in locals across the batch.
+func (r *Random) NextBatch(dst []uint64) {
+	base, elem, n, rng := r.base, r.elem, r.n, r.rng
+	for i := range dst {
+		dst[i] = base + uint64(rng.Int63n(n))*elem
+	}
 }
 
 // Reset implements Generator.
@@ -208,6 +255,15 @@ func (s *Stencil3D) Next() uint64 {
 	return a
 }
 
+// NextBatch implements BatchGenerator. The per-point switch stays, but the
+// calls devirtualize to the concrete method so the batch loop avoids one
+// interface dispatch per reference.
+func (s *Stencil3D) NextBatch(dst []uint64) {
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+}
+
 // Reset implements Generator.
 func (s *Stencil3D) Reset() { s.i, s.j, s.k, s.point = 0, 0, 0, 0 }
 
@@ -262,6 +318,23 @@ func (g *GatherScatter) Next() uint64 {
 	return g.grid.Next()
 }
 
+// NextBatch implements BatchGenerator; the particle and grid sub-streams are
+// concrete types, so their Next calls devirtualize inside the loop.
+func (g *GatherScatter) NextBatch(dst []uint64) {
+	for i := range dst {
+		if g.phase == 0 {
+			g.phase++
+			dst[i] = g.particles.Next()
+			continue
+		}
+		g.phase++
+		if g.phase > g.gridRefs {
+			g.phase = 0
+		}
+		dst[i] = g.grid.Next()
+	}
+}
+
 // Reset implements Generator.
 func (g *GatherScatter) Reset() {
 	g.particles.Reset()
@@ -304,6 +377,30 @@ func (m *Mix) Next() uint64 {
 		m.pos = 0
 	}
 	return a
+}
+
+// NextBatch implements BatchGenerator by emitting whole duty-cycle runs:
+// each run of consecutive A (or B) references becomes one sub-batch filled
+// through the sub-generator's own batch path.
+func (m *Mix) NextBatch(dst []uint64) {
+	for len(dst) > 0 {
+		var g Generator
+		var run int
+		if m.pos < m.aRefs {
+			g, run = m.a, m.aRefs-m.pos
+		} else {
+			g, run = m.b, m.aRefs+m.bRefs-m.pos
+		}
+		if run > len(dst) {
+			run = len(dst)
+		}
+		FillBatch(g, dst[:run])
+		dst = dst[run:]
+		m.pos += run
+		if m.pos == m.aRefs+m.bRefs {
+			m.pos = 0
+		}
+	}
 }
 
 // Reset implements Generator.

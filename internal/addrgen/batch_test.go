@@ -1,0 +1,145 @@
+package addrgen
+
+import (
+	"testing"
+)
+
+// batchCases builds, per invocation, a fresh pair of identically-constructed
+// generators for every concrete type in the package.
+func batchCases(t *testing.T) map[string][2]Generator {
+	t.Helper()
+	mk := func() []Generator {
+		stride, err := NewStride(1<<12, 24, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random, err := NewRandom(1<<20, 1<<14, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stencil, err := NewStencil3D(1<<24, 13, 7, 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := NewGatherScatter(0, 1<<12, 1<<20, 1<<14, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, _ := NewStride(0, 8, 1<<12)
+		mb, _ := NewRandom(1<<20, 1<<12, 8, 9)
+		mix, err := NewMix(ma, mb, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bh, _ := NewStride(0, 8, 4<<10)
+		bc, _ := NewRandom(1<<20, 1<<14, 8, 11)
+		biased, err := NewBiased(bh, bc, 0.37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Generator{stride, random, stencil, gs, mix, biased}
+	}
+	a, b := mk(), mk()
+	out := make(map[string][2]Generator, len(a))
+	for i := range a {
+		out[a[i].Name()] = [2]Generator{a[i], b[i]}
+	}
+	return out
+}
+
+// TestNextBatchMatchesNext is the batching contract: NextBatch must emit
+// exactly the stream repeated Next calls would, for every generator and for
+// awkward batch sizes (1, primes, sizes spanning duty-cycle boundaries).
+func TestNextBatchMatchesNext(t *testing.T) {
+	for name, pair := range batchCases(t) {
+		serial, batched := pair[0], pair[1]
+		if _, ok := batched.(BatchGenerator); !ok {
+			t.Errorf("%s does not implement BatchGenerator", name)
+			continue
+		}
+		var got []uint64
+		for _, n := range []int{1, 3, 7, 64, 129, 1000, 4096} {
+			buf := make([]uint64, n)
+			FillBatch(batched, buf)
+			got = append(got, buf...)
+		}
+		for i := range got {
+			if want := serial.Next(); got[i] != want {
+				t.Fatalf("%s: batched stream diverged at ref %d: got %#x, want %#x", name, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestFillBatchFallback drives a Generator that lacks NextBatch through the
+// repeated-Next fallback.
+func TestFillBatchFallback(t *testing.T) {
+	a, _ := NewStride(0, 8, 1<<10)
+	b, _ := NewStride(0, 8, 1<<10)
+	buf := make([]uint64, 100)
+	FillBatch(plainGenerator{a}, buf)
+	for i, got := range buf {
+		if want := b.Next(); got != want {
+			t.Fatalf("fallback diverged at %d: got %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// plainGenerator hides the embedded generator's NextBatch by wrapping it in
+// a type that only satisfies Generator.
+type plainGenerator struct{ g *Stride }
+
+func (p plainGenerator) Name() string       { return p.g.Name() }
+func (p plainGenerator) Next() uint64       { return p.g.Next() }
+func (p plainGenerator) Reset()             { p.g.Reset() }
+func (p plainGenerator) WorkingSet() uint64 { return p.g.WorkingSet() }
+
+// TestNextBatchResumesMidCycle interleaves Next and NextBatch calls on one
+// generator: batching must pick up exactly where scalar calls left off.
+func TestNextBatchResumesMidCycle(t *testing.T) {
+	for name, pair := range batchCases(t) {
+		serial, mixed := pair[0], pair[1]
+		var got []uint64
+		for round := 0; round < 5; round++ {
+			got = append(got, mixed.Next(), mixed.Next(), mixed.Next())
+			buf := make([]uint64, 17)
+			FillBatch(mixed, buf)
+			got = append(got, buf...)
+		}
+		for i := range got {
+			if want := serial.Next(); got[i] != want {
+				t.Fatalf("%s: mixed scalar/batch stream diverged at ref %d", name, i)
+			}
+		}
+		_ = name
+	}
+}
+
+func TestFillBatchAllocationFree(t *testing.T) {
+	g, _ := NewStride(0, 8, 1<<16)
+	buf := make([]uint64, 4096)
+	allocs := testing.AllocsPerRun(20, func() { FillBatch(g, buf) })
+	if allocs != 0 {
+		t.Errorf("FillBatch allocated %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkStrideNextBatch(b *testing.B) {
+	g, _ := NewStride(0, 8, 1<<20)
+	buf := make([]uint64, 4096)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf) * 8))
+	for i := 0; i < b.N; i++ {
+		g.NextBatch(buf)
+	}
+}
+
+func BenchmarkRandomNextBatch(b *testing.B) {
+	g, _ := NewRandom(0, 1<<20, 8, 1)
+	buf := make([]uint64, 4096)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf) * 8))
+	for i := 0; i < b.N; i++ {
+		g.NextBatch(buf)
+	}
+}

@@ -44,6 +44,23 @@ func (b *Biased) Next() uint64 {
 	return b.cold.Next()
 }
 
+// NextBatch implements BatchGenerator. The Bresenham accumulator decides
+// hot/cold per reference, so the sub-streams are drawn one address at a
+// time, but the accumulator itself stays in a register for the batch.
+func (b *Biased) NextBatch(dst []uint64) {
+	acc, frac := b.acc, b.hotFrac
+	for i := range dst {
+		acc += frac
+		if acc >= 1 {
+			acc--
+			dst[i] = b.hot.Next()
+		} else {
+			dst[i] = b.cold.Next()
+		}
+	}
+	b.acc = acc
+}
+
 // Reset implements Generator.
 func (b *Biased) Reset() {
 	b.hot.Reset()

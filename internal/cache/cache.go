@@ -52,11 +52,16 @@ func (c LevelConfig) Validate() error {
 // Sets returns the number of sets in the level.
 func (c LevelConfig) Sets() int { return c.SizeBytes / c.LineSize / c.Assoc }
 
-// level is the runtime state of one cache level.
+// level is the runtime state of one cache level. The geometry derived from
+// cfg (set count, mask, associativity) is hoisted into flat fields at
+// construction so the per-access probe never re-derives it from the config
+// struct.
 type level struct {
 	cfg      LevelConfig
 	sets     int
+	sets64   uint64 // uint64(sets), hoisted for the non-power-of-two modulo
 	setMask  uint64 // sets-1 when sets is a power of two, else 0
+	assoc    int    // cfg.Assoc, hoisted out of the probe loop
 	shift    uint   // log2(line size)
 	tags     []uint64
 	ages     []uint64
@@ -129,8 +134,10 @@ func NewSimulatorOpts(levels []LevelConfig, opts Options) (*Simulator, error) {
 		lv := &level{
 			cfg:   cfg,
 			sets:  cfg.Sets(),
+			assoc: cfg.Assoc,
 			shift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		}
+		lv.sets64 = uint64(lv.sets)
 		if bits.OnesCount(uint(lv.sets)) == 1 {
 			lv.setMask = uint64(lv.sets - 1)
 		}
@@ -161,12 +168,12 @@ func (s *Simulator) lookupFill(lv *level, addr uint64, countHit bool) bool {
 	if lv.setMask != 0 {
 		set = blk & lv.setMask
 	} else {
-		set = blk % uint64(lv.sets)
+		set = blk % lv.sets64
 	}
-	base := int(set) * lv.cfg.Assoc
+	base := int(set) * lv.assoc
 	victim := base
 	var victimAge uint64 = ^uint64(0)
-	for w := base; w < base+lv.cfg.Assoc; w++ {
+	for w := base; w < base+lv.assoc; w++ {
 		if lv.valid[w] && lv.tags[w] == blk {
 			lv.ages[w] = s.tick
 			if countHit {

@@ -154,8 +154,8 @@ func TestClusterRanksGroupsLoadClasses(t *testing.T) {
 	app := synthapp.UH3D()
 	bw := machine.BlueWatersP1()
 	// Ranks 0..7 cover each of the 4 classes twice (round-robin).
-	sig, err := pebil.Collect(context.Background(), app, 1024, bw, []int{0, 1, 2, 3, 4, 5, 6, 7},
-		pebil.Options{SampleRefs: 50_000, MaxWarmRefs: 100_000})
+	sig, err := pebil.DefaultCollector().Collect(context.Background(), app, 1024, bw, []int{0, 1, 2, 3, 4, 5, 6, 7},
+		pebil.CollectorConfig{SampleRefs: 50_000, MaxWarmRefs: 100_000})
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -190,8 +190,8 @@ func TestClusterRanksGroupsLoadClasses(t *testing.T) {
 func TestClusterRanksValidation(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
-	sig, err := pebil.Collect(context.Background(), app, 64, bw, []int{0, 1},
-		pebil.Options{SampleRefs: 20_000, MaxWarmRefs: 50_000})
+	sig, err := pebil.DefaultCollector().Collect(context.Background(), app, 64, bw, []int{0, 1},
+		pebil.CollectorConfig{SampleRefs: 20_000, MaxWarmRefs: 50_000})
 	if err != nil {
 		t.Fatal(err)
 	}

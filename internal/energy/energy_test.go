@@ -35,8 +35,8 @@ func testSetup(t *testing.T) (*trace.Trace, *psins.Computation, machine.Config) 
 			return
 		}
 		app := synthapp.Stencil3D()
-		sig, err := pebil.Collect(context.Background(), app, 64, setupCfg, []int{0},
-			pebil.Options{SampleRefs: 60_000, MaxWarmRefs: 200_000})
+		sig, err := pebil.DefaultCollector().Collect(context.Background(), app, 64, setupCfg, []int{0},
+			pebil.CollectorConfig{SampleRefs: 60_000, MaxWarmRefs: 200_000})
 		if err != nil {
 			setupErr = err
 			return

@@ -26,15 +26,15 @@ var collectMemo struct {
 	counters map[string][]pebil.BlockCounters
 }
 
-func memoKey(app *synthapp.App, p int, target machine.Config, opt pebil.Options, ranks []int) string {
+func memoKey(app *synthapp.App, p int, target machine.Config, opt pebil.CollectorConfig, ranks []int) string {
 	r := append([]int(nil), ranks...)
 	sort.Ints(r)
 	return fmt.Sprintf("%s|%d|%s|%d|%d|%v|%v", app.Name(), p, target.Name, opt.SampleRefs, opt.MaxWarmRefs, opt.SharedHierarchy, r)
 }
 
-// collectSig is pebil.Collect with process-wide memoization. Callers must
+// collectSig is Collector.Collect with process-wide memoization. Callers must
 // treat the returned signature as read-only.
-func collectSig(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt pebil.Options, ranks []int) (*trace.Signature, error) {
+func collectSig(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt pebil.CollectorConfig, ranks []int) (*trace.Signature, error) {
 	key := memoKey(app, p, target, opt, ranks)
 	collectMemo.Lock()
 	if collectMemo.sigs == nil {
@@ -45,7 +45,7 @@ func collectSig(ctx context.Context, app *synthapp.App, p int, target machine.Co
 		return sig, nil
 	}
 	collectMemo.Unlock()
-	sig, err := pebil.Collect(ctx, app, p, target, ranks, opt)
+	sig, err := pebil.DefaultCollector().Collect(ctx, app, p, target, ranks, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +56,7 @@ func collectSig(ctx context.Context, app *synthapp.App, p int, target machine.Co
 }
 
 // collectInputs memoizes a series of collections.
-func collectInputs(ctx context.Context, app *synthapp.App, counts []int, target machine.Config, opt pebil.Options) ([]*trace.Signature, error) {
+func collectInputs(ctx context.Context, app *synthapp.App, counts []int, target machine.Config, opt pebil.CollectorConfig) ([]*trace.Signature, error) {
 	out := make([]*trace.Signature, len(counts))
 	for i, p := range counts {
 		sig, err := collectSig(ctx, app, p, target, opt, nil)
@@ -68,9 +68,9 @@ func collectInputs(ctx context.Context, app *synthapp.App, counts []int, target 
 	return out, nil
 }
 
-// collectCounters is pebil.CollectCounters with process-wide memoization.
+// collectCounters is Collector.Counters with process-wide memoization.
 // Callers must treat the returned slice as read-only.
-func collectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt pebil.Options) ([]pebil.BlockCounters, error) {
+func collectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt pebil.CollectorConfig) ([]pebil.BlockCounters, error) {
 	key := memoKey(app, p, target, opt, []int{-1})
 	collectMemo.Lock()
 	if collectMemo.counters == nil {
@@ -81,7 +81,7 @@ func collectCounters(ctx context.Context, app *synthapp.App, p int, target machi
 		return cs, nil
 	}
 	collectMemo.Unlock()
-	cs, err := pebil.CollectCounters(ctx, app, p, target, opt)
+	cs, err := pebil.DefaultCollector().Counters(ctx, app, p, target, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,7 @@ import (
 // with default collection settings.
 type Config struct {
 	// Collect tunes signature collection (sampling and warm-up sizes).
-	Collect pebil.Options
+	Collect pebil.CollectorConfig
 	// Ctx cancels long experiment pipelines mid-simulation; nil means
 	// context.Background() (run to completion).
 	Ctx context.Context

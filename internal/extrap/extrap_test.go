@@ -239,7 +239,7 @@ func TestEndToEndInfluentialElementError(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline in -short mode")
 	}
-	opt := pebil.Options{SampleRefs: 200_000, MaxWarmRefs: 1_000_000}
+	opt := pebil.CollectorConfig{SampleRefs: 200_000, MaxWarmRefs: 1_000_000}
 	bw := machine.BlueWatersP1()
 	cases := []struct {
 		app    *synthapp.App
@@ -252,7 +252,7 @@ func TestEndToEndInfluentialElementError(t *testing.T) {
 	for _, c := range cases {
 		var inputs []*trace.Signature
 		for _, p := range c.counts {
-			sig, err := pebil.Collect(context.Background(), c.app, p, bw, []int{0}, opt)
+			sig, err := pebil.DefaultCollector().Collect(context.Background(), c.app, p, bw, []int{0}, opt)
 			if err != nil {
 				t.Fatalf("%s collect(%d): %v", c.app.Name(), p, err)
 			}
@@ -262,7 +262,7 @@ func TestEndToEndInfluentialElementError(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s extrapolate: %v", c.app.Name(), err)
 		}
-		truth, err := pebil.Collect(context.Background(), c.app, c.target, bw, []int{0}, opt)
+		truth, err := pebil.DefaultCollector().Collect(context.Background(), c.app, c.target, bw, []int{0}, opt)
 		if err != nil {
 			t.Fatalf("%s collect(%d): %v", c.app.Name(), c.target, err)
 		}

@@ -59,6 +59,22 @@ func (m *Model) Cycles(c cache.Counters) (float64, error) {
 	return latency, nil
 }
 
+// BlockCycles prices a batch of counter snapshots in one call — the memory
+// cost of every block of a collection — returning one cycle count per
+// snapshot. It fails on the first snapshot whose level count does not match
+// the machine, identifying it by index.
+func (m *Model) BlockCycles(cs []cache.Counters) ([]float64, error) {
+	out := make([]float64, len(cs))
+	for i := range cs {
+		cycles, err := m.Cycles(cs[i])
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		out[i] = cycles
+	}
+	return out, nil
+}
+
 // Seconds converts a cycle count on this machine to seconds.
 func (m *Model) Seconds(cycles float64) float64 { return cycles * m.cfg.CycleSeconds() }
 

@@ -75,6 +75,35 @@ func TestCyclesLevelMismatch(t *testing.T) {
 	}
 }
 
+func TestBlockCyclesMatchesCycles(t *testing.T) {
+	m, _ := New(machine.Kraken())
+	cs := []cache.Counters{
+		{Refs: 1000, LevelHits: []uint64{1000, 0, 0}},
+		{Refs: 500, LevelHits: []uint64{100, 200, 100}, MemAccesses: 100},
+		{Refs: 1 << 18, LevelHits: []uint64{0, 0, 0}, MemAccesses: 1 << 18},
+	}
+	got, err := m.BlockCycles(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cs) {
+		t.Fatalf("BlockCycles returned %d entries for %d blocks", len(got), len(cs))
+	}
+	for i, c := range cs {
+		want, err := m.Cycles(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("block %d: BlockCycles %g, Cycles %g", i, got[i], want)
+		}
+	}
+	cs[1].LevelHits = []uint64{1}
+	if _, err := m.BlockCycles(cs); err == nil {
+		t.Error("level mismatch inside batch accepted")
+	}
+}
+
 func TestBandwidthOrdering(t *testing.T) {
 	// Effective bandwidth must strictly decrease as the stream's hits move
 	// from L1 to memory.

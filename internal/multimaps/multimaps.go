@@ -98,15 +98,36 @@ func (o Options) validate() error {
 // elem is the probe element size: 8-byte (double precision) values.
 const elem = 8
 
-// ctxCheckMask throttles cancellation polling in the probe loops: the
-// context is consulted every ctxCheckMask+1 references.
-const ctxCheckMask = 1<<16 - 1
+// probeBatch is the address-slab length of the probe loops: addresses are
+// generated and simulated in batches through a per-worker reusable buffer,
+// mirroring the collection pipeline in internal/pebil. The context is
+// consulted once per slab.
+const probeBatch = 4096
+
+// streamProbe drives n references from gen through sim in slabs of
+// len(buf), checking for cancellation once per slab.
+func streamProbe(ctx context.Context, sim *cache.Simulator, gen addrgen.Generator, buf []uint64, n int) error {
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		k := len(buf)
+		if k > n {
+			k = n
+		}
+		addrgen.FillBatch(gen, buf[:k])
+		sim.AccessBatch(buf[:k])
+		n -= k
+	}
+	return nil
+}
 
 // probe runs a single (working set, stride) measurement on a fresh cache
-// simulator and returns the surface point. A zero stride requests the
-// random-access probe; a negative resident fraction is ignored, a positive
-// one requests a mixed-locality probe (stride is then unused).
-func probe(ctx context.Context, cfg machine.Config, model *memsim.Model, ws, stride uint64, frac float64, opt Options) (machine.SurfacePoint, error) {
+// simulator and returns the surface point, streaming addresses through the
+// caller's reusable buffer. A zero stride requests the random-access probe;
+// a negative resident fraction is ignored, a positive one requests a
+// mixed-locality probe (stride is then unused).
+func probe(ctx context.Context, cfg machine.Config, model *memsim.Model, ws, stride uint64, frac float64, opt Options, buf []uint64) (machine.SurfacePoint, error) {
 	probeStart := time.Now()
 	sim, err := cache.NewSimulatorOpts(cfg.Caches, cache.Options{NextLinePrefetch: cfg.Prefetch})
 	if err != nil {
@@ -146,22 +167,12 @@ func probe(ctx context.Context, cfg machine.Config, model *memsim.Model, ws, str
 	if max := 4 * opt.RefsPerProbe; warmRefs > max {
 		warmRefs = max // beyond-LLC regions are miss-bound immediately
 	}
-	for i := 0; i < warmRefs; i++ {
-		if i&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return machine.SurfacePoint{}, err
-			}
-		}
-		sim.Access(gen.Next())
+	if err := streamProbe(ctx, sim, gen, buf, warmRefs); err != nil {
+		return machine.SurfacePoint{}, err
 	}
 	sim.ResetCounters()
-	for i := 0; i < opt.RefsPerProbe; i++ {
-		if i&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return machine.SurfacePoint{}, err
-			}
-		}
-		sim.Access(gen.Next())
+	if err := streamProbe(ctx, sim, gen, buf, opt.RefsPerProbe); err != nil {
+		return machine.SurfacePoint{}, err
 	}
 	ctr := sim.Counters()
 	bw, err := model.BandwidthGBs(ctr, elem)
@@ -246,11 +257,12 @@ func Run(ctx context.Context, cfg machine.Config, opt Options) (*machine.Profile
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := make([]uint64, probeBatch) // per-worker slab, reused across probes
 			for i := range next {
 				if errs[i] = ctx.Err(); errs[i] != nil {
 					continue // cancelled: drain the remaining jobs cheaply
 				}
-				points[i], errs[i] = probe(ctx, cfg, model, jobs[i].ws, jobs[i].stride, jobs[i].frac, opt)
+				points[i], errs[i] = probe(ctx, cfg, model, jobs[i].ws, jobs[i].stride, jobs[i].frac, opt, buf)
 			}
 		}()
 	}

@@ -1,0 +1,181 @@
+package pebil
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Default tuning constants for CollectorConfig. Zero-valued fields take
+// these at execution time, so the zero CollectorConfig is the paper's
+// default collection.
+const (
+	// DefaultSampleRefs is the per-block sample length.
+	DefaultSampleRefs = 400_000
+	// DefaultMaxWarmRefs caps the per-block cache warm-up stream.
+	DefaultMaxWarmRefs = 2_000_000
+	// DefaultBatchSize is the address-slab length streamed between the
+	// generators and the cache simulator. 4096 addresses (32 KiB) amortizes
+	// interface dispatch while staying L1-resident.
+	DefaultBatchSize = 4096
+	// maxBatchSize bounds per-worker scratch buffers.
+	maxBatchSize = 1 << 22
+)
+
+// CollectorConfig tunes signature collection. It replaces the former
+// Options struct and is validated like tracex.ExtrapOptions: construct it
+// directly or through NewCollectorConfig with functional options, and call
+// Validate before use (the Collector does so on every collection). The
+// zero value selects all defaults.
+//
+// SampleRefs, MaxWarmRefs and SharedHierarchy shape the result;
+// Workers and BatchSize only schedule the same simulations differently.
+// Determinism does not depend on either: every (rank, block) work unit
+// draws from its own generator seeded by the block identity, and results
+// are reduced into positions indexed by unit, so any worker interleaving
+// produces bit-identical BlockCounters.
+type CollectorConfig struct {
+	// SampleRefs is the number of references simulated per block
+	// (default DefaultSampleRefs).
+	SampleRefs int
+	// MaxWarmRefs caps the cache warm-up stream per block (default
+	// DefaultMaxWarmRefs; random patterns over multi-megabyte regions need
+	// a long warm-up before the last-level cache reaches steady state).
+	MaxWarmRefs int
+	// Workers bounds concurrent work units for one collection; ≤0 means one
+	// worker per CPU. The collector's arena caps the effective value.
+	Workers int
+	// BatchSize is the number of addresses generated and simulated per
+	// slab (default DefaultBatchSize). Any positive value yields the same
+	// results; it only changes amortization and cancellation granularity.
+	BatchSize int
+	// SharedHierarchy interleaves every block's address stream through one
+	// cache simulator (the paper's Figure 2 processes the task's single
+	// address stream on the fly), so blocks contend for cache capacity.
+	// The default simulates each block against a private hierarchy, which
+	// measures steady-state per-kernel rates. Shared collection is
+	// sequential (one simulator).
+	SharedHierarchy bool
+}
+
+// Validate checks the configuration. Zero values are valid (they select
+// defaults); negative tuning values and oversized batches are not.
+func (c CollectorConfig) Validate() error {
+	if c.SampleRefs < 0 {
+		return fmt.Errorf("pebil: negative SampleRefs %d", c.SampleRefs)
+	}
+	if c.MaxWarmRefs < 0 {
+		return fmt.Errorf("pebil: negative MaxWarmRefs %d", c.MaxWarmRefs)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("pebil: negative Workers %d", c.Workers)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("pebil: negative BatchSize %d", c.BatchSize)
+	}
+	if c.BatchSize > maxBatchSize {
+		return fmt.Errorf("pebil: BatchSize %d exceeds maximum %d", c.BatchSize, maxBatchSize)
+	}
+	return nil
+}
+
+// withDefaults fills unset fields.
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.SampleRefs <= 0 {
+		c.SampleRefs = DefaultSampleRefs
+	}
+	if c.MaxWarmRefs <= 0 {
+		c.MaxWarmRefs = DefaultMaxWarmRefs
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	return c
+}
+
+// Normalized returns the configuration with defaults filled and
+// execution-only knobs cleared: Workers and BatchSize schedule the same
+// simulations differently without changing any result, so both are zeroed.
+// Two configurations with equal Normalized forms produce identical
+// signatures, which makes the normalized value a safe memoization key
+// component.
+func (c CollectorConfig) Normalized() CollectorConfig {
+	c = c.withDefaults()
+	c.Workers = 0
+	c.BatchSize = 0
+	return c
+}
+
+// CollectorOption configures a CollectorConfig, mirroring the Engine's
+// functional-option style.
+type CollectorOption func(*CollectorConfig)
+
+// WithSampleRefs sets the per-block sample length.
+func WithSampleRefs(n int) CollectorOption {
+	return func(c *CollectorConfig) { c.SampleRefs = n }
+}
+
+// WithMaxWarmRefs sets the per-block warm-up cap.
+func WithMaxWarmRefs(n int) CollectorOption {
+	return func(c *CollectorConfig) { c.MaxWarmRefs = n }
+}
+
+// WithWorkers bounds concurrent work units (and sizes the arena of a
+// Collector built with this option).
+func WithWorkers(n int) CollectorOption {
+	return func(c *CollectorConfig) { c.Workers = n }
+}
+
+// WithBatchSize sets the address-slab length.
+func WithBatchSize(n int) CollectorOption {
+	return func(c *CollectorConfig) { c.BatchSize = n }
+}
+
+// WithSharedHierarchy selects interleaved collection through one shared
+// cache simulator.
+func WithSharedHierarchy(on bool) CollectorOption {
+	return func(c *CollectorConfig) { c.SharedHierarchy = on }
+}
+
+// NewCollectorConfig applies the options to a zero CollectorConfig and
+// validates the result.
+func NewCollectorConfig(opts ...CollectorOption) (CollectorConfig, error) {
+	var c CollectorConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if err := c.Validate(); err != nil {
+		return CollectorConfig{}, err
+	}
+	return c, nil
+}
+
+// Options tunes the signature collection.
+//
+// Deprecated: use CollectorConfig (Parallelism became Workers). Options is
+// retained for one release as a shim for existing callers; the package-level
+// Collect and CollectCounters functions still accept it and forward to the
+// default Collector.
+type Options struct {
+	// SampleRefs is the number of references simulated per block.
+	SampleRefs int
+	// MaxWarmRefs caps the cache warm-up stream per block.
+	MaxWarmRefs int
+	// Parallelism bounds concurrent per-block simulations; ≤0 means one
+	// worker per CPU.
+	Parallelism int
+	// SharedHierarchy interleaves every block through one simulator.
+	SharedHierarchy bool
+}
+
+// Config converts the deprecated Options to its CollectorConfig equivalent.
+func (o Options) Config() CollectorConfig {
+	return CollectorConfig{
+		SampleRefs:      o.SampleRefs,
+		MaxWarmRefs:     o.MaxWarmRefs,
+		Workers:         o.Parallelism,
+		SharedHierarchy: o.SharedHierarchy,
+	}
+}

@@ -11,16 +11,23 @@
 // scales the counts: hit rates converge quickly for the pattern families
 // the proxies use, and the full reference counts come from the workload
 // laws rather than from the sample length.
+//
+// Collection is parallel and batch-oriented: a Collector shards the
+// per-block simulations across a reusable worker Arena, and each worker
+// streams addresses in slabs (CollectorConfig.BatchSize) from the
+// generators into cache.Simulator.AccessBatch through a per-worker
+// reusable buffer, so the steady state allocates nothing and pays one
+// interface dispatch per slab rather than per reference.
 package pebil
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
+	"tracex/internal/addrgen"
 	"tracex/internal/cache"
 	"tracex/internal/machine"
 	"tracex/internal/obs"
@@ -28,59 +35,12 @@ import (
 	"tracex/internal/trace"
 )
 
-// Options tunes the signature collection.
-type Options struct {
-	// SampleRefs is the number of references simulated per block
-	// (default 400 000).
-	SampleRefs int
-	// MaxWarmRefs caps the cache warm-up stream per block
-	// (default 2 000 000; random patterns over multi-megabyte regions
-	// need a long warm-up before the last-level cache reaches steady
-	// state).
-	MaxWarmRefs int
-	// Parallelism bounds concurrent per-block simulations; ≤0 means one
-	// worker per CPU.
-	Parallelism int
-	// SharedHierarchy interleaves every block's address stream through one
-	// cache simulator (the paper's Figure 2 processes the task's single
-	// address stream on the fly), so blocks contend for cache capacity.
-	// The default simulates each block against a private hierarchy, which
-	// measures steady-state per-kernel rates. Shared collection is
-	// sequential (one simulator).
-	SharedHierarchy bool
-}
-
-// withDefaults fills unset options.
-func (o Options) withDefaults() Options {
-	if o.SampleRefs <= 0 {
-		o.SampleRefs = 400_000
-	}
-	if o.MaxWarmRefs <= 0 {
-		o.MaxWarmRefs = 2_000_000
-	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	return o
-}
-
-// Normalized returns the options with defaults filled and execution-only
-// knobs cleared: Parallelism schedules the same simulations across more or
-// fewer workers without changing any result, so it is zeroed. Two option
-// values with equal Normalized forms produce identical signatures, which
-// makes the normalized value a safe memoization key component.
-func (o Options) Normalized() Options {
-	o = o.withDefaults()
-	o.Parallelism = 0
-	return o
-}
-
 // ErrEmptyWorkload reports a workload with no references at all.
 var ErrEmptyWorkload = errors.New("pebil: workload has no references")
 
-// ctxCheckMask throttles cancellation polling in the simulation loops: the
-// context is consulted every ctxCheckMask+1 references, often enough to
-// stop within a fraction of a millisecond without measurable overhead.
+// ctxCheckMask throttles cancellation polling in the sequential
+// shared-hierarchy loop: the context is consulted every ctxCheckMask+1
+// references. The batched path polls once per slab instead.
 const ctxCheckMask = 1<<16 - 1
 
 // BlockCounters couples one block's workload with its sampled cache
@@ -97,90 +57,165 @@ type BlockCounters struct {
 	Counters cache.Counters
 }
 
-// CollectCounters simulates the dominant rank's workload of app at core
-// count p against the target machine's cache structure, returning per-block
-// sampled counters. Each block runs on a fresh simulator (steady-state
-// warm-up, then a counted sample), and blocks are simulated concurrently.
-// Cancelling ctx stops the simulations promptly and returns ctx.Err().
-func CollectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt Options) ([]BlockCounters, error) {
+// Collector runs signature collections on a reusable worker arena. It is
+// safe for concurrent use: workers keep per-goroutine scratch (address
+// slabs, reusable simulators) and concurrent collections share the pool.
+// Close the Collector when done to release the workers.
+type Collector struct {
+	arena *Arena
+	base  CollectorConfig
+}
+
+// NewCollector builds a Collector whose arena is sized by WithWorkers
+// (default: one worker per CPU). The remaining options become the
+// collector's base configuration, used whenever a collection is invoked
+// with a zero CollectorConfig.
+func NewCollector(opts ...CollectorOption) (*Collector, error) {
+	cfg, err := NewCollectorConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{arena: NewArena(cfg.Workers), base: cfg}, nil
+}
+
+// Config returns the collector's base configuration as given (without
+// defaults filled).
+func (c *Collector) Config() CollectorConfig { return c.base }
+
+// Workers returns the size of the collector's arena.
+func (c *Collector) Workers() int { return c.arena.Workers() }
+
+// Close drains the arena: it waits for in-flight work units and releases
+// the worker goroutines. Collections submitted after Close fail with
+// ErrArenaClosed. Close is idempotent.
+func (c *Collector) Close() { c.arena.Close() }
+
+// defaultCollector is the process-wide pool used by the deprecated
+// package-level functions and by callers without an Engine.
+var defaultCollector struct {
+	once sync.Once
+	c    *Collector
+}
+
+// DefaultCollector returns a lazily-created process-wide Collector with
+// default configuration. It is never closed.
+func DefaultCollector() *Collector {
+	defaultCollector.once.Do(func() {
+		defaultCollector.c, _ = NewCollector()
+	})
+	return defaultCollector.c
+}
+
+// resolve merges a per-call configuration with the collector base and
+// validates it: a zero cfg selects the collector's base configuration.
+func (c *Collector) resolve(cfg CollectorConfig) (CollectorConfig, error) {
+	if cfg == (CollectorConfig{}) {
+		cfg = c.base
+	}
+	if err := cfg.Validate(); err != nil {
+		return CollectorConfig{}, err
+	}
+	return cfg.withDefaults(), nil
+}
+
+// Counters simulates the dominant rank's workload of app at core count p
+// against the target machine's cache structure, returning per-block sampled
+// counters. Each block is one work unit on the arena: a worker warms a
+// (reused) simulator to steady state and then takes a counted sample,
+// streaming addresses in batches. Results land in slots indexed by block,
+// so any worker interleaving yields bit-identical output. Cancelling ctx
+// stops the simulations promptly and returns ctx.Err().
+func (c *Collector) Counters(ctx context.Context, app *synthapp.App, p int, target machine.Config, cfg CollectorConfig) ([]BlockCounters, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
-	opt = opt.withDefaults()
+	cfg, err := c.resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
 	sp := obs.From(ctx).StartSpan("pebil.collect", fmt.Sprintf("%s@%d", app.Name(), p))
 	defer sp.End()
 	works, err := app.Work(p)
 	if err != nil {
 		return nil, err
 	}
-	if opt.SharedHierarchy {
-		return collectShared(ctx, works, target, opt)
+	if cfg.SharedHierarchy {
+		obs.From(ctx).Gauge("pebil.workers").Set(1)
+		return collectShared(ctx, works, target, cfg)
 	}
+	concurrency := cfg.Workers
+	if concurrency > c.arena.Workers() {
+		concurrency = c.arena.Workers()
+	}
+	if concurrency > len(works) {
+		concurrency = len(works)
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	obs.From(ctx).Gauge("pebil.workers").Set(float64(concurrency))
 	out := make([]BlockCounters, len(works))
-	errs := make([]error, len(works))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
-	for i := range works {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if errs[i] = ctx.Err(); errs[i] != nil {
-				return // cancelled while queued behind other blocks
-			}
-			out[i], errs[i] = simulateBlock(ctx, &works[i], target, opt)
-		}(i)
-	}
-	wg.Wait()
-	// Prefer a real simulation failure over the cancellations it may have
-	// triggered in sibling blocks, falling back to the context error.
-	var ctxErr error
-	for _, err := range errs {
-		if err == nil {
-			continue
+	err = c.arena.run(ctx, concurrency, len(works), func(i int, s *scratch) error {
+		bc, err := simulateBlock(ctx, &works[i], target, cfg, s)
+		if err != nil {
+			return err
 		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			ctxErr = err
-			continue
-		}
+		out[i] = bc
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	}
-	if ctxErr != nil {
-		return nil, ctxErr
 	}
 	return out, nil
 }
 
-// simulateBlock runs one block's sampled stream through a fresh simulator.
-// Metric updates are batched — one Add per phase, never one per streamed
-// address — so instrumentation stays off the per-reference path.
-func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config, opt Options) (BlockCounters, error) {
+// streamRefs drives n references from gen through sim in slabs of len(buf),
+// checking for cancellation once per slab. It returns the number of slab
+// flushes so callers can batch the pebil.batch_flushes metric update.
+func streamRefs(ctx context.Context, sim *cache.Simulator, gen addrgen.Generator, buf []uint64, n int) (uint64, error) {
+	var flushes uint64
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return flushes, err
+		}
+		k := len(buf)
+		if k > n {
+			k = n
+		}
+		addrgen.FillBatch(gen, buf[:k])
+		sim.AccessBatch(buf[:k])
+		n -= k
+		flushes++
+	}
+	return flushes, nil
+}
+
+// simulateBlock runs one block's sampled stream through the worker's
+// simulator. Metric updates are batched — one Add per phase, never one per
+// streamed address — so instrumentation stays off the per-reference path.
+func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config, cfg CollectorConfig, s *scratch) (BlockCounters, error) {
 	m := obs.From(ctx)
-	sim, err := cache.NewSimulatorOpts(target.Caches, cache.Options{NextLinePrefetch: target.Prefetch})
+	sim, err := s.simulator(target)
 	if err != nil {
 		return BlockCounters{}, err
 	}
+	buf := s.slab(cfg.BatchSize)
 	// Warm-up: touch the working set once (capped). For working sets far
 	// beyond the hierarchy the cap is harmless — steady state is
 	// miss-dominated and reached as soon as the caches fill.
 	warm := int(w.WorkingSetBytes / 8)
-	if warm > opt.MaxWarmRefs {
-		warm = opt.MaxWarmRefs
+	if warm > cfg.MaxWarmRefs {
+		warm = cfg.MaxWarmRefs
 	}
 	warmStart := time.Now()
-	for i := 0; i < warm; i++ {
-		if i&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return BlockCounters{}, err
-			}
-		}
-		sim.Access(w.Gen.Next())
+	flushes, err := streamRefs(ctx, sim, w.Gen, buf, warm)
+	if err != nil {
+		return BlockCounters{}, err
 	}
 	m.Counter("pebil.warm_refs").Add(uint64(warm))
 	m.Histogram("pebil.block_warm_seconds").Observe(time.Since(warmStart).Seconds())
 	sim.ResetCounters()
-	sample := opt.SampleRefs
+	sample := cfg.SampleRefs
 	if full := int(w.Refs); full < sample {
 		sample = full // tiny blocks are simulated exactly
 	}
@@ -188,15 +223,13 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 		sample = 1
 	}
 	sampleStart := time.Now()
-	for i := 0; i < sample; i++ {
-		if i&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return BlockCounters{}, err
-			}
-		}
-		sim.Access(w.Gen.Next())
+	sampleFlushes, err := streamRefs(ctx, sim, w.Gen, buf, sample)
+	flushes += sampleFlushes
+	if err != nil {
+		return BlockCounters{}, err
 	}
 	m.Counter("pebil.sample_refs").Add(uint64(sample))
+	m.Counter("pebil.batch_flushes").Add(flushes)
 	m.Histogram("pebil.block_sample_seconds").Observe(time.Since(sampleStart).Seconds())
 	m.Counter("pebil.blocks").Inc()
 	return BlockCounters{
@@ -235,19 +268,21 @@ func featureVector(bc *BlockCounters, loadFactor float64) trace.FeatureVector {
 // Collect produces the application signature of app at core count p against
 // the target machine: one trace file per requested rank. A nil ranks slice
 // collects the paper's default — one representative rank per load class,
-// always including the dominant rank 0. Cancelling ctx stops the underlying
-// simulations promptly and returns ctx.Err().
-func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, opt Options) (*trace.Signature, error) {
-	counters, err := CollectCounters(ctx, app, p, target, opt)
+// always including the dominant rank 0. Per-rank trace assembly is sharded
+// across the arena as well; each rank's trace is an affine scaling of the
+// dominant rank's block counters, so the (rank, block) unit grid reduces to
+// block simulation units plus cheap per-rank assembly units. Cancelling ctx
+// stops the underlying simulations promptly and returns ctx.Err().
+func (c *Collector) Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, cfg CollectorConfig) (*trace.Signature, error) {
+	counters, err := c.Counters(ctx, app, p, target, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if ranks == nil {
-		for c := 0; c < app.NumClasses() && c < p; c++ {
-			ranks = append(ranks, c) // ClassOf is round-robin: rank c is class c
+		for r := 0; r < app.NumClasses() && r < p; r++ {
+			ranks = append(ranks, r) // ClassOf is round-robin: rank r is class r
 		}
 	}
-	sig := &trace.Signature{App: app.Name(), CoreCount: p, Machine: target.Name}
 	seen := map[int]bool{}
 	for _, r := range ranks {
 		if r < 0 || r >= p {
@@ -257,6 +292,14 @@ func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Confi
 			return nil, fmt.Errorf("pebil: duplicate rank %d requested", r)
 		}
 		seen[r] = true
+	}
+	rcfg, err := c.resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]trace.Trace, len(ranks))
+	err = c.arena.run(ctx, rcfg.Workers, len(ranks), func(i int, _ *scratch) error {
+		r := ranks[i]
 		tr := trace.Trace{
 			App:       app.Name(),
 			CoreCount: p,
@@ -265,8 +308,9 @@ func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Confi
 			Levels:    len(target.Caches),
 		}
 		lf := app.LoadFactor(r)
-		for i := range counters {
-			bc := &counters[i]
+		tr.Blocks = make([]trace.Block, 0, len(counters))
+		for j := range counters {
+			bc := &counters[j]
 			tr.Blocks = append(tr.Blocks, trace.Block{
 				ID:   bc.Spec.ID,
 				Func: bc.Spec.Func,
@@ -276,10 +320,33 @@ func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Confi
 			})
 		}
 		tr.SortBlocks()
-		sig.Traces = append(sig.Traces, tr)
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	sig := &trace.Signature{App: app.Name(), CoreCount: p, Machine: target.Name, Traces: traces}
 	if err := sig.Validate(); err != nil {
 		return nil, fmt.Errorf("pebil: produced invalid signature: %w", err)
 	}
 	return sig, nil
+}
+
+// CollectCounters simulates the dominant rank's workload of app at core
+// count p on the process-wide default Collector.
+//
+// Deprecated: use Collector.Counters with a CollectorConfig; this shim is
+// retained for one release.
+func CollectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt Options) ([]BlockCounters, error) {
+	return DefaultCollector().Counters(ctx, app, p, target, opt.Config())
+}
+
+// Collect produces the application signature of app at core count p on the
+// process-wide default Collector.
+//
+// Deprecated: use Collector.Collect with a CollectorConfig; this shim is
+// retained for one release.
+func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, opt Options) (*trace.Signature, error) {
+	return DefaultCollector().Collect(ctx, app, p, target, ranks, opt.Config())
 }

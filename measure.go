@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tracex/internal/cache"
 	"tracex/internal/memsim"
 	"tracex/internal/pebil"
 	"tracex/internal/psins"
@@ -24,9 +25,9 @@ func Measure(app *App, cores int, target MachineConfig, opt CollectOptions) (*Pr
 // interpolating a benchmark-derived bandwidth surface like the convolution,
 // it prices every basic block directly from its cache-simulator accounting
 // with the cycle-level memory timing model, then replays the full MPI event
-// trace.
-func measure(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
-	counters, err := pebil.CollectCounters(ctx, app, cores, target, opt)
+// trace. The counters come from the engine's shared collector arena.
+func measure(ctx context.Context, col *pebil.Collector, app *App, cores int, target MachineConfig, opt CollectOptions) (*Prediction, error) {
+	counters, err := col.Counters(ctx, app, cores, target, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -35,20 +36,25 @@ func measure(ctx context.Context, app *App, cores int, target MachineConfig, opt
 		return nil, err
 	}
 	// Per-block seconds for the dominant rank, priced from the sampled
-	// counters scaled to the block's full reference count.
+	// counters scaled to the block's full reference count. The snapshots are
+	// priced in one batch, then scaled per block.
+	snaps := make([]cache.Counters, len(counters))
+	for i := range counters {
+		if counters[i].Counters.Refs == 0 {
+			return nil, fmt.Errorf("tracex: block %s has an empty sample", counters[i].Spec.Func)
+		}
+		snaps[i] = counters[i].Counters
+	}
+	blockCycles, err := model.BlockCycles(snaps)
+	if err != nil {
+		return nil, err
+	}
 	blockSeconds := make(map[uint64]float64, len(counters))
 	var memTotal, fpTotal float64
 	for i := range counters {
 		bc := &counters[i]
-		if bc.Counters.Refs == 0 {
-			return nil, fmt.Errorf("tracex: block %s has an empty sample", bc.Spec.Func)
-		}
-		sampleCycles, err := model.Cycles(bc.Counters)
-		if err != nil {
-			return nil, err
-		}
 		scale := bc.Refs / float64(bc.Counters.Refs)
-		memCycles := sampleCycles * scale
+		memCycles := blockCycles[i] * scale
 		fpCycles := model.FPCycles(bc.Refs*bc.Spec.FPPerRef, bc.Spec.ILP)
 		longer, shorter := memCycles, fpCycles
 		if shorter > longer {

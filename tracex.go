@@ -63,8 +63,10 @@ type (
 	ElementError = extrap.ElementError
 	// ExtrapOptions tunes the extrapolation.
 	ExtrapOptions = extrap.Options
-	// CollectOptions tunes signature collection.
-	CollectOptions = pebil.Options
+	// CollectOptions tunes signature collection. It aliases
+	// pebil.CollectorConfig: SampleRefs/MaxWarmRefs/SharedHierarchy shape
+	// the result, Workers/BatchSize only schedule it.
+	CollectOptions = pebil.CollectorConfig
 	// Form is a canonical scaling-function family.
 	Form = stats.Form
 )

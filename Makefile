@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-collect bench-engine bench-obs bench-server bench-store bench-smoke serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-obs bench-server bench-store bench-smoke serve experiments examples csv clean
 
 all: build vet test
 
@@ -44,6 +44,13 @@ bench-collect:
 # catches benchmarks that no longer compile or crash, without timing noise.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Analytical cache model vs exact re-simulation on an 8-geometry cache
+# design sweep, plus the one-time reuse-distance recording the analytical
+# sweep amortizes. Results recorded in BENCH_cachemodel.json; the >=5x
+# sweep acceptance bar is enforced by TestGeometrySweepSpeedup.
+bench-cachemodel:
+	$(GO) test -run '^$$' -bench 'BenchmarkGeometrySweep|BenchmarkReuseCollection' -benchmem -benchtime=3x .
 
 # Serial vs Engine-parallel CollectInputs plus the cache-hit fast path.
 bench-engine:

@@ -43,6 +43,7 @@ import (
 	"tracex"
 	"tracex/internal/extrap"
 	"tracex/internal/machine"
+	"tracex/internal/pebil"
 	"tracex/internal/server"
 	"tracex/internal/trace"
 )
@@ -64,6 +65,8 @@ func run() int {
 		"worker goroutines per signature collection (0 = one per CPU); results are identical for any value")
 	gfs.IntVar(&collectBatch, "collect-batch", 0,
 		"addresses simulated per batch during collection (0 = default); results are identical for any value")
+	gfs.StringVar(&collectModel, "cache-model", "",
+		"cache model for signature collection: \"exact\" (default; simulates the target hierarchy) or \"analytical\" (derives hit rates from a machine-independent reuse-distance signature)")
 	_ = gfs.Parse(os.Args[1:]) // ExitOnError: Parse never returns an error
 	rest := gfs.Args()
 	if len(rest) == 0 {
@@ -123,13 +126,22 @@ func run() int {
 // Global collection tuning, shared by every subcommand that simulates:
 // -collect-workers and -collect-batch schedule the same collection
 // differently without changing any result (pebil.CollectorConfig zeroes both
-// out of cache and store identities).
-var collectWorkers, collectBatch int
+// out of cache and store identities); -cache-model selects how hit rates are
+// produced.
+var (
+	collectWorkers, collectBatch int
+	collectModel                 string
+)
 
 // collectOptions builds a subcommand's collection options from the global
-// tuning flags; sample ≤ 0 keeps the default per-block sample length.
-func collectOptions(sample int) tracex.CollectOptions {
-	return tracex.CollectOptions{SampleRefs: sample, Workers: collectWorkers, BatchSize: collectBatch}
+// tuning flags; sample ≤ 0 keeps the default per-block sample length. The
+// model name is validated here so a typo fails before any simulation.
+func collectOptions(sample int) (tracex.CollectOptions, error) {
+	m, err := pebil.ParseCacheModel(collectModel)
+	if err != nil {
+		return tracex.CollectOptions{}, err
+	}
+	return tracex.CollectOptions{SampleRefs: sample, Workers: collectWorkers, BatchSize: collectBatch, Model: m}, nil
 }
 
 // dispatch routes one subcommand to its implementation; handled reports
@@ -194,7 +206,8 @@ func serveMetrics(eng *tracex.Engine, addr string) (*server.Server, string, erro
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] [-store-dir dir|off]
-              [-collect-workers n] [-collect-batch n] <command> [flags]
+              [-collect-workers n] [-collect-batch n]
+              [-cache-model exact|analytical] <command> [flags]
 
 commands:
   trace    collect an application signature at one core count
@@ -254,7 +267,11 @@ func cmdTrace(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	sig, err := eng.CollectSignature(ctx, app, *cores, cfg, collectOptions(*sample))
+	opt, err := collectOptions(*sample)
+	if err != nil {
+		return err
+	}
+	sig, err := eng.CollectSignature(ctx, app, *cores, cfg, opt)
 	if err != nil {
 		return err
 	}
@@ -368,7 +385,11 @@ func cmdMeasure(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := eng.Measure(ctx, app, *cores, cfg, collectOptions(0))
+	opt, err := collectOptions(0)
+	if err != nil {
+		return err
+	}
+	pred, err := eng.Measure(ctx, app, *cores, cfg, opt)
 	if err != nil {
 		return err
 	}

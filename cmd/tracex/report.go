@@ -45,7 +45,10 @@ func cmdReport(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := collectOptions(*sample)
+	opt, err := collectOptions(*sample)
+	if err != nil {
+		return err
+	}
 	if *out == "" {
 		return writeReport(ctx, eng, os.Stdout, app, cfg, counts, targetCount, opt, *energy)
 	}

@@ -46,6 +46,7 @@ type options struct {
 	noCoalesce     bool
 	quiet          bool
 	storeDir       string
+	cacheModel     string
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -64,6 +65,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.noCoalesce, "no-coalesce", false, "disable coalescing of identical in-flight predict/study requests")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-request access log")
 	fs.StringVar(&o.storeDir, "store-dir", "", "persistent signature store directory; signatures survive restarts and GET/PUT /v1/signatures/{key} are served (empty = disabled)")
+	fs.StringVar(&o.cacheModel, "cache-model", "", "default cache model for collections whose request omits \"model\": \"exact\" (default) or \"analytical\"")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -101,6 +103,7 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex
 		RequestTimeout:    o.requestTimeout,
 		RetryAfter:        o.retryAfter,
 		DisableCoalescing: o.noCoalesce,
+		DefaultCacheModel: o.cacheModel,
 		AccessLog:         accessLog,
 		ErrorLog:          errorLog,
 	})

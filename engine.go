@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tracex/internal/cache"
 	"tracex/internal/extrap"
 	"tracex/internal/memo"
 	"tracex/internal/multimaps"
@@ -50,11 +51,13 @@ import (
 type Engine struct {
 	parallelism int
 	collectOpt  CollectOptions
+	model       CacheModel
 	confErr     error // first configuration error; poisons every method
 	sem         chan struct{}
 	collector   *pebil.Collector
 	profiles    *memo.Cache[string, *Profile]
 	sigs        *memo.Cache[sigKey, *Signature]
+	reuse       *memo.Cache[reuseKey, *ReuseSignature]
 	disk        *store.Store
 	reg         *obs.Registry
 	predictions *obs.Counter
@@ -75,6 +78,22 @@ type sigKey struct {
 	opt     CollectOptions
 }
 
+// reuseKey identifies one reuse-distance collection. No machine component:
+// the profile is geometry-free, and the cache model is cleared from the
+// options because the same profile serves every model.
+type reuseKey struct {
+	app   string
+	cores int
+	opt   CollectOptions
+}
+
+// reuseOpt normalizes options to the reuse profile's identity.
+func reuseOpt(opt CollectOptions) CollectOptions {
+	n := opt.Normalized()
+	n.Model = ""
+	return n
+}
+
 // Provenance reports which tier of the engine's signature cache satisfied
 // a collection request: the in-memory memo, the persistent on-disk store,
 // or a fresh simulation. The HTTP service surfaces it as the `from` field
@@ -91,6 +110,10 @@ const (
 	// FromCollected: simulated fresh (and written through to both cache
 	// tiers).
 	FromCollected Provenance = "collected"
+	// FromAnalytical: derived analytically from a reuse-distance
+	// signature for this geometry — the underlying geometry-free profile
+	// may have come from any tier, but no per-geometry simulation ran.
+	FromAnalytical Provenance = "analytical"
 )
 
 // SignatureStore is the persistent, content-addressed signature store an
@@ -111,8 +134,36 @@ func StoreKey(app string, cores int, m MachineConfig, opt CollectOptions) Signat
 		Machine:   m.Name,
 		MachineFP: shortHash(m.Fingerprint()),
 		Cores:     cores,
-		Opt:       shortHash(fmt.Sprintf("%+v", opt.Normalized())),
+		Opt:       shortHash(optIdentity(opt.Normalized())),
 	}
+}
+
+// ReuseStoreKey returns the persistent-store key for a machine-independent
+// reuse-distance signature: no machine name or fingerprint — one stored
+// profile serves every cache geometry — and the model cleared from the
+// option identity, since the profile is the same whichever model consumes
+// it.
+func ReuseStoreKey(app string, cores int, opt CollectOptions) SignatureKey {
+	return store.Key{
+		App:   app,
+		Cores: cores,
+		Opt:   shortHash(optIdentity(reuseOpt(opt))),
+		Kind:  store.KindReuse,
+	}
+}
+
+// optIdentity renders a normalized configuration in the stable identity
+// form hashed into store keys. For the exact model it reproduces the
+// pre-Model `%+v` rendering of CollectorConfig byte for byte, so stores
+// written before the Model field existed keep resolving under their
+// original keys.
+func optIdentity(n CollectOptions) string {
+	s := fmt.Sprintf("{SampleRefs:%d MaxWarmRefs:%d Workers:0 BatchSize:0 SharedHierarchy:%t}",
+		n.SampleRefs, n.MaxWarmRefs, n.SharedHierarchy)
+	if n.Model != "" && n.Model != ModelExact {
+		s += " Model:" + string(n.Model)
+	}
+	return s
 }
 
 // shortHash condenses a long identity string (machine fingerprint, option
@@ -166,6 +217,11 @@ type EngineStats struct {
 	// CollectionHits counts collection requests served without simulation;
 	// SignatureEvictions counts cached signatures discarded by LRU pressure.
 	Collections, CollectionHits, SignatureEvictions uint64
+	// ReuseCollections counts reuse-distance profiles actually recorded;
+	// ReuseHits counts reuse-profile requests served from the in-memory
+	// cache without recording (disk warm-starts count as collections here
+	// and as StoreHits below).
+	ReuseCollections, ReuseHits uint64
 	// Predictions counts completed convolution+replay predictions; Studies
 	// counts completed extrapolation studies.
 	Predictions, Studies uint64
@@ -199,6 +255,7 @@ func (e *Engine) Stats() EngineStats {
 	st.ProfileEvictions = e.profiles.Evictions()
 	st.CollectionHits, st.Collections = e.sigs.Stats()
 	st.SignatureEvictions = e.sigs.Evictions()
+	st.ReuseHits, st.ReuseCollections = e.reuse.Stats()
 	st.StoreHits = e.reg.Counter("store.hits").Value()
 	st.StoreMisses = e.reg.Counter("store.misses").Value()
 	st.StorePuts = e.reg.Counter("store.puts").Value()
@@ -253,6 +310,7 @@ type engineConfig struct {
 	parallelism int
 	cacheSize   int
 	collectOpt  CollectOptions
+	model       CacheModel
 	storeDir    string
 	registry    *obs.Registry
 	regSet      bool
@@ -296,6 +354,24 @@ func WithCollectOptions(opt CollectOptions) EngineOption {
 	return func(c *engineConfig) { c.collectOpt = opt }
 }
 
+// WithCacheModel sets the cache model used when a caller's collect options
+// leave Model empty: ModelExact simulates the target hierarchy reference by
+// reference, ModelAnalytical collects a machine-independent reuse-distance
+// signature once and derives per-geometry hit rates from it analytically.
+// An unknown model name leaves the engine inert with Err reporting it.
+// Explicit CollectOptions.Model values always win over this default.
+func WithCacheModel(m CacheModel) EngineOption {
+	return func(c *engineConfig) {
+		if _, err := pebil.ParseCacheModel(string(m)); err != nil {
+			if c.err == nil {
+				c.err = fmt.Errorf("tracex: %w", err)
+			}
+			return
+		}
+		c.model = m
+	}
+}
+
 // WithStore attaches a persistent signature store rooted at dir (created
 // with 0700 permissions if missing), making the engine's signature cache
 // two-tiered: a collection request checks memory, then disk, then
@@ -335,10 +411,12 @@ func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
 		parallelism: cfg.parallelism,
 		collectOpt:  cfg.collectOpt,
+		model:       cfg.model,
 		confErr:     cfg.err,
 		sem:         make(chan struct{}, cfg.parallelism),
 		profiles:    memo.New[string, *Profile](cfg.cacheSize),
 		sigs:        memo.New[sigKey, *Signature](cfg.cacheSize),
+		reuse:       memo.New[reuseKey, *ReuseSignature](cfg.cacheSize),
 		reg:         cfg.registry,
 		predictions: cfg.registry.Counter("engine.predictions"),
 		studies:     cfg.registry.Counter("engine.studies"),
@@ -369,6 +447,9 @@ func NewEngine(opts ...EngineOption) *Engine {
 	e.reg.GaugeFunc("engine.cache.signature.hits", func() float64 { h, _ := e.sigs.Stats(); return float64(h) })
 	e.reg.GaugeFunc("engine.cache.signature.misses", func() float64 { _, m := e.sigs.Stats(); return float64(m) })
 	e.reg.GaugeFunc("engine.cache.signature.evictions", func() float64 { return float64(e.sigs.Evictions()) })
+	e.reg.GaugeFunc("engine.cache.reuse.hits", func() float64 { h, _ := e.reuse.Stats(); return float64(h) })
+	e.reg.GaugeFunc("engine.cache.reuse.misses", func() float64 { _, m := e.reuse.Stats(); return float64(m) })
+	e.reg.GaugeFunc("engine.cache.reuse.evictions", func() float64 { return float64(e.reuse.Evictions()) })
 	return e
 }
 
@@ -465,15 +546,31 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 	if opt == (CollectOptions{}) {
 		opt = e.collectOpt
 	}
+	if opt.Model == "" {
+		opt.Model = e.model
+	}
 	ctx = e.obsCtx(ctx)
 	sp := e.reg.StartSpan("engine.collect", fmt.Sprintf("%s@%d", app.Name(), cores))
 	defer sp.End()
-	key := sigKey{app: app.Name(), cores: cores, machine: target.Fingerprint(), opt: opt.Normalized()}
+	norm := opt.Normalized()
+	key := sigKey{app: app.Name(), cores: cores, machine: target.Fingerprint(), opt: norm}
 	// prov is written only inside the memoized function, which either
 	// runs on this goroutine (miss) or not at all (hit) — never on
 	// another goroutine — so the read below is race-free.
 	prov := FromCollected
 	sig, hit, err := e.sigs.Do(ctx, key, func() (*Signature, error) {
+		if norm.Model == ModelAnalytical {
+			// Analytical path: the expensive, persisted artifact is the
+			// geometry-free reuse profile; the per-geometry signature is
+			// derived from it in microseconds and only memoized, never
+			// written to disk.
+			rs, _, err := e.CollectReuse(ctx, app, cores, opt)
+			if err != nil {
+				return nil, err
+			}
+			prov = FromAnalytical
+			return pebil.SignatureFromReuse(rs, app, target, nil, cache.Analytical{})
+		}
 		if e.disk != nil {
 			if sig, ok, _ := e.disk.Get(StoreKey(app.Name(), cores, target, opt)); ok {
 				prov = FromDisk
@@ -498,6 +595,53 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 		prov = FromMemory
 	}
 	return sig, prov, nil
+}
+
+// CollectReuse returns the machine-independent reuse-distance signature of
+// the application at the given core count, with the same tiering as
+// CollectSignatureFrom: in-memory memo, then the persistent store (the
+// profile is keyed without any machine component — see ReuseStoreKey), then
+// a fresh recording written through both tiers. The provenance reports the
+// tier that satisfied the request. A zero opt selects the engine's default
+// collection options; the options' Model and execution knobs do not affect
+// the profile's identity.
+func (e *Engine) CollectReuse(ctx context.Context, app *App, cores int, opt CollectOptions) (*ReuseSignature, Provenance, error) {
+	if err := e.usable(); err != nil {
+		return nil, "", err
+	}
+	if app == nil {
+		return nil, "", fmt.Errorf("tracex: nil application")
+	}
+	if opt == (CollectOptions{}) {
+		opt = e.collectOpt
+	}
+	ctx = e.obsCtx(ctx)
+	sp := e.reg.StartSpan("engine.reuse", fmt.Sprintf("%s@%d", app.Name(), cores))
+	defer sp.End()
+	key := reuseKey{app: app.Name(), cores: cores, opt: reuseOpt(opt)}
+	prov := FromCollected
+	rs, hit, err := e.reuse.Do(ctx, key, func() (*ReuseSignature, error) {
+		if e.disk != nil {
+			if rs, ok, _ := e.disk.GetReuse(ReuseStoreKey(app.Name(), cores, opt)); ok {
+				prov = FromDisk
+				return rs, nil
+			}
+		}
+		rs, err := e.collector.CollectReuse(ctx, app, cores, opt)
+		if err == nil && e.disk != nil {
+			if _, perr := e.disk.PutReuse(rs, ReuseStoreKey(app.Name(), cores, opt)); perr != nil {
+				e.putErrors.Inc()
+			}
+		}
+		return rs, err
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if hit {
+		prov = FromMemory
+	}
+	return rs, prov, nil
 }
 
 // Store returns the engine's persistent signature store, or nil when the

@@ -614,10 +614,14 @@ func TestSentinelErrors(t *testing.T) {
 		t.Errorf("mixed inputs: %v, want ErrMachineMismatch", err)
 	}
 
-	// ErrRankOutOfRange: selecting a rank ≥ core count during collection
-	// (via the deprecated Options shim, pinning its error passthrough).
-	if _, err := pebil.Collect(ctx, app, 64, cfg, []int{64},
-		pebil.Options{SampleRefs: smallOpt.SampleRefs, MaxWarmRefs: smallOpt.MaxWarmRefs}); !errors.Is(err, ErrRankOutOfRange) {
+	// ErrRankOutOfRange: selecting a rank ≥ core count during collection.
+	col, err := pebil.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if _, err := col.Collect(ctx, app, 64, cfg, []int{64},
+		pebil.CollectorConfig{SampleRefs: smallOpt.SampleRefs, MaxWarmRefs: smallOpt.MaxWarmRefs}); !errors.Is(err, ErrRankOutOfRange) {
 		t.Errorf("rank 64 of 64: %v, want ErrRankOutOfRange", err)
 	}
 

@@ -1,9 +1,15 @@
 // Cachedesign reproduces the paper's Table III use case: exploring the
 // optimal cache structure for an application without the candidate system
-// existing. Trace data is collected against two hypothetical targets that
-// differ only in L1 size (12 KB vs 56 KB); the SPECFEM3D lookup-table
-// block's residency flips between them while staying flat in core count —
-// exactly the signal a system architect would use to size the L1.
+// existing. Where the original flow re-simulated the application against
+// every candidate hierarchy, this version collects ONE machine-independent
+// reuse-distance signature per core count and sweeps the candidate
+// geometries analytically: each candidate's per-block hit rates are derived
+// from the same stored stack-distance histograms in microseconds, so adding
+// an L1 size to the sweep costs no new simulation at all.
+//
+// The SPECFEM3D lookup-table block's residency flips between the small and
+// large L1 candidates while staying flat in core count — exactly the signal
+// a system architect would use to size the L1.
 //
 // Run with: go run ./examples/cachedesign
 package main
@@ -12,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"tracex"
 )
@@ -21,42 +28,83 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sysA, err := tracex.LoadMachine("systemA-12KB-L1")
+	base, err := tracex.LoadMachine("bluewaters")
 	if err != nil {
 		log.Fatal(err)
 	}
-	sysB, err := tracex.LoadMachine("systemB-56KB-L1")
-	if err != nil {
-		log.Fatal(err)
+
+	// The candidate hierarchies: eight L1 sizes spanning the Table III pair
+	// (12 KB and 56 KB among them). Everything else is held at the baseline.
+	l1KBs := []int{8, 12, 16, 24, 32, 48, 56, 64}
+	candidates := make([]tracex.MachineConfig, len(l1KBs))
+	for i, kb := range l1KBs {
+		c := base
+		c.Name = fmt.Sprintf("candidate-%dKB-L1", kb)
+		c.Caches = append([]tracex.CacheLevel(nil), base.Caches...)
+		l1 := c.Caches[0]
+		l1.SizeBytes = kb << 10
+		// Keep 4 KB per way so the set count stays a power of two across
+		// sizes.
+		l1.Assoc = kb / 4
+		if l1.Assoc < 1 {
+			l1.Assoc = 1
+		}
+		c.Caches[0] = l1
+		candidates[i] = c
 	}
+
 	counts := []int{96, 384, 1536, 6144}
 	opt := tracex.CollectOptions{SampleRefs: 200_000}
-
-	fmt.Println("Table III: flux_lookup_table L1 hit rate on two candidate systems")
-	fmt.Printf("%10s %16s %16s\n", "Core Count", "A (12 KB L1)", "B (56 KB L1)")
 	const lookupBlockID = 2
+
+	fmt.Println("Table III (swept): flux_lookup_table L1 hit rate across candidate L1 sizes")
+	fmt.Printf("%10s", "Core Count")
+	for _, kb := range l1KBs {
+		fmt.Printf("%9s", fmt.Sprintf("%d KB", kb))
+	}
+	fmt.Println()
 	for _, p := range counts {
-		var rates [2]float64
-		for i, sys := range []tracex.MachineConfig{sysA, sysB} {
-			sig, err := tracex.CollectSignature(app, p, sys, opt)
+		// One reuse-distance collection per core count...
+		start := time.Now()
+		rs, err := tracex.CollectReuse(app, p, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		collectTime := time.Since(start)
+		// ...then every candidate geometry is served from it analytically.
+		start = time.Now()
+		fmt.Printf("%10d", p)
+		for _, sys := range candidates {
+			sig, err := tracex.DeriveSignature(rs, app, sys)
 			if err != nil {
 				log.Fatal(err)
 			}
 			blk := sig.DominantTrace().BlockByID()[lookupBlockID]
-			rates[i] = blk.FV.HitRates[0]
+			fmt.Printf("%8.1f%%", 100*blk.FV.HitRates[0])
 		}
-		fmt.Printf("%10d %15.1f%% %15.1f%%\n", p, 100*rates[0], 100*rates[1])
+		sweepTime := time.Since(start)
+		fmt.Printf("   (collected in %v, %d-geometry sweep in %v)\n",
+			collectTime.Round(time.Millisecond), len(candidates), sweepTime.Round(time.Millisecond))
 	}
 
-	// The architect's conclusion: compare predicted runtimes on the two
-	// candidates at the largest scale.
-	fmt.Println("\npredicted 6144-core runtime on each candidate:")
-	for _, sys := range []tracex.MachineConfig{sysA, sysB} {
+	// The architect's conclusion: compare predicted runtimes on the Table
+	// III pair at the largest scale, both signatures derived from the one
+	// 6144-core reuse profile (already cached by the loop above).
+	rs, err := tracex.CollectReuse(app, 6144, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted 6144-core runtime on the Table III candidates:")
+	for _, name := range []string{"systemA-12KB-L1", "systemB-56KB-L1"} {
+		sys, err := tracex.LoadMachine(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		prof, err := tracex.BuildProfile(sys)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sig, err := tracex.CollectSignature(app, 6144, sys, opt)
+		sig, err := tracex.DeriveSignature(rs, app, sys)
 		if err != nil {
 			log.Fatal(err)
 		}

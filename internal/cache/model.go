@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tracex/internal/trace"
+)
+
+// ErrModelUnsupported reports a (histogram, geometry) combination the
+// analytical model cannot serve faithfully — mismatched line sizes,
+// prefetcher-enabled targets, shared-hierarchy collection. Callers fall
+// back to the exact simulator (errors.Is-matchable).
+var ErrModelUnsupported = errors.New("cache: configuration unsupported by the analytical model")
+
+// Model converts one block's reuse-distance histogram plus a cache
+// hierarchy (nearest-first) into the block's per-level cumulative hit
+// rates, the quantity exact simulation measures via Counters.
+// Implementations must be safe for concurrent use.
+type Model interface {
+	// Name identifies the model ("analytical").
+	Name() string
+	// Rates returns cumulative hit rates, one per level, in [0,1] and
+	// monotone non-decreasing with depth.
+	Rates(h *trace.ReuseHistogram, levels []LevelConfig) ([]float64, error)
+}
+
+// Analytical derives hit rates from a reuse-distance histogram without
+// simulating: a reference with stack distance D hits a fully-associative
+// LRU cache of C lines iff D < C (the classic stack-distance CDF), and
+// finite associativity is corrected per PPT-Multicore by treating the D
+// intervening lines as uniformly distributed over the S sets — the
+// reference hits iff fewer than A of them landed in its own set, i.e.
+// P(hit | D) = P(X ≤ A−1) with X ~ Binomial(D, 1/S). Cold references
+// (never-seen lines) miss every level.
+//
+// The uniform-placement assumption is the model's known weakness: strided
+// patterns whose stride shares a large power-of-two factor with the set
+// count concentrate on few sets and hit less than predicted. The exact
+// simulator remains available as the fidelity oracle for such streams.
+type Analytical struct{}
+
+// Name implements Model.
+func (Analytical) Name() string { return "analytical" }
+
+// Rates implements Model. It fails with ErrModelUnsupported when any level's
+// line size differs from the histogram's measurement granularity.
+func (Analytical) Rates(h *trace.ReuseHistogram, levels []LevelConfig) ([]float64, error) {
+	if h == nil {
+		return nil, fmt.Errorf("cache: nil reuse histogram")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one level")
+	}
+	rates := make([]float64, len(levels))
+	for li, lv := range levels {
+		if err := lv.Validate(); err != nil {
+			return nil, err
+		}
+		if lv.LineSize != h.LineSize {
+			return nil, fmt.Errorf("%w: level %s line size %d but histogram measured %d-byte lines",
+				ErrModelUnsupported, lv.Name, lv.LineSize, h.LineSize)
+		}
+		if h.Refs == 0 {
+			continue
+		}
+		sets := lv.Sets()
+		var hits float64
+		for b, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			hits += float64(n) * hitProb(trace.ReuseBucketDistance(b), lv.Assoc, sets)
+		}
+		rates[li] = hits / float64(h.Refs)
+	}
+	// Deeper levels are strictly larger (inclusive hierarchy), so exact
+	// rates are monotone; clamp out the sub-ulp violations the per-level
+	// sums can accumulate, as trace.Validate requires monotonicity.
+	for i := range rates {
+		if rates[i] < 0 {
+			rates[i] = 0
+		}
+		if rates[i] > 1 {
+			rates[i] = 1
+		}
+		if i > 0 && rates[i] < rates[i-1] {
+			rates[i] = rates[i-1]
+		}
+	}
+	return rates, nil
+}
+
+// hitProb is P(hit) for one reference with reuse distance d (lines) in a
+// cache of the given associativity and set count: P(X ≤ assoc−1) with
+// X ~ Binomial(d, 1/sets).
+func hitProb(d float64, assoc, sets int) float64 {
+	a := float64(assoc)
+	if d < a {
+		return 1 // fewer intervening lines than ways: LRU cannot have evicted
+	}
+	if sets <= 1 {
+		return 0 // fully associative with d ≥ capacity
+	}
+	p := 1.0 / float64(sets)
+	lam := d * p
+	// Far above the mean the CDF is numerically zero (Chernoff bound
+	// < 1e-20 at this threshold); skipping the recurrence keeps the
+	// per-bucket cost bounded for huge distances.
+	if lam >= a+40*math.Sqrt(a)+50 {
+		return 0
+	}
+	if assoc > 256 {
+		// Degenerate geometries (hundreds of ways): the recurrence's
+		// leading term underflows, so use the normal approximation — at
+		// these sizes the CDF is effectively a step function anyway.
+		sigma := math.Sqrt(lam * (1 - p))
+		if sigma == 0 {
+			return 0
+		}
+		return 0.5 * math.Erfc((lam-(a-0.5))/(sigma*math.Sqrt2))
+	}
+	// P(X=0) = (1−p)^d, then the stable pmf recurrence
+	// P(k) = P(k−1)·(d−k+1)/k·p/(1−p), summed for k < assoc. When the
+	// leading term underflows to zero here, λ exceeds the mean by ≥ 10σ
+	// and the true CDF is below 1e-20, so the zero result is correct.
+	term := math.Exp(d * math.Log1p(-p))
+	cdf := term
+	ratio := p / (1 - p)
+	for k := 1.0; k < a; k++ {
+		term *= (d - k + 1) / k * ratio
+		cdf += term
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf
+}

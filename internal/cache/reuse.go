@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"tracex/internal/trace"
+)
+
+// ReuseRecorder measures LRU stack distances of an address stream at cache-
+// line granularity using the Bennett–Kruskal algorithm: a hash map from line
+// to its last access time plus a Fenwick tree of "most recent access" markers
+// over time slots. Each reference costs O(log n) in the number of time slots.
+//
+// The recorder is the collection-side half of the analytical cache model: it
+// replaces the per-geometry cache simulation with a single geometry-free
+// measurement, from which Analytical derives hit rates for any hierarchy.
+// Like Simulator, a ReuseRecorder is not safe for concurrent use; create one
+// per worker goroutine (pebil's arena keeps one per scratch).
+type ReuseRecorder struct {
+	shift    uint
+	lineSize int
+	last     map[uint64]int32
+	// tree is a 1-based Fenwick tree over time slots 1..size; slot t holds
+	// a marker iff t is the most recent access time of some tracked line.
+	tree []int32
+	size int
+	now  int32
+}
+
+// NewReuseRecorder builds a recorder for the given line size with initial
+// capacity for the given number of references before a (rare) renumbering
+// pass. Callers that know their stream length up front should pass it so
+// the steady state allocates nothing.
+func NewReuseRecorder(lineSize, capacity int) (*ReuseRecorder, error) {
+	if lineSize <= 0 || bits.OnesCount(uint(lineSize)) != 1 {
+		return nil, fmt.Errorf("cache: reuse recorder line size %d must be a positive power of two", lineSize)
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &ReuseRecorder{
+		shift:    uint(bits.TrailingZeros(uint(lineSize))),
+		lineSize: lineSize,
+		last:     make(map[uint64]int32),
+		tree:     make([]int32, capacity+1),
+		size:     capacity,
+	}
+	return r, nil
+}
+
+// LineSize returns the recorder's line granularity in bytes.
+func (r *ReuseRecorder) LineSize() int { return r.lineSize }
+
+// Reset clears all tracked state and ensures capacity for the given number
+// of references, reusing the existing allocation when it suffices.
+func (r *ReuseRecorder) Reset(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity > r.size {
+		r.tree = make([]int32, capacity+1)
+		r.size = capacity
+	} else {
+		for i := range r.tree {
+			r.tree[i] = 0
+		}
+	}
+	clear(r.last)
+	r.now = 0
+}
+
+// add applies a delta at time slot t.
+func (r *ReuseRecorder) add(t int32, delta int32) {
+	for i := int(t); i <= r.size; i += i & -i {
+		r.tree[i] += delta
+	}
+}
+
+// sum returns the number of markers in slots [1, t].
+func (r *ReuseRecorder) sum(t int32) int32 {
+	var s int32
+	for i := int(t); i > 0; i -= i & -i {
+		s += r.tree[i]
+	}
+	return s
+}
+
+// compact renumbers the live markers to the lowest time slots, reclaiming
+// the slots freed by marker moves. It grows the tree when the live set
+// itself fills most of the index (a stream of mostly-distinct lines).
+func (r *ReuseRecorder) compact() {
+	lines := make([]uint64, 0, len(r.last))
+	for blk := range r.last {
+		lines = append(lines, blk)
+	}
+	sort.Slice(lines, func(i, j int) bool { return r.last[lines[i]] < r.last[lines[j]] })
+	need := 2 * (len(lines) + 1)
+	if need > r.size {
+		r.tree = make([]int32, 2*need+1)
+		r.size = 2 * need
+	} else {
+		for i := range r.tree {
+			r.tree[i] = 0
+		}
+	}
+	for i, blk := range lines {
+		t := int32(i + 1)
+		r.last[blk] = t
+		r.add(t, 1)
+	}
+	r.now = int32(len(lines))
+}
+
+// access advances time by one reference to addr and returns the reference's
+// reuse distance in lines, or cold=true for a line never seen before.
+func (r *ReuseRecorder) access(addr uint64) (dist uint64, cold bool) {
+	if int(r.now) >= r.size {
+		r.compact()
+	}
+	blk := addr >> r.shift
+	prev, seen := r.last[blk]
+	if seen {
+		// Markers strictly after prev are the distinct other lines
+		// touched since blk's previous access (blk's own marker sits at
+		// prev and is excluded).
+		dist = uint64(r.sum(r.now) - r.sum(prev))
+		r.add(prev, -1)
+	} else {
+		cold = true
+	}
+	r.now++
+	r.add(r.now, 1)
+	r.last[blk] = r.now
+	return dist, cold
+}
+
+// Warm streams addrs through the recorder without recording distances,
+// mirroring the cache-warming phase of exact collection: the tracked-line
+// state reaches steady state before sampling begins.
+func (r *ReuseRecorder) Warm(addrs []uint64) {
+	for _, a := range addrs {
+		r.access(a)
+	}
+}
+
+// Record streams addrs through the recorder, accumulating each reference's
+// reuse distance (or coldness) into h.
+func (r *ReuseRecorder) Record(addrs []uint64, h *trace.ReuseHistogram) {
+	for _, a := range addrs {
+		d, cold := r.access(a)
+		if cold {
+			h.AddCold()
+		} else {
+			h.Add(d)
+		}
+	}
+}

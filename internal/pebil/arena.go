@@ -24,6 +24,9 @@ type scratch struct {
 	// simLevels/simPrefetch record the geometry sim was built for.
 	simLevels   []cache.LevelConfig
 	simPrefetch bool
+	// rec is the worker's reuse-distance recorder, reused (after a Reset)
+	// across reuse-collection work units.
+	rec *cache.ReuseRecorder
 }
 
 // slab returns the worker's address buffer resized to n.
@@ -51,6 +54,21 @@ func (s *scratch) simulator(target machine.Config) (*cache.Simulator, error) {
 	s.simLevels = append(s.simLevels[:0], target.Caches...)
 	s.simPrefetch = target.Prefetch
 	return sim, nil
+}
+
+// recorder returns a reset reuse-distance recorder with capacity for n
+// references, reusing the worker's previous one when the line size matches.
+func (s *scratch) recorder(lineSize, n int) (*cache.ReuseRecorder, error) {
+	if s.rec != nil && s.rec.LineSize() == lineSize {
+		s.rec.Reset(n)
+		return s.rec, nil
+	}
+	rec, err := cache.NewReuseRecorder(lineSize, n)
+	if err != nil {
+		return nil, err
+	}
+	s.rec = rec
+	return rec, nil
 }
 
 func sameLevels(a, b []cache.LevelConfig) bool {

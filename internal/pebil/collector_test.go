@@ -70,39 +70,6 @@ func TestNewCollectorConfigOptions(t *testing.T) {
 	}
 }
 
-func TestOptionsConfigShim(t *testing.T) {
-	o := Options{SampleRefs: 1, MaxWarmRefs: 2, Parallelism: 3, SharedHierarchy: true}
-	want := CollectorConfig{SampleRefs: 1, MaxWarmRefs: 2, Workers: 3, SharedHierarchy: true}
-	if got := o.Config(); got != want {
-		t.Errorf("Options.Config = %+v, want %+v", got, want)
-	}
-}
-
-// TestDeprecatedShimMatchesCollector pins the one-release compatibility
-// promise: the package-level functions taking Options produce the same
-// counters as the Collector API.
-func TestDeprecatedShimMatchesCollector(t *testing.T) {
-	app := synthapp.Stencil3D()
-	bw := machine.BlueWatersP1()
-	ctx := context.Background()
-	old, err := CollectCounters(ctx, app, 64, bw, Options{SampleRefs: fastCfg.SampleRefs, MaxWarmRefs: fastCfg.MaxWarmRefs})
-	if err != nil {
-		t.Fatal(err)
-	}
-	col, err := NewCollector()
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer col.Close()
-	via, err := col.Counters(ctx, app, 64, bw, fastCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(old, via) {
-		t.Error("deprecated shim and Collector.Counters disagree")
-	}
-}
-
 // TestCountersDeterministicAcrossWorkersAndBatch is the tentpole
 // determinism guarantee: workers and batch size are execution-only knobs.
 func TestCountersDeterministicAcrossWorkersAndBatch(t *testing.T) {

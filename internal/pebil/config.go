@@ -3,6 +3,8 @@ package pebil
 import (
 	"fmt"
 	"runtime"
+
+	"tracex/internal/cache"
 )
 
 // Default tuning constants for CollectorConfig. Zero-valued fields take
@@ -21,13 +23,45 @@ const (
 	maxBatchSize = 1 << 22
 )
 
-// CollectorConfig tunes signature collection. It replaces the former
-// Options struct and is validated like tracex.ExtrapOptions: construct it
-// directly or through NewCollectorConfig with functional options, and call
-// Validate before use (the Collector does so on every collection). The
-// zero value selects all defaults.
+// CacheModel selects how per-block cache hit rates are produced: by the
+// exact multi-level simulator (the fidelity oracle) or analytically from a
+// machine-independent reuse-distance signature. The zero value selects
+// ModelExact.
+type CacheModel string
+
+const (
+	// ModelExact streams every block's sampled addresses through the
+	// multi-level cache simulator of the target geometry.
+	ModelExact CacheModel = "exact"
+	// ModelAnalytical collects one geometry-free reuse-distance signature
+	// and derives per-level hit rates for the target geometry from the
+	// stack-distance CDF with an associativity correction
+	// (cache.Analytical). Unsupported for prefetcher-enabled targets and
+	// shared-hierarchy collection; those fail with
+	// cache.ErrModelUnsupported.
+	ModelAnalytical CacheModel = "analytical"
+)
+
+// ParseCacheModel maps a user-facing model name ("", "exact",
+// "analytical") to its CacheModel.
+func ParseCacheModel(s string) (CacheModel, error) {
+	switch CacheModel(s) {
+	case "", ModelExact:
+		return ModelExact, nil
+	case ModelAnalytical:
+		return ModelAnalytical, nil
+	default:
+		return "", fmt.Errorf("pebil: unknown cache model %q (want %q or %q)", s, ModelExact, ModelAnalytical)
+	}
+}
+
+// CollectorConfig tunes signature collection. It is validated like
+// tracex.ExtrapOptions: construct it directly or through
+// NewCollectorConfig with functional options, and call Validate before use
+// (the Collector does so on every collection). The zero value selects all
+// defaults.
 //
-// SampleRefs, MaxWarmRefs and SharedHierarchy shape the result;
+// SampleRefs, MaxWarmRefs, SharedHierarchy and Model shape the result;
 // Workers and BatchSize only schedule the same simulations differently.
 // Determinism does not depend on either: every (rank, block) work unit
 // draws from its own generator seeded by the block identity, and results
@@ -55,6 +89,9 @@ type CollectorConfig struct {
 	// measures steady-state per-kernel rates. Shared collection is
 	// sequential (one simulator).
 	SharedHierarchy bool
+	// Model selects the cache model hit rates come from (default
+	// ModelExact). See CacheModel.
+	Model CacheModel
 }
 
 // Validate checks the configuration. Zero values are valid (they select
@@ -75,6 +112,13 @@ func (c CollectorConfig) Validate() error {
 	if c.BatchSize > maxBatchSize {
 		return fmt.Errorf("pebil: BatchSize %d exceeds maximum %d", c.BatchSize, maxBatchSize)
 	}
+	if _, err := ParseCacheModel(string(c.Model)); err != nil {
+		return err
+	}
+	if c.Model == ModelAnalytical && c.SharedHierarchy {
+		return fmt.Errorf("pebil: shared-hierarchy collection %w (blocks contend for one cache; use the exact model)",
+			cache.ErrModelUnsupported)
+	}
 	return nil
 }
 
@@ -91,6 +135,9 @@ func (c CollectorConfig) withDefaults() CollectorConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
+	}
+	if c.Model == "" {
+		c.Model = ModelExact
 	}
 	return c
 }
@@ -139,6 +186,11 @@ func WithSharedHierarchy(on bool) CollectorOption {
 	return func(c *CollectorConfig) { c.SharedHierarchy = on }
 }
 
+// WithCacheModel selects the cache model hit rates come from.
+func WithCacheModel(m CacheModel) CollectorOption {
+	return func(c *CollectorConfig) { c.Model = m }
+}
+
 // NewCollectorConfig applies the options to a zero CollectorConfig and
 // validates the result.
 func NewCollectorConfig(opts ...CollectorOption) (CollectorConfig, error) {
@@ -150,32 +202,4 @@ func NewCollectorConfig(opts ...CollectorOption) (CollectorConfig, error) {
 		return CollectorConfig{}, err
 	}
 	return c, nil
-}
-
-// Options tunes the signature collection.
-//
-// Deprecated: use CollectorConfig (Parallelism became Workers). Options is
-// retained for one release as a shim for existing callers; the package-level
-// Collect and CollectCounters functions still accept it and forward to the
-// default Collector.
-type Options struct {
-	// SampleRefs is the number of references simulated per block.
-	SampleRefs int
-	// MaxWarmRefs caps the cache warm-up stream per block.
-	MaxWarmRefs int
-	// Parallelism bounds concurrent per-block simulations; ≤0 means one
-	// worker per CPU.
-	Parallelism int
-	// SharedHierarchy interleaves every block through one simulator.
-	SharedHierarchy bool
-}
-
-// Config converts the deprecated Options to its CollectorConfig equivalent.
-func (o Options) Config() CollectorConfig {
-	return CollectorConfig{
-		SampleRefs:      o.SampleRefs,
-		MaxWarmRefs:     o.MaxWarmRefs,
-		Workers:         o.Parallelism,
-		SharedHierarchy: o.SharedHierarchy,
-	}
 }

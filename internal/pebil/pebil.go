@@ -90,8 +90,8 @@ func (c *Collector) Workers() int { return c.arena.Workers() }
 // ErrArenaClosed. Close is idempotent.
 func (c *Collector) Close() { c.arena.Close() }
 
-// defaultCollector is the process-wide pool used by the deprecated
-// package-level functions and by callers without an Engine.
+// defaultCollector is the process-wide pool used by callers without an
+// Engine (tools, experiments, calibration).
 var defaultCollector struct {
 	once sync.Once
 	c    *Collector
@@ -120,7 +120,9 @@ func (c *Collector) resolve(cfg CollectorConfig) (CollectorConfig, error) {
 
 // Counters simulates the dominant rank's workload of app at core count p
 // against the target machine's cache structure, returning per-block sampled
-// counters. Each block is one work unit on the arena: a worker warms a
+// counters. Counters always runs the exact simulator — it is the fidelity
+// oracle the analytical model is validated against — regardless of
+// cfg.Model. Each block is one work unit on the arena: a worker warms a
 // (reused) simulator to steady state and then takes a counted sample,
 // streaming addresses in batches. Results land in slots indexed by block,
 // so any worker interleaving yields bit-identical output. Cancelling ctx
@@ -273,7 +275,20 @@ func featureVector(bc *BlockCounters, loadFactor float64) trace.FeatureVector {
 // dominant rank's block counters, so the (rank, block) unit grid reduces to
 // block simulation units plus cheap per-rank assembly units. Cancelling ctx
 // stops the underlying simulations promptly and returns ctx.Err().
+//
+// With cfg.Model == ModelAnalytical the hit rates come from a collected
+// reuse-distance signature through the analytical cache model instead of
+// per-geometry simulation (see CollectReuse and SignatureFromReuse).
 func (c *Collector) Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, cfg CollectorConfig) (*trace.Signature, error) {
+	if rcfg, err := c.resolve(cfg); err != nil {
+		return nil, err
+	} else if rcfg.Model == ModelAnalytical {
+		rs, err := c.CollectReuse(ctx, app, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return SignatureFromReuse(rs, app, target, ranks, cache.Analytical{})
+	}
 	counters, err := c.Counters(ctx, app, p, target, cfg)
 	if err != nil {
 		return nil, err
@@ -331,22 +346,4 @@ func (c *Collector) Collect(ctx context.Context, app *synthapp.App, p int, targe
 		return nil, fmt.Errorf("pebil: produced invalid signature: %w", err)
 	}
 	return sig, nil
-}
-
-// CollectCounters simulates the dominant rank's workload of app at core
-// count p on the process-wide default Collector.
-//
-// Deprecated: use Collector.Counters with a CollectorConfig; this shim is
-// retained for one release.
-func CollectCounters(ctx context.Context, app *synthapp.App, p int, target machine.Config, opt Options) ([]BlockCounters, error) {
-	return DefaultCollector().Counters(ctx, app, p, target, opt.Config())
-}
-
-// Collect produces the application signature of app at core count p on the
-// process-wide default Collector.
-//
-// Deprecated: use Collector.Collect with a CollectorConfig; this shim is
-// retained for one release.
-func Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, opt Options) (*trace.Signature, error) {
-	return DefaultCollector().Collect(ctx, app, p, target, ranks, opt.Config())
 }

@@ -8,15 +8,36 @@ import (
 
 	"tracex/internal/machine"
 	"tracex/internal/synthapp"
+	"tracex/internal/trace"
 )
 
 // fastOpt keeps unit-test simulation cheap.
-var fastOpt = Options{SampleRefs: 60_000, MaxWarmRefs: 120_000}
+var fastOpt = CollectorConfig{SampleRefs: 60_000, MaxWarmRefs: 120_000}
+
+// collectCounters and collect run one collection on a throwaway collector,
+// standing in for the removed package-level convenience functions.
+func collectCounters(ctx context.Context, app *synthapp.App, p int, m machine.Config, cfg CollectorConfig) ([]BlockCounters, error) {
+	c, err := NewCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Counters(ctx, app, p, m, cfg)
+}
+
+func collect(ctx context.Context, app *synthapp.App, p int, m machine.Config, ranks []int, cfg CollectorConfig) (*trace.Signature, error) {
+	c, err := NewCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Collect(ctx, app, p, m, ranks, cfg)
+}
 
 func TestCollectCountersBasics(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
-	cs, err := CollectCounters(context.Background(), app, 64, bw, fastOpt)
+	cs, err := collectCounters(context.Background(), app, 64, bw, fastOpt)
 	if err != nil {
 		t.Fatalf("CollectCounters: %v", err)
 	}
@@ -43,14 +64,14 @@ func TestCollectCountersDeterministicAcrossParallelism(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
 	o1 := fastOpt
-	o1.Parallelism = 1
+	o1.Workers = 1
 	o2 := fastOpt
-	o2.Parallelism = 8
-	a, err := CollectCounters(context.Background(), app, 64, bw, o1)
+	o2.Workers = 8
+	a, err := collectCounters(context.Background(), app, 64, bw, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CollectCounters(context.Background(), app, 64, bw, o2)
+	b, err := collectCounters(context.Background(), app, 64, bw, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +91,7 @@ func TestCollectCountersDeterministicAcrossParallelism(t *testing.T) {
 func TestCollectSignatureDefaultRanks(t *testing.T) {
 	app := synthapp.SPECFEM3D()
 	bw := machine.BlueWatersP1()
-	sig, err := Collect(context.Background(), app, 96, bw, nil, fastOpt)
+	sig, err := collect(context.Background(), app, 96, bw, nil, fastOpt)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -89,7 +110,7 @@ func TestCollectSignatureDefaultRanks(t *testing.T) {
 func TestCollectScalesByLoadFactor(t *testing.T) {
 	app := synthapp.UH3D()
 	bw := machine.BlueWatersP1()
-	sig, err := Collect(context.Background(), app, 1024, bw, []int{0, 1}, fastOpt)
+	sig, err := collect(context.Background(), app, 1024, bw, []int{0, 1}, fastOpt)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}
@@ -112,18 +133,18 @@ func TestCollectScalesByLoadFactor(t *testing.T) {
 func TestCollectRankValidation(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
-	if _, err := Collect(context.Background(), app, 64, bw, []int{64}, fastOpt); err == nil {
+	if _, err := collect(context.Background(), app, 64, bw, []int{64}, fastOpt); err == nil {
 		t.Error("out-of-range rank accepted")
 	}
-	if _, err := Collect(context.Background(), app, 64, bw, []int{1, 1}, fastOpt); err == nil {
+	if _, err := collect(context.Background(), app, 64, bw, []int{1, 1}, fastOpt); err == nil {
 		t.Error("duplicate rank accepted")
 	}
 	bad := bw
 	bad.ClockGHz = 0
-	if _, err := Collect(context.Background(), app, 64, bad, nil, fastOpt); err == nil {
+	if _, err := collect(context.Background(), app, 64, bad, nil, fastOpt); err == nil {
 		t.Error("invalid machine accepted")
 	}
-	if _, err := Collect(context.Background(), app, 1, bw, nil, fastOpt); err != nil {
+	if _, err := collect(context.Background(), app, 1, bw, nil, fastOpt); err != nil {
 		// 1 core is below stencil3d's range: expected failure.
 		return
 	}
@@ -138,7 +159,7 @@ func TestTableIIIResidencyContrast(t *testing.T) {
 	for _, sys := range []machine.Config{machine.SystemA12KB(), machine.SystemB56KB()} {
 		var rates []float64
 		for _, p := range counts {
-			cs, err := CollectCounters(context.Background(), app, p, sys, fastOpt)
+			cs, err := collectCounters(context.Background(), app, p, sys, fastOpt)
 			if err != nil {
 				t.Fatalf("CollectCounters(%s, %d): %v", sys.Name, p, err)
 			}
@@ -176,10 +197,10 @@ func TestTableIIHitRatesRiseWithCoreCount(t *testing.T) {
 	bw := machine.BlueWatersP1()
 	// Steady-state rates for multi-megabyte random regions need the full
 	// warm-up, unlike the other tests.
-	steadyOpt := Options{SampleRefs: 400_000, MaxWarmRefs: 2_000_000}
+	steadyOpt := CollectorConfig{SampleRefs: 400_000, MaxWarmRefs: 2_000_000}
 	var l1, l3 []float64
 	for _, p := range []int{1024, 2048, 4096, 8192} {
-		cs, err := CollectCounters(context.Background(), app, p, bw, steadyOpt)
+		cs, err := collectCounters(context.Background(), app, p, bw, steadyOpt)
 		if err != nil {
 			t.Fatalf("CollectCounters(%d): %v", p, err)
 		}
@@ -210,7 +231,7 @@ func BenchmarkCollectCounters(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CollectCounters(context.Background(), app, 2048, bw, fastOpt); err != nil {
+		if _, err := collectCounters(context.Background(), app, 2048, bw, fastOpt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,8 +13,8 @@ import (
 func TestSharedHierarchyCollection(t *testing.T) {
 	app := synthapp.UH3D()
 	bw := machine.BlueWatersP1()
-	opt := Options{SampleRefs: 120_000, MaxWarmRefs: 1_200_000, SharedHierarchy: true}
-	cs, err := CollectCounters(context.Background(), app, 1024, bw, opt)
+	opt := CollectorConfig{SampleRefs: 120_000, MaxWarmRefs: 1_200_000, SharedHierarchy: true}
+	cs, err := collectCounters(context.Background(), app, 1024, bw, opt)
 	if err != nil {
 		t.Fatalf("CollectCounters(shared): %v", err)
 	}
@@ -56,14 +56,14 @@ func TestSharedVsPrivateContention(t *testing.T) {
 	// small next to the hierarchy).
 	app := synthapp.UH3D()
 	bw := machine.BlueWatersP1()
-	base := Options{SampleRefs: 120_000, MaxWarmRefs: 1_200_000}
+	base := CollectorConfig{SampleRefs: 120_000, MaxWarmRefs: 1_200_000}
 	shared := base
 	shared.SharedHierarchy = true
-	priv, err := CollectCounters(context.Background(), app, 1024, bw, base)
+	priv, err := collectCounters(context.Background(), app, 1024, bw, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := CollectCounters(context.Background(), app, 1024, bw, shared)
+	sh, err := collectCounters(context.Background(), app, 1024, bw, shared)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +90,8 @@ func TestSharedVsPrivateContention(t *testing.T) {
 func TestSharedHierarchySignature(t *testing.T) {
 	app := synthapp.Stencil3D()
 	bw := machine.BlueWatersP1()
-	opt := Options{SampleRefs: 60_000, MaxWarmRefs: 300_000, SharedHierarchy: true}
-	sig, err := Collect(context.Background(), app, 64, bw, nil, opt)
+	opt := CollectorConfig{SampleRefs: 60_000, MaxWarmRefs: 300_000, SharedHierarchy: true}
+	sig, err := collect(context.Background(), app, 64, bw, nil, opt)
 	if err != nil {
 		t.Fatalf("Collect(shared): %v", err)
 	}

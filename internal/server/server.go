@@ -43,6 +43,7 @@ import (
 	"tracex"
 	"tracex/internal/memo"
 	"tracex/internal/obs"
+	"tracex/internal/pebil"
 )
 
 // Engine is the slice of tracex.Engine the server drives. It is an
@@ -83,6 +84,10 @@ type Config struct {
 	// DisableCoalescing turns off identical-request coalescing on
 	// /v1/predict and /v1/study.
 	DisableCoalescing bool
+	// DefaultCacheModel is the cache model used when a request omits
+	// "model": "exact" (the default) or "analytical". Unknown names fail
+	// New.
+	DefaultCacheModel string
 	// AccessLog, when non-nil, receives one line per completed request
 	// (method, path, status, bytes, duration, coalesced).
 	AccessLog *log.Logger
@@ -128,6 +133,7 @@ type Server struct {
 	reg   *obs.Registry
 	hs    *http.Server
 	mux   *http.ServeMux
+	model tracex.CacheModel // resolved DefaultCacheModel
 	ready atomic.Bool
 
 	inflight chan struct{} // in-flight slots; cap MaxInFlight
@@ -146,11 +152,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("server: config has no engine")
 	}
+	defaultModel, err := pebil.ParseCacheModel(cfg.DefaultCacheModel)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		eng:      cfg.Engine,
 		reg:      cfg.Engine.Registry(),
+		model:    defaultModel,
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		queue:    make(chan struct{}, cfg.MaxQueue),
@@ -471,9 +482,18 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	_, _ = w.Write([]byte{'\n'})
 }
 
-// collectOpt builds the collection options for a wire request.
-func collectOpt(sampleRefs int) tracex.CollectOptions {
-	return tracex.CollectOptions{SampleRefs: sampleRefs}
+// collectOpt builds the collection options for a wire request: an omitted
+// model selects the server's configured default, and an unknown name is a
+// 400 (the field is client-supplied).
+func (s *Server) collectOpt(sampleRefs int, model string) (tracex.CollectOptions, error) {
+	m := s.model
+	if model != "" {
+		var err error
+		if m, err = pebil.ParseCacheModel(model); err != nil {
+			return tracex.CollectOptions{}, badRequestf("%v", err)
+		}
+	}
+	return tracex.CollectOptions{SampleRefs: sampleRefs, Model: m}, nil
 }
 
 // extrapOpt builds the extrapolation options for a wire request.
@@ -512,9 +532,10 @@ func lookupMachine(name string) (tracex.MachineConfig, error) {
 func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) {
 	sig := req.Signature
 	// from records which tier produced the signature ("inline" when the
-	// client sent it; otherwise the engine's provenance — memory, disk or
-	// collected).
+	// client sent it; otherwise the engine's provenance — memory, disk,
+	// collected or analytical).
 	from := "inline"
+	model := ""
 	if sig != nil {
 		if err := sig.Validate(); err != nil {
 			return nil, err
@@ -531,8 +552,13 @@ func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) 
 		if err != nil {
 			return nil, err
 		}
+		opt, err := s.collectOpt(req.SampleRefs, req.Model)
+		if err != nil {
+			return nil, err
+		}
+		model = string(opt.Model)
 		var prov tracex.Provenance
-		sig, prov, err = s.eng.CollectSignatureFrom(ctx, app, req.Cores, cfg, collectOpt(req.SampleRefs))
+		sig, prov, err = s.eng.CollectSignatureFrom(ctx, app, req.Cores, cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -560,6 +586,7 @@ func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) 
 		MemSeconds:     pred.MemSeconds,
 		FPSeconds:      pred.FPSeconds,
 		From:           from,
+		Model:          model,
 	}, nil
 }
 
@@ -573,13 +600,17 @@ func (s *Server) study(ctx context.Context, req *StudyRequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt, err := s.collectOpt(req.SampleRefs, req.Model)
+	if err != nil {
+		return nil, err
+	}
 	res, err := s.eng.Study(ctx, tracex.StudyRequest{
 		App:          app,
 		Machine:      cfg,
 		InputCounts:  req.InputCounts,
 		TargetCores:  req.TargetCores,
 		TargetCounts: req.TargetCounts,
-		Collect:      collectOpt(req.SampleRefs),
+		Collect:      opt,
 		Extrap:       extrapOpt(req.ExtendedForms),
 		WithTruth:    req.WithTruth,
 	})
@@ -626,7 +657,11 @@ func (s *Server) collect(ctx context.Context, req *SignatureRequest) (any, error
 	if err != nil {
 		return nil, err
 	}
-	sig, err := s.eng.CollectSignature(ctx, app, req.Cores, cfg, collectOpt(req.SampleRefs))
+	opt, err := s.collectOpt(req.SampleRefs, req.Model)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := s.eng.CollectSignature(ctx, app, req.Cores, cfg, opt)
 	if err != nil {
 		return nil, err
 	}

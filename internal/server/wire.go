@@ -31,6 +31,11 @@ type PredictRequest struct {
 	// SampleRefs tunes collection (references simulated per block; 0 =
 	// server default).
 	SampleRefs int `json:"sample_refs,omitempty"`
+	// Model selects the cache model for collection: "exact" (default)
+	// simulates the target hierarchy, "analytical" derives hit rates from a
+	// machine-independent reuse-distance signature. Ignored with an inline
+	// signature.
+	Model string `json:"model,omitempty"`
 	// Signature predicts from an already-collected (or extrapolated)
 	// signature instead of collecting one.
 	Signature *tracex.Signature `json:"signature,omitempty"`
@@ -48,8 +53,11 @@ type PredictResponse struct {
 	FPSeconds      float64 `json:"fp_seconds"`
 	// From reports where the signature came from: "inline" when the client
 	// supplied it, otherwise the engine cache tier that satisfied the
-	// collection ("memory", "disk" or "collected").
+	// collection ("memory", "disk", "collected" or "analytical").
 	From string `json:"from,omitempty"`
+	// Model echoes the cache model that produced the signature's hit rates
+	// ("exact" or "analytical"; empty for inline signatures).
+	Model string `json:"model,omitempty"`
 }
 
 // StudyRequest is the body of POST /v1/study: the full
@@ -66,6 +74,9 @@ type StudyRequest struct {
 	TargetCounts []int `json:"target_counts,omitempty"`
 	// SampleRefs tunes collection (0 = server default).
 	SampleRefs int `json:"sample_refs,omitempty"`
+	// Model selects the cache model for every collection in the study
+	// ("exact" default, or "analytical").
+	Model string `json:"model,omitempty"`
 	// ExtendedForms adds the power-law and quadratic forms to the fit.
 	ExtendedForms bool `json:"extended_forms,omitempty"`
 	// WithTruth additionally collects at each target count and predicts
@@ -106,6 +117,8 @@ type SignatureRequest struct {
 	Cores      int    `json:"cores"`
 	Machine    string `json:"machine"`
 	SampleRefs int    `json:"sample_refs,omitempty"`
+	// Model selects the cache model ("exact" default, or "analytical").
+	Model string `json:"model,omitempty"`
 }
 
 // SignatureResponse is the body of a successful POST /v1/signatures.
@@ -216,6 +229,8 @@ func classify(err error) (status int, code string) {
 		return http.StatusUnprocessableEntity, "no_traces"
 	case errors.Is(err, tracex.ErrEmptyWorkload):
 		return http.StatusUnprocessableEntity, "empty_workload"
+	case errors.Is(err, tracex.ErrModelUnsupported):
+		return http.StatusUnprocessableEntity, "model_unsupported"
 	case errors.Is(err, tracex.ErrBadParallelism):
 		return http.StatusInternalServerError, "bad_parallelism"
 	default:

@@ -13,7 +13,8 @@
 // or flipped bit fails that record's checksum instead of silently decoding
 // into garbage.
 //
-// Layout (all integers unsigned varints unless noted):
+// Layout of a trace-signature object (all integers unsigned varints unless
+// noted):
 //
 //	magic "TXSG" | version (1 byte)
 //	'H' app machine core_count trace_count           | crc32c (4 bytes LE)
@@ -27,6 +28,21 @@
 // the common 0.0 in one byte, 1 encodes non-negative integral counts as a
 // varint (most feature elements are operation counts), 2 falls back to the
 // raw IEEE-754 bits (hit rates, ILP, averages).
+//
+// Version 2 adds a second object kind, the machine-independent
+// reuse-distance signature, distinguished by its first record marker:
+//
+//	magic "TXSG" | 2
+//	'R' app core_count line_size block_count         | crc32c
+//	'B' id_delta func file line refs working_set
+//	    fp_per_ref add mul div load bytes_per_ref ilp
+//	    cold hist_refs bucket_count {bucket_delta count}... | crc32c  ×block_count
+//	'E' total_buckets                                | crc32c
+//
+// Histograms are sparse: only non-zero buckets are written, as (ascending
+// delta-encoded bucket index, count) pairs. Trace-signature objects encode
+// byte-identically under version 1 and 2 except the version byte, so v1
+// objects written before the bump keep decoding.
 package store
 
 import (
@@ -45,20 +61,33 @@ import (
 // Magic identifies a tracex signature object file.
 var Magic = [4]byte{'T', 'X', 'S', 'G'}
 
-// Version is the current codec version. Decoders reject later versions;
-// earlier versions would be handled here if the format ever evolves.
-const Version = 1
+// Version is the current codec version. Decoders reject later versions and
+// accept every earlier one they can represent: version 1 (trace signatures
+// only) decodes unchanged, since v2 only added the reuse-signature object
+// kind.
+const Version = 2
+
+// minVersion is the oldest version Decode accepts.
+const minVersion = 1
 
 // ErrCorrupt reports an object that failed structural or checksum
 // validation. Every decode failure wraps it, so callers can distinguish
 // corruption (quarantine the record, treat as a miss) from I/O errors.
 var ErrCorrupt = errors.New("store: corrupt signature record")
 
+// ErrWrongKind reports a structurally valid object of the other kind (a
+// reuse signature where a trace signature was expected, or vice versa). It
+// does not wrap ErrCorrupt: the object is healthy and must not be
+// quarantined.
+var ErrWrongKind = errors.New("store: object kind mismatch")
+
 // Record type markers.
 const (
-	recHeader = 'H'
-	recTrace  = 'T'
-	recEnd    = 'E'
+	recHeader     = 'H'
+	recTrace      = 'T'
+	recEnd        = 'E'
+	recReuse      = 'R'
+	recReuseBlock = 'B'
 )
 
 // Feature-value tags.
@@ -75,6 +104,7 @@ const (
 	maxLevels    = 64
 	maxCores     = 1 << 26
 	maxBlocks    = 1 << 22
+	maxLineSize  = 1 << 16
 )
 
 // castagnoli is the CRC-32C polynomial table (hardware-accelerated on
@@ -409,13 +439,16 @@ func Decode(r io.Reader) (*trace.Signature, error) {
 	if [4]byte(magic[:4]) != Magic {
 		return nil, corruptf("bad magic %q", magic[:4])
 	}
-	if magic[4] != Version {
+	if magic[4] < minVersion || magic[4] > Version {
 		return nil, corruptf("unsupported codec version %d (have %d)", magic[4], Version)
 	}
 	// Header record.
 	marker, err := d.readByte()
 	if err != nil {
 		return nil, err
+	}
+	if marker == recReuse {
+		return nil, fmt.Errorf("%w: object is a reuse signature, not a trace signature", ErrWrongKind)
 	}
 	if marker != recHeader {
 		return nil, corruptf("expected header record, found %q", marker)

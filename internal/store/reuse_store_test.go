@@ -1,0 +1,113 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tracex/internal/obs"
+)
+
+// reuseTestKey is a machine-independent logical identity: reuse keys carry
+// no machine fields.
+var reuseTestKey = Key{App: "synthetic", Cores: 64, Opt: "deadbeef"}
+
+func TestStoreReusePutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	rs := genReuse(rand.New(rand.NewSource(3)))
+	entry, err := st.PutReuse(rs, reuseTestKey)
+	if err != nil {
+		t.Fatalf("PutReuse: %v", err)
+	}
+	if entry.Kind != KindReuse {
+		t.Errorf("entry kind = %q, want %q", entry.Kind, KindReuse)
+	}
+	got, ok, err := st.GetReuse(reuseTestKey)
+	if err != nil || !ok {
+		t.Fatalf("GetReuse: ok=%t err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(rs, got) {
+		t.Fatal("stored reuse signature differs from the original")
+	}
+	// The kinds are separate namespaces: the same key fields under
+	// KindSignature are a clean miss.
+	if _, ok, err := st.Get(reuseTestKey); ok || err != nil {
+		t.Errorf("Get of a reuse key: ok=%t err=%v, want clean miss", ok, err)
+	}
+
+	// Durability: a reopened store still serves the reuse signature.
+	st.Close()
+	st2 := openTestStore(t, dir)
+	got, ok, err = st2.GetReuse(reuseTestKey)
+	if err != nil || !ok {
+		t.Fatalf("GetReuse after reopen: ok=%t err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(rs, got) {
+		t.Fatal("reuse signature changed across reopen")
+	}
+}
+
+// TestStoreWrongKindNoQuarantine: fetching a healthy object as the wrong
+// kind reports ErrWrongKind but leaves the object in place — unlike
+// corruption, which quarantines.
+func TestStoreWrongKindNoQuarantine(t *testing.T) {
+	reg := obs.New()
+	dir := t.TempDir()
+	st, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	entry, err := st.PutReuse(genReuse(rand.New(rand.NewSource(6))), reuseTestKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GetHash decodes as a trace signature: wrong kind for this object.
+	if _, err := st.GetHash(entry.Hash); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("GetHash of reuse object: %v, want ErrWrongKind", err)
+	}
+	objPath := filepath.Join(dir, "objects", entry.Hash[:2], entry.Hash+".sig")
+	if _, err := os.Stat(objPath); err != nil {
+		t.Errorf("healthy object quarantined on kind mismatch: %v", err)
+	}
+	if got := reg.Counter("store.corruptions").Value(); got != 0 {
+		t.Errorf("store.corruptions = %d after kind mismatch, want 0", got)
+	}
+	// The object is still perfectly servable under its true kind.
+	if _, ok, err := st.GetReuse(reuseTestKey); !ok || err != nil {
+		t.Errorf("GetReuse after mismatch: ok=%t err=%v", ok, err)
+	}
+}
+
+// TestStoreReuseCorruptionQuarantines: the quarantine contract holds for
+// reuse objects exactly as for signatures.
+func TestStoreReuseCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	entry, err := st.PutReuse(genReuse(rand.New(rand.NewSource(7))), reuseTestKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objPath := filepath.Join(dir, "objects", entry.Hash[:2], entry.Hash+".sig")
+	raw, err := os.ReadFile(objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(objPath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if rs, ok, err := st.GetReuse(reuseTestKey); ok || rs != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt reuse object: rs=%v ok=%t err=%v", rs, ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, entry.Hash+".sig")); err != nil {
+		t.Errorf("corrupt reuse object not quarantined: %v", err)
+	}
+	if _, ok, err := st.GetReuse(reuseTestKey); ok || err != nil {
+		t.Errorf("post-quarantine GetReuse: ok=%t err=%v", ok, err)
+	}
+}

@@ -48,17 +48,31 @@ const (
 	filePerm = 0o600
 )
 
+// Object kinds. Trace signatures predate the Kind field, so their kind is
+// the empty string — v1 manifests load unchanged.
+const (
+	// KindSignature marks a machine-specific trace signature (the
+	// default).
+	KindSignature = ""
+	// KindReuse marks a machine-independent reuse-distance signature;
+	// such entries carry no machine name or fingerprint.
+	KindReuse = "reuse"
+)
+
 // Key is the logical identity of a stored signature: what the Engine keys
 // its in-memory cache by, flattened to strings. Machine is the
 // configuration's display name; MachineFP and Opt are short fingerprint
 // hashes discriminating ad-hoc configurations that share a name and
-// differing collection options (see tracex.StoreKey).
+// differing collection options (see tracex.StoreKey). Kind separates the
+// object kinds; reuse-signature keys (tracex.ReuseStoreKey) leave Machine
+// and MachineFP empty — machine independence is the point.
 type Key struct {
 	App       string
 	Machine   string
 	MachineFP string
 	Cores     int
 	Opt       string
+	Kind      string
 }
 
 // Entry is one manifest line: a Key bound to a content hash.
@@ -68,6 +82,10 @@ type Entry struct {
 	MachineFP string `json:"machine_fp,omitempty"`
 	Cores     int    `json:"cores"`
 	Opt       string `json:"opt,omitempty"`
+	// Kind is the object kind (KindSignature or KindReuse). Omitted for
+	// trace signatures, so manifests written before the field existed
+	// decode to the same keys.
+	Kind string `json:"kind,omitempty"`
 	// Hash is the SHA-256 of the encoded object, hex-encoded; it names
 	// the object file.
 	Hash string `json:"hash"`
@@ -79,7 +97,7 @@ type Entry struct {
 
 // key extracts the entry's logical key.
 func (e *Entry) key() Key {
-	return Key{App: e.App, Machine: e.Machine, MachineFP: e.MachineFP, Cores: e.Cores, Opt: e.Opt}
+	return Key{App: e.App, Machine: e.Machine, MachineFP: e.MachineFP, Cores: e.Cores, Opt: e.Opt, Kind: e.Kind}
 }
 
 // GCStats summarizes one garbage collection.
@@ -227,11 +245,28 @@ func (s *Store) appendManifest(e Entry) error {
 // (write to a temp file, fsync, rename — a crash leaves either the old
 // state or the new, never a half-written visible object) and appends a
 // manifest entry binding key to it. Re-putting identical content is
-// deduplicated at the object layer.
+// deduplicated at the object layer. The key's Kind is forced to
+// KindSignature.
 func (s *Store) Put(sig *trace.Signature, key Key) (Entry, error) {
 	if err := sig.Validate(); err != nil {
 		return Entry{}, err
 	}
+	key.Kind = KindSignature
+	return s.putObject(key, func(w io.Writer) error { return Encode(w, sig) })
+}
+
+// PutReuse stores a machine-independent reuse-distance signature under key
+// (Kind forced to KindReuse), with the same durability guarantees as Put.
+func (s *Store) PutReuse(rs *trace.ReuseSignature, key Key) (Entry, error) {
+	if err := rs.Validate(); err != nil {
+		return Entry{}, err
+	}
+	key.Kind = KindReuse
+	return s.putObject(key, func(w io.Writer) error { return EncodeReuse(w, rs) })
+}
+
+// putObject writes one encoded object and its manifest entry.
+func (s *Store) putObject(key Key, encode func(io.Writer) error) (Entry, error) {
 	tmp, err := os.CreateTemp(filepath.Join(s.dir, objectsDir), "tmp-*")
 	if err != nil {
 		return Entry{}, fmt.Errorf("store: creating temp object in %s: %w", filepath.Join(s.dir, objectsDir), err)
@@ -239,7 +274,7 @@ func (s *Store) Put(sig *trace.Signature, key Key) (Entry, error) {
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	h := sha256.New()
 	cw := &countWriter{w: io.MultiWriter(tmp, h)}
-	if err := Encode(cw, sig); err != nil {
+	if err := encode(cw); err != nil {
 		tmp.Close()
 		return Entry{}, err
 	}
@@ -260,7 +295,7 @@ func (s *Store) Put(sig *trace.Signature, key Key) (Entry, error) {
 	}
 	e := Entry{
 		App: key.App, Machine: key.Machine, MachineFP: key.MachineFP,
-		Cores: key.Cores, Opt: key.Opt,
+		Cores: key.Cores, Opt: key.Opt, Kind: key.Kind,
 		Hash: hash, Bytes: cw.n, Unix: time.Now().Unix(),
 	}
 	s.mu.Lock()
@@ -277,11 +312,13 @@ func (s *Store) Put(sig *trace.Signature, key Key) (Entry, error) {
 	return e, nil
 }
 
-// Get returns the signature stored under key. ok reports whether the key
-// resolved to a readable, uncorrupted object; a corrupt object is
-// quarantined, its manifest entry dropped, and (nil, false, err) returned
-// — callers treat that exactly like a miss and re-collect.
+// Get returns the signature stored under key (Kind forced to
+// KindSignature). ok reports whether the key resolved to a readable,
+// uncorrupted object; a corrupt object is quarantined, its manifest entry
+// dropped, and (nil, false, err) returned — callers treat that exactly
+// like a miss and re-collect.
 func (s *Store) Get(key Key) (*trace.Signature, bool, error) {
+	key.Kind = KindSignature
 	s.mu.Lock()
 	e, ok := s.index[key]
 	s.mu.Unlock()
@@ -299,6 +336,32 @@ func (s *Store) Get(key Key) (*trace.Signature, bool, error) {
 	return sig, true, nil
 }
 
+// GetReuse returns the reuse-distance signature stored under key (Kind
+// forced to KindReuse), with Get's miss and quarantine semantics.
+func (s *Store) GetReuse(key Key) (*trace.ReuseSignature, bool, error) {
+	key.Kind = KindReuse
+	s.mu.Lock()
+	e, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Inc()
+		return nil, false, nil
+	}
+	var rs *trace.ReuseSignature
+	err := s.readInto(e.Hash, func(r io.Reader) error {
+		var err error
+		rs, err = DecodeReuse(r)
+		return err
+	})
+	if err != nil {
+		s.dropEntry(key)
+		s.misses.Inc()
+		return nil, false, err
+	}
+	s.hits.Inc()
+	return rs, true, nil
+}
+
 // GetHash returns the signature stored under a content hash, regardless of
 // any manifest entry.
 func (s *Store) GetHash(hash string) (*trace.Signature, error) {
@@ -313,25 +376,41 @@ func (s *Store) GetHash(hash string) (*trace.Signature, error) {
 	return sig, nil
 }
 
-// readObject opens, decodes and checks one object file, quarantining it on
-// corruption.
+// readObject opens, decodes and checks one trace-signature object file,
+// quarantining it on corruption.
 func (s *Store) readObject(hash string) (*trace.Signature, error) {
+	var sig *trace.Signature
+	err := s.readInto(hash, func(r io.Reader) error {
+		var err error
+		sig, err = Decode(r)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+// readInto opens one object file and runs decode over it, quarantining the
+// object when decode reports corruption. An ErrWrongKind failure (a healthy
+// object of the other kind) is an error but never quarantines.
+func (s *Store) readInto(hash string, decode func(io.Reader) error) error {
 	path := s.objectPath(hash)
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening object %s: %w", path, err)
+		return fmt.Errorf("store: opening object %s: %w", path, err)
 	}
 	defer f.Close()
 	cr := &countReader{r: f}
-	sig, err := Decode(cr)
+	err = decode(cr)
 	s.bytesRead.Add(uint64(cr.n))
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			s.quarantine(path)
 		}
-		return nil, fmt.Errorf("store: object %s: %w", path, err)
+		return fmt.Errorf("store: object %s: %w", path, err)
 	}
-	return sig, nil
+	return nil
 }
 
 // quarantine moves a corrupt object out of the objects tree so the next
@@ -369,7 +448,7 @@ func (s *Store) Latest(app, machine string, cores int) (*trace.Signature, Entry,
 	var best Entry
 	found := false
 	for _, e := range s.index {
-		if e.App != app || e.Machine != machine || e.Cores != cores {
+		if e.Kind != KindSignature || e.App != app || e.Machine != machine || e.Cores != cores {
 			continue
 		}
 		if !found || e.Unix > best.Unix || (e.Unix == best.Unix && e.Hash > best.Hash) {

@@ -1,0 +1,214 @@
+// Reuse-distance signatures: the machine-independent form of an
+// application signature. Where a Signature records the cache hit rates a
+// block achieved on one simulated target hierarchy, a ReuseSignature
+// records the block's LRU stack-distance distribution — for each sampled
+// reference, how many distinct other cache lines were touched since the
+// previous reference to its line. That distribution is a property of the
+// address stream alone: any fully-associative LRU cache of C lines hits a
+// reference exactly when its reuse distance is below C, and the analytical
+// model in internal/cache corrects for finite associativity. One collected
+// ReuseSignature therefore serves every cache geometry, where a Signature
+// serves exactly one.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Reuse-distance histogram bucketing: distances below reuseLinearMax get
+// one exact bucket each (the region where bucket width matters most —
+// L1-sized caches), and each power-of-two octave above is split into
+// reuseSubBuckets logarithmically-spaced sub-buckets (≤ ~3% relative
+// distance error, far below the sampling noise of collection).
+const (
+	reuseLinearMax  = 256
+	reuseSubBits    = 4
+	reuseSubBuckets = 1 << reuseSubBits
+)
+
+// MaxReuseBuckets bounds ReuseBucket's range: exact buckets plus 16
+// sub-buckets for every representable octave of a uint64 distance.
+const MaxReuseBuckets = reuseLinearMax + (64-8)*reuseSubBuckets
+
+// ReuseBucket maps a reuse distance (in cache lines) to its histogram
+// bucket index in [0, MaxReuseBuckets).
+func ReuseBucket(d uint64) int {
+	if d < reuseLinearMax {
+		return int(d)
+	}
+	o := uint(bits.Len64(d) - 1) // octave; ≥ 8 here
+	sub := (d >> (o - reuseSubBits)) & (reuseSubBuckets - 1)
+	return reuseLinearMax + int(o-8)*reuseSubBuckets + int(sub)
+}
+
+// ReuseBucketDistance returns the representative distance (bucket midpoint)
+// of a histogram bucket, inverting ReuseBucket up to sub-bucket width.
+func ReuseBucketDistance(b int) float64 {
+	if b < reuseLinearMax {
+		return float64(b)
+	}
+	o := uint(8 + (b-reuseLinearMax)/reuseSubBuckets)
+	sub := (b - reuseLinearMax) % reuseSubBuckets
+	width := float64(uint64(1) << (o - reuseSubBits))
+	lo := float64(uint64(1)<<o) + float64(sub)*width
+	return lo + (width-1)/2
+}
+
+// ReuseHistogram is one block's sampled stack-distance distribution at line
+// granularity LineSize.
+type ReuseHistogram struct {
+	// LineSize is the cache-line granularity (bytes) distances were
+	// measured at; the analytical model only serves hierarchies with a
+	// matching line size.
+	LineSize int `json:"line_size"`
+	// Counts[b] is the number of sampled references whose reuse distance
+	// fell in bucket b (see ReuseBucket). Trailing zero buckets are
+	// trimmed.
+	Counts []uint64 `json:"counts"`
+	// Cold counts sampled references to lines never seen before (infinite
+	// distance — a miss in every cache).
+	Cold uint64 `json:"cold"`
+	// Refs is the total number of sampled references: sum(Counts) + Cold.
+	Refs uint64 `json:"refs"`
+}
+
+// Add records one sampled reference with the given reuse distance.
+func (h *ReuseHistogram) Add(d uint64) {
+	b := ReuseBucket(d)
+	if b >= len(h.Counts) {
+		h.Counts = append(h.Counts, make([]uint64, b+1-len(h.Counts))...)
+	}
+	h.Counts[b]++
+	h.Refs++
+}
+
+// AddCold records one sampled reference to a never-seen line.
+func (h *ReuseHistogram) AddCold() {
+	h.Cold++
+	h.Refs++
+}
+
+// Validate checks the histogram's internal consistency.
+func (h *ReuseHistogram) Validate() error {
+	if h.LineSize <= 0 || bits.OnesCount(uint(h.LineSize)) != 1 {
+		return fmt.Errorf("trace: reuse histogram line size %d must be a positive power of two", h.LineSize)
+	}
+	if len(h.Counts) > MaxReuseBuckets {
+		return fmt.Errorf("trace: reuse histogram has %d buckets, max %d", len(h.Counts), MaxReuseBuckets)
+	}
+	var sum uint64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum+h.Cold != h.Refs {
+		return fmt.Errorf("trace: reuse histogram counts %d + cold %d != refs %d", sum, h.Cold, h.Refs)
+	}
+	return nil
+}
+
+// ReuseBlock is one basic block's entry in a reuse-distance signature: its
+// identity and machine-independent workload scalars, plus the sampled
+// distance distribution of its dominant-rank address stream. The scalar
+// fields mirror the block's static description so a full per-rank trace can
+// be assembled from the ReuseBlock plus a target geometry alone.
+type ReuseBlock struct {
+	// ID, Func, File and Line identify the block as in Block.
+	ID   uint64 `json:"id"`
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Refs is the dominant rank's full memory reference count;
+	// WorkingSetBytes is the block's data footprint.
+	Refs            float64 `json:"refs"`
+	WorkingSetBytes float64 `json:"working_set_bytes"`
+	// FPPerRef, AddFrac, MulFrac, DivFrac, LoadFrac, BytesPerRef and ILP
+	// copy the block's static workload description.
+	FPPerRef    float64 `json:"fp_per_ref"`
+	AddFrac     float64 `json:"add_frac"`
+	MulFrac     float64 `json:"mul_frac"`
+	DivFrac     float64 `json:"div_frac"`
+	LoadFrac    float64 `json:"load_frac"`
+	BytesPerRef float64 `json:"bytes_per_ref"`
+	ILP         float64 `json:"ilp"`
+	// Hist is the block's sampled reuse-distance distribution.
+	Hist ReuseHistogram `json:"hist"`
+}
+
+// Validate checks the block's plausibility.
+func (b *ReuseBlock) Validate() error {
+	if b.ID == 0 {
+		return fmt.Errorf("trace: reuse block %q has zero ID", b.Func)
+	}
+	for _, v := range []float64{
+		b.Refs, b.WorkingSetBytes, b.FPPerRef, b.AddFrac, b.MulFrac,
+		b.DivFrac, b.LoadFrac, b.BytesPerRef, b.ILP,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("trace: reuse block %d (%s) has non-finite or negative scalar", b.ID, b.Func)
+		}
+	}
+	if b.Refs <= 0 {
+		return fmt.Errorf("trace: reuse block %d (%s) has non-positive refs", b.ID, b.Func)
+	}
+	if b.LoadFrac > 1 {
+		return fmt.Errorf("trace: reuse block %d (%s) load fraction %g exceeds 1", b.ID, b.Func, b.LoadFrac)
+	}
+	if b.AddFrac+b.MulFrac+b.DivFrac > 1+1e-9 {
+		return fmt.Errorf("trace: reuse block %d (%s) FP composition exceeds 1", b.ID, b.Func)
+	}
+	if err := b.Hist.Validate(); err != nil {
+		return fmt.Errorf("trace: reuse block %d (%s): %w", b.ID, b.Func, err)
+	}
+	if b.Hist.Refs == 0 {
+		return fmt.Errorf("trace: reuse block %d (%s) has an empty histogram", b.ID, b.Func)
+	}
+	return nil
+}
+
+// ReuseSignature is the machine-independent application signature: the
+// dominant rank's per-block reuse-distance histograms at one core count.
+// Non-dominant ranks execute the same blocks scaled by their load factor
+// (exactly as in collected Signatures), so the dominant rank's histograms
+// plus the application's load-class structure reconstruct every rank's
+// trace for any target geometry.
+type ReuseSignature struct {
+	App       string `json:"app"`
+	CoreCount int    `json:"core_count"`
+	// LineSize is the line granularity shared by every block histogram.
+	LineSize int          `json:"line_size"`
+	Blocks   []ReuseBlock `json:"blocks"`
+}
+
+// Validate checks the signature and every contained block.
+func (s *ReuseSignature) Validate() error {
+	if s.App == "" {
+		return fmt.Errorf("trace: reuse signature has empty application name")
+	}
+	if s.CoreCount <= 0 {
+		return fmt.Errorf("trace: reuse signature has non-positive core count %d", s.CoreCount)
+	}
+	if s.LineSize <= 0 || bits.OnesCount(uint(s.LineSize)) != 1 {
+		return fmt.Errorf("trace: reuse signature line size %d must be a positive power of two", s.LineSize)
+	}
+	if len(s.Blocks) == 0 {
+		return fmt.Errorf("trace: reuse signature has no blocks")
+	}
+	var prev uint64
+	for i := range s.Blocks {
+		b := &s.Blocks[i]
+		if i > 0 && b.ID <= prev {
+			return fmt.Errorf("trace: reuse signature blocks not sorted by unique ID at index %d", i)
+		}
+		prev = b.ID
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		if b.Hist.LineSize != s.LineSize {
+			return fmt.Errorf("trace: reuse block %d line size %d differs from signature's %d",
+				b.ID, b.Hist.LineSize, s.LineSize)
+		}
+	}
+	return nil
+}

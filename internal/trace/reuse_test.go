@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReuseBucketExactBelowLinearMax(t *testing.T) {
+	for d := uint64(0); d < reuseLinearMax; d++ {
+		if b := ReuseBucket(d); b != int(d) {
+			t.Fatalf("ReuseBucket(%d) = %d, want exact", d, b)
+		}
+		if got := ReuseBucketDistance(int(d)); got != float64(d) {
+			t.Fatalf("ReuseBucketDistance(%d) = %g, want exact", d, got)
+		}
+	}
+}
+
+func TestReuseBucketMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, d := range []uint64{
+		0, 1, 255, 256, 257, 300, 511, 512, 1000, 4096, 1 << 20, 1 << 40, math.MaxUint64,
+	} {
+		b := ReuseBucket(d)
+		if b < prev {
+			t.Fatalf("ReuseBucket(%d) = %d below previous %d", d, b, prev)
+		}
+		if b >= MaxReuseBuckets {
+			t.Fatalf("ReuseBucket(%d) = %d out of range (max %d)", d, b, MaxReuseBuckets)
+		}
+		prev = b
+	}
+	if ReuseBucket(math.MaxUint64) != MaxReuseBuckets-1 {
+		t.Errorf("max distance bucket = %d, want %d", ReuseBucket(math.MaxUint64), MaxReuseBuckets-1)
+	}
+}
+
+func TestReuseBucketMidpointContained(t *testing.T) {
+	// Each bucket's representative distance must map back to the bucket,
+	// and the relative quantization error of the log-linear range is
+	// bounded by half a sub-bucket width (≤ ~3.2 %).
+	seen := map[int]bool{}
+	for exp := 0; exp < 63; exp++ {
+		for _, off := range []uint64{0, 1, (1 << exp) / 3, (1 << exp) / 2, (1 << exp) - 1} {
+			d := (uint64(1) << exp) + off
+			b := ReuseBucket(d)
+			seen[b] = true
+			mid := ReuseBucketDistance(b)
+			if ReuseBucket(uint64(mid)) != b {
+				t.Fatalf("midpoint %g of bucket %d (from d=%d) maps to bucket %d", mid, b, d, ReuseBucket(uint64(mid)))
+			}
+			if rel := math.Abs(mid-float64(d)) / float64(d); d >= reuseLinearMax && rel > 0.035 {
+				t.Fatalf("bucket %d: midpoint %g vs distance %d: relative error %.3f", b, mid, d, rel)
+			}
+		}
+	}
+}
+
+func TestReuseHistogramAddValidate(t *testing.T) {
+	h := ReuseHistogram{LineSize: 64}
+	h.Add(3)
+	h.Add(3)
+	h.Add(1 << 20)
+	h.AddCold()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid histogram rejected: %v", err)
+	}
+	if h.Refs != 4 || h.Cold != 1 {
+		t.Errorf("accounting: refs=%d cold=%d", h.Refs, h.Cold)
+	}
+	if h.Counts[3] != 2 {
+		t.Errorf("bucket 3 = %d, want 2", h.Counts[3])
+	}
+	bad := h
+	bad.Refs++
+	if err := bad.Validate(); err == nil {
+		t.Error("unbalanced histogram accepted")
+	}
+	bad = h
+	bad.LineSize = 48
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+}
+
+func TestReuseSignatureValidate(t *testing.T) {
+	mk := func() ReuseSignature {
+		h := ReuseHistogram{LineSize: 64}
+		h.Add(1)
+		h.AddCold()
+		return ReuseSignature{
+			App: "x", CoreCount: 4, LineSize: 64,
+			Blocks: []ReuseBlock{
+				{ID: 1, Func: "a", Refs: 10, BytesPerRef: 8, LoadFrac: 0.5, ILP: 1, Hist: h},
+				{ID: 2, Func: "b", Refs: 10, BytesPerRef: 8, LoadFrac: 0.5, ILP: 1, Hist: h},
+			},
+		}
+	}
+	good := mk()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	rs := mk()
+	rs.Blocks[1].ID = 1
+	if err := rs.Validate(); err == nil {
+		t.Error("duplicate block IDs accepted")
+	}
+	rs = mk()
+	rs.Blocks[0], rs.Blocks[1] = rs.Blocks[1], rs.Blocks[0]
+	if err := rs.Validate(); err == nil {
+		t.Error("unsorted blocks accepted")
+	}
+	rs = mk()
+	rs.Blocks[0].Hist.LineSize = 128
+	if err := rs.Validate(); err == nil {
+		t.Error("line-size mismatch accepted")
+	}
+	rs = mk()
+	rs.Blocks[0].LoadFrac = 1.5
+	if err := rs.Validate(); err == nil {
+		t.Error("LoadFrac > 1 accepted")
+	}
+}

@@ -28,6 +28,7 @@ package tracex
 import (
 	"context"
 
+	"tracex/internal/cache"
 	"tracex/internal/cluster"
 	"tracex/internal/extrap"
 	"tracex/internal/machine"
@@ -53,6 +54,10 @@ type (
 	FeatureVector = trace.FeatureVector
 	// MachineConfig describes a target system's hardware.
 	MachineConfig = machine.Config
+	// CacheLevel configures one level of a machine's cache hierarchy
+	// (MachineConfig.Caches). Exported so geometry sweeps can construct
+	// candidate hierarchies directly.
+	CacheLevel = cache.LevelConfig
 	// Profile is a machine profile (MultiMAPS surface plus rates).
 	Profile = machine.Profile
 	// App is a synthetic proxy application.
@@ -64,11 +69,32 @@ type (
 	// ExtrapOptions tunes the extrapolation.
 	ExtrapOptions = extrap.Options
 	// CollectOptions tunes signature collection. It aliases
-	// pebil.CollectorConfig: SampleRefs/MaxWarmRefs/SharedHierarchy shape
-	// the result, Workers/BatchSize only schedule it.
+	// pebil.CollectorConfig: SampleRefs/MaxWarmRefs/SharedHierarchy/Model
+	// shape the result, Workers/BatchSize only schedule it.
 	CollectOptions = pebil.CollectorConfig
+	// CacheModel selects how per-block hit rates are produced during
+	// collection: ModelExact simulates the target hierarchy, ModelAnalytical
+	// derives the rates from a reuse-distance signature.
+	CacheModel = pebil.CacheModel
+	// ReuseSignature is a machine-independent application profile: per-block
+	// reuse-distance histograms the analytical cache model converts into hit
+	// rates for any geometry.
+	ReuseSignature = trace.ReuseSignature
+	// ReuseHistogram is one block's LRU stack-distance histogram.
+	ReuseHistogram = trace.ReuseHistogram
 	// Form is a canonical scaling-function family.
 	Form = stats.Form
+)
+
+// Cache-model names for CollectOptions.Model and WithCacheModel.
+const (
+	// ModelExact simulates every reference against the target hierarchy —
+	// the fidelity oracle. The zero CacheModel means ModelExact.
+	ModelExact = pebil.ModelExact
+	// ModelAnalytical records one geometry-free reuse-distance signature
+	// and converts it into per-level hit rates for any geometry
+	// analytically.
+	ModelAnalytical = pebil.ModelAnalytical
 )
 
 // Sentinel errors for the failure modes callers branch on. Every error
@@ -86,6 +112,10 @@ var (
 	// ErrEmptyWorkload reports an application whose workload generates no
 	// basic blocks at the requested core count.
 	ErrEmptyWorkload = pebil.ErrEmptyWorkload
+	// ErrModelUnsupported reports a collection or derivation the analytical
+	// cache model cannot serve faithfully (shared hierarchies, hardware
+	// prefetchers, mismatched line sizes); retry with ModelExact.
+	ErrModelUnsupported = cache.ErrModelUnsupported
 )
 
 // CanonicalForms returns the paper's four canonical forms (constant,
@@ -127,6 +157,14 @@ func CollectSignature(app *App, cores int, target MachineConfig, opt CollectOpti
 	return DefaultEngine().CollectSignature(context.Background(), app, cores, target, opt)
 }
 
+// CollectReuse records the application's machine-independent reuse-distance
+// signature at the given core count (memoized by the default Engine). Derive
+// per-geometry application signatures from it with DeriveSignature.
+func CollectReuse(app *App, cores int, opt CollectOptions) (*ReuseSignature, error) {
+	rs, _, err := DefaultEngine().CollectReuse(context.Background(), app, cores, opt)
+	return rs, err
+}
+
 // CollectInputs traces the application at each of the given core counts —
 // the "series of smaller core counts" the extrapolation consumes. The
 // collections run concurrently on the default Engine's worker pool.
@@ -139,6 +177,15 @@ func CollectInputs(app *App, counts []int, target MachineConfig, opt CollectOpti
 // signature at targetCores.
 func Extrapolate(inputs []*Signature, targetCores int, opt ExtrapOptions) (*ExtrapResult, error) {
 	return DefaultEngine().Extrapolate(context.Background(), inputs, targetCores, opt)
+}
+
+// DeriveSignature converts a reuse-distance signature into the application
+// signature for one target geometry using the analytical cache model — no
+// simulation runs, so sweeping many geometries over one collected profile
+// costs microseconds per geometry. Targets the model cannot serve (hardware
+// prefetchers, line-size mismatches) fail with ErrModelUnsupported.
+func DeriveSignature(rs *ReuseSignature, app *App, target MachineConfig) (*Signature, error) {
+	return pebil.SignatureFromReuse(rs, app, target, nil, cache.Analytical{})
 }
 
 // CompareTraces evaluates an extrapolated trace element-by-element against

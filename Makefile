@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-obs bench-server bench-store bench-smoke serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-obs bench-serve bench-serve-smoke bench-server bench-store bench-smoke serve experiments examples csv clean
 
 all: build vet test
 
@@ -71,6 +71,19 @@ bench-server:
 bench-store:
 	$(GO) test -run '^$$' -bench 'BenchmarkStoreEncode|BenchmarkStoreDecode' -benchmem ./internal/store
 	$(GO) test -run '^$$' -bench 'BenchmarkStoreWarmStart' -benchtime=3x .
+
+# Serving-path load harness: the standard uniform/Zipf closed-loop and
+# open-loop runs, recorded into BENCH_serve.json (EXPERIMENTS.md section).
+bench-serve:
+	$(GO) run ./cmd/tracexload -inprocess -duration 10s -warmup 2s -workers 64 -keys 32 -label closed-uniform
+	$(GO) run ./cmd/tracexload -inprocess -duration 10s -warmup 2s -workers 64 -keys 32 -zipf 1.2 -label closed-zipf
+	$(GO) run ./cmd/tracexload -inprocess -duration 10s -warmup 2s -rate 800 -workers 128 -keys 32 -zipf 1.2 -label open-800rps-zipf
+
+# CI smoke: a 5-second low-rate open-loop run against an in-process daemon
+# must show real throughput and no server errors. Results stay out of
+# BENCH_serve.json (-out "").
+bench-serve-smoke:
+	$(GO) run ./cmd/tracexload -inprocess -duration 5s -warmup 1s -rate 50 -workers 16 -keys 4 -sample-refs 2000 -out "" -label smoke -assert-min-rps 10 -assert-max-5xx 0
 
 # Run the prediction daemon with development-friendly defaults.
 serve:

@@ -1,0 +1,340 @@
+// Package client is the typed Go client for tracexd's versioned HTTP API.
+// It speaks the tracex/wire contract: requests and responses are the wire
+// package's types, failures surface as *APIError values decoded from the
+// server's structured error bodies, and the stable error classes map onto
+// exported sentinels so callers branch with errors.Is rather than string
+// matching.
+//
+// Every call takes a context; deadlines and cancellation propagate into the
+// HTTP request, so a context deadline bounds the whole exchange including
+// any retries. Retries are off by default (a load generator wants to see
+// every 429); WithRetries enables capped exponential backoff on 429
+// responses that honors the server's jittered Retry-After.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tracex"
+	"tracex/wire"
+)
+
+// Sentinel errors for the stable error classes of the v1 API. An *APIError
+// matches the sentinel for its HTTP status, so errors.Is(err, ErrOverloaded)
+// is the idiomatic backpressure check.
+var (
+	// ErrOverloaded reports admission-control rejection (HTTP 429). The
+	// APIError carries the server's suggested RetryAfter.
+	ErrOverloaded = errors.New("tracexd: overloaded")
+	// ErrNotFound reports an unknown application, machine, route or store
+	// key (HTTP 404).
+	ErrNotFound = errors.New("tracexd: not found")
+	// ErrBadRequest reports a malformed or semantically invalid body
+	// (HTTP 400).
+	ErrBadRequest = errors.New("tracexd: bad request")
+	// ErrNoStore reports a store route on a daemon running without a
+	// persistent store (HTTP 501).
+	ErrNoStore = errors.New("tracexd: no signature store configured")
+)
+
+// APIError is a non-2xx response decoded from the server's wire.ErrorBody.
+// Status and Code are stable API; Message is human-readable context.
+type APIError struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the server's stable snake_case error class ("overloaded",
+	// "not_found", ...). Empty when the body was not a wire.ErrorBody
+	// (e.g. a proxy in the path answered).
+	Code string
+	// Message is the underlying error text.
+	Message string
+	// RetryAfter is the server's backoff hint on 429 responses (zero
+	// otherwise).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("tracexd: status %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("tracexd: %s (HTTP %d): %s", e.Code, e.Status, e.Message)
+}
+
+// Is maps the error onto the package sentinels by HTTP status, so wrapped
+// APIErrors keep working with errors.Is.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.Status == http.StatusTooManyRequests
+	case ErrNotFound:
+		return e.Status == http.StatusNotFound
+	case ErrBadRequest:
+		return e.Status == http.StatusBadRequest
+	case ErrNoStore:
+		return e.Status == http.StatusNotImplemented
+	}
+	return false
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (connection pool,
+// TLS, proxies). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries enables up to n retries of 429-rejected requests. Only
+// overload rejections retry: every other failure class is deterministic and
+// retrying it would just repeat the error.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the exponential backoff schedule used between 429
+// retries: base doubles per attempt, capped at max. The server's
+// Retry-After raises (never lowers) an attempt's wait, and the cap always
+// wins. Defaults are 100ms base, 5s cap.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// Client is a tracexd API client. It is safe for concurrent use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	// sleep waits between retries; injectable so tests observe the
+	// schedule without waiting it out.
+	sleep func(context.Context, time.Duration) error
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          http.DefaultClient,
+		backoffBase: 100 * time.Millisecond,
+		backoffMax:  5 * time.Second,
+		sleep:       sleepCtx,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Key builds the human-readable store key "app@cores@machine" accepted by
+// the signature GET and PUT routes.
+func Key(app string, cores int, machine string) string {
+	return app + "@" + strconv.Itoa(cores) + "@" + machine
+}
+
+// Predict calls POST /v1/predict.
+func (c *Client) Predict(ctx context.Context, req *wire.PredictRequest) (*wire.PredictResponse, error) {
+	var resp wire.PredictResponse
+	if err := c.do(ctx, http.MethodPost, wire.PathPredict, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Study calls POST /v1/study.
+func (c *Client) Study(ctx context.Context, req *wire.StudyRequest) (*wire.StudyResponse, error) {
+	var resp wire.StudyResponse
+	if err := c.do(ctx, http.MethodPost, wire.PathStudy, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Extrapolate calls POST /v1/extrapolate.
+func (c *Client) Extrapolate(ctx context.Context, req *wire.ExtrapolateRequest) (*wire.ExtrapolateResponse, error) {
+	var resp wire.ExtrapolateResponse
+	if err := c.do(ctx, http.MethodPost, wire.PathExtrapolate, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Collect calls POST /v1/signatures.
+func (c *Client) Collect(ctx context.Context, req *wire.SignatureRequest) (*wire.SignatureResponse, error) {
+	var resp wire.SignatureResponse
+	if err := c.do(ctx, http.MethodPost, wire.PathSignatures, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GetSignature calls GET /v1/signatures/{key}. The key is either a 64-hex
+// content hash or a triple built with Key.
+func (c *Client) GetSignature(ctx context.Context, key string) (*wire.StoredSignatureResponse, error) {
+	var resp wire.StoredSignatureResponse
+	if err := c.do(ctx, http.MethodGet, wire.PathSignaturePrefix+key, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PutSignature calls PUT /v1/signatures/{key} with sig as the body. The key
+// must match the signature's own (app, cores, machine) identity.
+func (c *Client) PutSignature(ctx context.Context, key string, sig *tracex.Signature) (*wire.StorePutResponse, error) {
+	var resp wire.StorePutResponse
+	if err := c.do(ctx, http.MethodPut, wire.PathSignaturePrefix+key, sig, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Apps calls GET /v1/apps.
+func (c *Client) Apps(ctx context.Context) ([]string, error) {
+	var resp wire.AppsResponse
+	if err := c.do(ctx, http.MethodGet, wire.PathApps, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Apps, nil
+}
+
+// Machines calls GET /v1/machines.
+func (c *Client) Machines(ctx context.Context) ([]string, error) {
+	var resp wire.MachinesResponse
+	if err := c.do(ctx, http.MethodGet, wire.PathMachines, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Machines, nil
+}
+
+// Ready calls GET /readyz and reports the daemon's status string ("ready"
+// or "draining").
+func (c *Client) Ready(ctx context.Context) (string, error) {
+	var resp wire.HealthResponse
+	if err := c.do(ctx, http.MethodGet, wire.PathReadyz, nil, &resp); err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+// do runs one call: marshal, send, decode — retrying 429s per the backoff
+// schedule. in == nil sends no body. The request body is marshalled once
+// and replayed across attempts.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		apiErr, err := c.once(ctx, method, path, body, out)
+		if err != nil {
+			return err
+		}
+		if apiErr == nil {
+			return nil
+		}
+		if attempt >= c.retries || !errors.Is(apiErr, ErrOverloaded) {
+			return apiErr
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, apiErr.RetryAfter)); err != nil {
+			return err
+		}
+	}
+}
+
+// once performs a single HTTP exchange. A non-2xx response comes back as a
+// non-nil *APIError with a nil error; transport failures come back in err.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*APIError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp), nil
+	}
+	if out == nil {
+		return nil, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil, nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, preferring the
+// structured wire.ErrorBody and falling back to the raw body text when a
+// middlebox answered with something else.
+func decodeError(resp *http.Response) *APIError {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	apiErr := &APIError{Status: resp.StatusCode}
+	var eb wire.ErrorBody
+	if err := json.Unmarshal(raw, &eb); err == nil && eb.Error.Code != "" {
+		apiErr.Code = eb.Error.Code
+		apiErr.Message = eb.Error.Message
+		apiErr.RetryAfter = time.Duration(eb.Error.RetryAfterSeconds) * time.Second
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	// The Retry-After header is authoritative when present (it always
+	// mirrors the body on tracexd, but a proxy may send only the header).
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// backoff computes the wait before retry number attempt (0-based):
+// exponential from the base, raised to the server's Retry-After when that
+// is longer, and always capped.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.backoffBase << uint(attempt)
+	if d <= 0 || d > c.backoffMax { // <<-overflow guard and cap
+		d = c.backoffMax
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	return d
+}
+
+// sleepCtx waits for d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"tracex/internal/pebil"
 	"tracex/internal/server"
 	"tracex/internal/trace"
+	"tracex/wire"
 )
 
 func main() {
@@ -341,6 +342,7 @@ func cmdPredict(ctx context.Context, eng *tracex.Engine, args []string) error {
 	sigPath := fs.String("sig", "", "signature path")
 	appName := fs.String("app", "", "application (for the communication event trace)")
 	profPath := fs.String("profile", "", "machine profile path (default: run MultiMAPS on the signature's machine)")
+	jsonOut := fs.Bool("json", false, "emit the tracexd wire JSON body instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -366,6 +368,11 @@ func cmdPredict(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		// The signature was supplied by the caller, which is exactly the
+		// server's "inline" provenance.
+		return printPredictionJSON(pred, "inline")
+	}
 	printPrediction("predicted", pred)
 	return nil
 }
@@ -375,6 +382,7 @@ func cmdMeasure(ctx context.Context, eng *tracex.Engine, args []string) error {
 	appName := fs.String("app", "", "application name")
 	cores := fs.Int("cores", 0, "core count")
 	machineName := fs.String("machine", "bluewaters", "target machine")
+	jsonOut := fs.Bool("json", false, "emit the tracexd wire JSON body instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -393,8 +401,22 @@ func cmdMeasure(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return printPredictionJSON(pred, "")
+	}
 	printPrediction("measured", pred)
 	return nil
+}
+
+// printPredictionJSON writes p as the tracexd /v1/predict response body,
+// through the same wire type and append encoder the server uses — the CLI
+// and the daemon cannot drift apart on the JSON shape.
+func printPredictionJSON(p *tracex.Prediction, from string) error {
+	resp := wire.PredictionResponse(p)
+	resp.From = from
+	b := append(resp.AppendJSON(make([]byte, 0, 512)), '\n')
+	_, err := os.Stdout.Write(b)
+	return err
 }
 
 func printPrediction(kind string, p *tracex.Prediction) {

@@ -13,6 +13,7 @@ import (
 
 	"tracex"
 	"tracex/internal/trace"
+	"tracex/wire"
 )
 
 // testEng is shared across the CLI tests so repeated collections of the
@@ -160,6 +161,38 @@ func TestCmdReportToFile(t *testing.T) {
 	} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("report missing section %q", want)
+		}
+	}
+}
+
+// TestCmdReportJSON checks -json emits the tracexd /v1/study wire body:
+// scripted callers get the same shape from the CLI and the daemon.
+func TestCmdReportJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report in -short mode")
+	}
+	out := tmp(t, "study.json")
+	err := cmdReport(bg, testEng, []string{
+		"-app", "stencil3d", "-counts", "64,128,256", "-target", "512",
+		"-out", out, "-sample", "30000", "-json",
+	})
+	if err != nil {
+		t.Fatalf("report -json: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr wire.StudyResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	if sr.App != "stencil3d" || sr.Machine != "bluewaters" || len(sr.Rows) == 0 {
+		t.Errorf("study body incomplete: %+v", sr)
+	}
+	for _, row := range sr.Rows {
+		if row.TargetCores <= 0 || row.PredictedSeconds <= 0 {
+			t.Errorf("bad study row: %+v", row)
 		}
 	}
 }

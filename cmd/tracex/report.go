@@ -14,6 +14,7 @@ import (
 
 	"tracex"
 	"tracex/internal/extrap"
+	"tracex/wire"
 )
 
 // cmdReport runs the complete analysis for one application — collect at a
@@ -31,6 +32,7 @@ func cmdReport(ctx context.Context, eng *tracex.Engine, args []string) error {
 	out := fs.String("out", "", "output markdown path (default: stdout)")
 	sample := fs.Int("sample", 0, "per-block simulated references (0 = default)")
 	energy := fs.Bool("energy", true, "include the energy/DVFS section")
+	jsonOut := fs.Bool("json", false, "emit the study as the tracexd wire JSON body instead of markdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +51,9 @@ func cmdReport(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return writeStudyJSON(ctx, eng, *out, app, cfg, counts, targetCount, opt)
+	}
 	if *out == "" {
 		return writeReport(ctx, eng, os.Stdout, app, cfg, counts, targetCount, opt, *energy)
 	}
@@ -58,6 +63,39 @@ func cmdReport(ctx context.Context, eng *tracex.Engine, args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, buf.Bytes(), 0o644)
+}
+
+// writeStudyJSON runs the report's study and emits it as the tracexd
+// /v1/study response body — the same wire type and append encoder the
+// server uses, so scripted callers parse one shape regardless of whether
+// the study ran locally or against a daemon.
+func writeStudyJSON(ctx context.Context, eng *tracex.Engine, out string,
+	app *tracex.App, cfg tracex.MachineConfig,
+	counts []int, targetCount int, opt tracex.CollectOptions) error {
+
+	study, err := eng.Study(ctx, tracex.StudyRequest{
+		App:         app,
+		Machine:     cfg,
+		InputCounts: counts,
+		TargetCores: targetCount,
+		Collect:     opt,
+		WithTruth:   true,
+	})
+	if err != nil {
+		return err
+	}
+	resp := &wire.StudyResponse{
+		App:         app.Name(),
+		Machine:     cfg.Name,
+		InputCounts: counts,
+		Rows:        study.Rows(),
+	}
+	b := append(resp.AppendJSON(make([]byte, 0, 1024)), '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
 }
 
 // reportScale resolves the input/target core counts, defaulting to the

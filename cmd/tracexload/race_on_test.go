@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled widens test timing windows: the race detector slows the
+// simulation hot loops by an order of magnitude or more.
+const raceEnabled = true

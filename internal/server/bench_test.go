@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"tracex"
+	"tracex/wire"
 )
 
 // benchServer builds a server over an instant synthetic Predict, so the
@@ -28,7 +29,7 @@ func benchServer(b *testing.B, disableCoalescing bool) (*Server, []byte) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	body, err := json.Marshal(&PredictRequest{Signature: inlineSig(64)})
+	body, err := json.Marshal(&wire.PredictRequest{Signature: inlineSig(64)})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,4 +68,49 @@ func BenchmarkServerPredict(b *testing.B) {
 func BenchmarkServerPredictNoCoalesce(b *testing.B) {
 	s, body := benchServer(b, true)
 	benchPredict(b, s, body)
+}
+
+// BenchmarkStoreGet compares the signature-GET fast path (index-only key
+// resolution plus the marshalled-body LRU) against the pre-change
+// behavior (every GET reads and re-encodes the object, StoreReadCache
+// disabled). The store holds one real collected signature.
+func BenchmarkStoreGet(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		readCache int
+	}{
+		{"fastpath", 0},  // default: body LRU enabled
+		{"baseline", -1}, // pre-change: decode + marshal every GET
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng := tracex.NewEngine(tracex.WithStore(b.TempDir()))
+			if err := eng.Err(); err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(Config{Engine: eng, StoreReadCache: bc.readCache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := s.Handler()
+			collect := httptest.NewRequest("POST", "/v1/predict",
+				bytes.NewReader([]byte(`{"app":"stencil3d","cores":64,"machine":"bluewaters","sample_refs":20000}`)))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, collect)
+			if rec.Code != 200 {
+				b.Fatalf("collect: %d %.200s", rec.Code, rec.Body.String())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest("GET", "/v1/signatures/stencil3d@64@bluewaters", nil)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						b.Fatalf("GET: %d %.200s", rec.Code, rec.Body.String())
+					}
+				}
+			})
+		})
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
+
+	"tracex/wire"
 )
 
 // TestPredictCacheModel exercises the model field end to end: the response
@@ -11,7 +13,7 @@ import (
 // targets the analytical model cannot serve are 422 model_unsupported.
 func TestPredictCacheModel(t *testing.T) {
 	_, base := newTestServer(t, Config{Engine: sharedEng})
-	decode := func(b []byte) (r PredictResponse) {
+	decode := func(b []byte) (r wire.PredictResponse) {
 		t.Helper()
 		if err := json.Unmarshal(b, &r); err != nil {
 			t.Fatalf("decoding %s: %v", b, err)
@@ -52,7 +54,7 @@ func TestPredictCacheModel(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("prefetch target: %d %s, want 422", resp.StatusCode, body)
 	}
-	var e ErrorBody
+	var e wire.ErrorBody
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestServerDefaultCacheModel(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("predict under default analytical: %d %s", resp.StatusCode, body)
 	}
-	var r PredictResponse
+	var r wire.PredictResponse
 	if err := json.Unmarshal(body, &r); err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,10 @@
 // have:
 //
 //   - admission control — a bounded in-flight limit plus a bounded wait
-//     queue; requests beyond both bounds are answered 429 with a
-//     Retry-After header instead of piling onto the worker pool;
+//     queue; requests beyond both bounds are answered 429 with a jittered
+//     Retry-After header instead of piling onto the worker pool. With
+//     AutoTune the in-flight limit follows the observed service-time EWMA
+//     between a floor and MaxInFlight;
 //   - request coalescing — identical in-flight /v1/predict and /v1/study
 //     requests (keyed by tracex.CanonicalRequestKey over the decoded body)
 //     share one computation and one marshalled response, on top of the
@@ -13,11 +15,16 @@
 //   - deadline and disconnect propagation — each request's context (plus
 //     the optional per-request timeout) flows into the engine, so a client
 //     hanging up cancels the simulations it asked for;
-//   - structured errors — every failure renders a stable JSON ErrorBody
+//   - structured errors — every failure renders a stable wire.ErrorBody
 //     whose code is derived from the library's exported sentinel errors;
 //   - lifecycle — Start serves in the background, Shutdown stops the
 //     listener, flips /readyz to not-ready, drains in-flight requests and
 //     flushes a final metrics snapshot.
+//
+// The request and response bodies are the tracex/wire types — the same
+// definitions the typed client and the load generator compile against —
+// and hot responses (predict, study) encode through their allocation-free
+// AppendJSON fast path.
 //
 // Observability rides on the engine's obs.Registry under the server.*
 // namespace (requests, per-route latency histograms, in-flight and queue
@@ -32,18 +39,23 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"math/rand/v2"
 
 	"tracex"
 	"tracex/internal/memo"
 	"tracex/internal/obs"
 	"tracex/internal/pebil"
+	"tracex/wire"
 )
 
 // Engine is the slice of tracex.Engine the server drives. It is an
@@ -66,11 +78,12 @@ type Config struct {
 	Engine Engine
 	// MaxInFlight bounds concurrently executing compute requests
 	// (/v1/predict, /v1/study, /v1/extrapolate, /v1/signatures). Health,
-	// listing and metrics routes are never gated. Default: GOMAXPROCS.
+	// listing and metrics routes are never gated; signature GETs take the
+	// separate store-read path. Default: GOMAXPROCS.
 	MaxInFlight int
 	// MaxQueue bounds requests waiting for an in-flight slot; arrivals
-	// beyond MaxInFlight+MaxQueue are rejected immediately with 429.
-	// Default: 4×MaxInFlight.
+	// beyond the current limit plus MaxQueue are rejected immediately with
+	// 429. Default: 4×MaxInFlight.
 	MaxQueue int
 	// QueueWait bounds how long a queued request waits for an in-flight
 	// slot before giving up with 429. Default: 2s.
@@ -78,8 +91,10 @@ type Config struct {
 	// RequestTimeout caps each compute request's wall-clock via its
 	// context; 0 disables the cap (the client's disconnect still cancels).
 	RequestTimeout time.Duration
-	// RetryAfter is advertised on 429 responses (header and body),
-	// rounded up to whole seconds. Default: 1s.
+	// RetryAfter is the base of the jittered Retry-After advertised on 429
+	// responses (header and body): each rejection draws uniformly from
+	// [0.5×, 1.5×] of it, rounded up to whole seconds, so a burst of
+	// rejected clients does not retry in lockstep. Default: 1s.
 	RetryAfter time.Duration
 	// DisableCoalescing turns off identical-request coalescing on
 	// /v1/predict and /v1/study.
@@ -88,6 +103,22 @@ type Config struct {
 	// "model": "exact" (the default) or "analytical". Unknown names fail
 	// New.
 	DefaultCacheModel string
+	// AutoTune lets the server adjust the effective in-flight limit from
+	// the observed service-time EWMA: sustained degradation shrinks the
+	// limit (never below AutoTuneFloor), recovery grows it back toward
+	// MaxInFlight. Off by default.
+	AutoTune bool
+	// AutoTuneFloor is the smallest limit AutoTune may shrink to.
+	// Default: max(1, MaxInFlight/4).
+	AutoTuneFloor int
+	// TuneInterval is the minimum spacing between AutoTune adjustments.
+	// Default: 250ms.
+	TuneInterval time.Duration
+	// StoreReadCache sizes the marshalled-body LRU on the signature-GET
+	// fast path (entries are keyed by content hash, so a hit is always
+	// byte-exact). 0 selects the default of 256; negative disables the
+	// cache.
+	StoreReadCache int
 	// AccessLog, when non-nil, receives one line per completed request
 	// (method, path, status, bytes, duration, coalesced).
 	AccessLog *log.Logger
@@ -109,6 +140,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.AutoTuneFloor <= 0 {
+		c.AutoTuneFloor = c.MaxInFlight / 4
+		if c.AutoTuneFloor < 1 {
+			c.AutoTuneFloor = 1
+		}
+	}
+	if c.AutoTuneFloor > c.MaxInFlight {
+		c.AutoTuneFloor = c.MaxInFlight
+	}
+	if c.TuneInterval <= 0 {
+		c.TuneInterval = 250 * time.Millisecond
+	}
+	if c.StoreReadCache == 0 {
+		c.StoreReadCache = 256
 	}
 	return c
 }
@@ -136,13 +182,42 @@ type Server struct {
 	model tracex.CacheModel // resolved DefaultCacheModel
 	ready atomic.Bool
 
-	inflight chan struct{} // in-flight slots; cap MaxInFlight
-	queue    chan struct{} // wait-queue slots; cap MaxQueue
-	flights  *memo.Cache[string, *flightOut]
+	// Admission state. The compute limit is an atomic (not a channel
+	// capacity) so AutoTune can move it at runtime; running tracks
+	// currently executing compute requests and slotFreed (capacity 1)
+	// wakes one queued waiter per release, with waiters re-signalling
+	// while capacity remains (a short poll backstops lost wakeups when
+	// the limit grows).
+	limit     atomic.Int64  // current in-flight limit, in [AutoTuneFloor, MaxInFlight]
+	running   atomic.Int64  // executing compute requests
+	slotFreed chan struct{} // release/retune wakeup, cap 1
+	queue     chan struct{} // wait-queue slots; cap MaxQueue
+	releaseFn func()        // bound once so admit's happy path does not allocate
 
-	requests  *obs.Counter
-	coalesced *obs.Counter
-	rejected  *obs.Counter
+	// Auto-tuning state (AutoTune only).
+	svcEWMA  *obs.EWMA // service seconds, alpha 0.2
+	tuneMu   sync.Mutex
+	lastTune time.Time
+	tunePrev float64 // EWMA at the previous tune decision
+
+	// jitter draws the Retry-After factor in [0, 1); tests pin it.
+	jitter func() float64
+
+	flights *memo.Cache[string, *flightOut]
+
+	// Store-read fast path: marshalled GET bodies keyed by content
+	// identity, misses bounded by their own semaphore instead of compute
+	// admission.
+	bodyCache  *memo.Cache[string, []byte]
+	storeReads chan struct{}
+
+	requests   *obs.Counter
+	coalesced  *obs.Counter
+	rejected   *obs.Counter
+	tuneUp     *obs.Counter
+	tuneDown   *obs.Counter
+	readHits   *obs.Counter
+	readMisses *obs.Counter
 }
 
 // New returns a Server over cfg.Engine. The registry gains the server.*
@@ -158,24 +233,38 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		eng:      cfg.Engine,
-		reg:      cfg.Engine.Registry(),
-		model:    defaultModel,
-		mux:      http.NewServeMux(),
-		inflight: make(chan struct{}, cfg.MaxInFlight),
-		queue:    make(chan struct{}, cfg.MaxQueue),
+		cfg:       cfg,
+		eng:       cfg.Engine,
+		reg:       cfg.Engine.Registry(),
+		model:     defaultModel,
+		mux:       http.NewServeMux(),
+		slotFreed: make(chan struct{}, 1),
+		queue:     make(chan struct{}, cfg.MaxQueue),
+		svcEWMA:   obs.NewEWMA(0.2),
+		tunePrev:  math.NaN(),
+		jitter:    rand.Float64,
 		// Capacity 0: pure singleflight — responses are deduplicated while
 		// in flight and never retained (the engine's caches already hold
 		// the expensive artifacts; retaining marshalled bodies would buy
 		// no extra hit rate for the memory).
-		flights: memo.New[string, *flightOut](0),
+		flights:    memo.New[string, *flightOut](0),
+		storeReads: make(chan struct{}, maxInt(2, runtime.GOMAXPROCS(0))),
+	}
+	s.limit.Store(int64(cfg.MaxInFlight))
+	s.releaseFn = s.releaseSlot
+	if cfg.StoreReadCache > 0 {
+		s.bodyCache = memo.New[string, []byte](cfg.StoreReadCache)
 	}
 	s.requests = s.reg.Counter("server.requests")
 	s.coalesced = s.reg.Counter("server.coalesced")
 	s.rejected = s.reg.Counter("server.rejected")
-	s.reg.GaugeFunc("server.in_flight", func() float64 { return float64(len(s.inflight)) })
+	s.tuneUp = s.reg.Counter("server.tune.up")
+	s.tuneDown = s.reg.Counter("server.tune.down")
+	s.readHits = s.reg.Counter("server.store.read_hits")
+	s.readMisses = s.reg.Counter("server.store.read_misses")
+	s.reg.GaugeFunc("server.in_flight", func() float64 { return float64(s.running.Load()) })
 	s.reg.GaugeFunc("server.queue.depth", func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("server.admit.limit", func() float64 { return float64(s.limit.Load()) })
 
 	s.routes()
 	s.hs = &http.Server{Handler: s.instrument(s.mux), ErrorLog: cfg.ErrorLog}
@@ -183,34 +272,43 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// routes registers every endpoint on the server's mux.
+// maxInt returns the larger of a and b.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// routes registers every endpoint on the server's mux. Paths come from the
+// wire package so the server and its clients cannot drift.
 func (s *Server) routes() {
-	s.mux.Handle("POST /v1/predict", handleJSON(s, "predict", true, s.predict))
-	s.mux.Handle("POST /v1/study", handleJSON(s, "study", true, s.study))
-	s.mux.Handle("POST /v1/extrapolate", handleJSON(s, "extrapolate", false, s.extrapolate))
-	s.mux.Handle("POST /v1/signatures", handleJSON(s, "signatures", false, s.collect))
-	s.mux.HandleFunc("GET /v1/signatures/{key}", s.storeGet)
-	s.mux.HandleFunc("PUT /v1/signatures/{key}", s.storePut)
-	s.mux.HandleFunc("GET /v1/apps", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{"apps": tracex.Apps()})
+	s.mux.Handle("POST "+wire.PathPredict, handleJSON(s, "predict", true, s.predict))
+	s.mux.Handle("POST "+wire.PathStudy, handleJSON(s, "study", true, s.study))
+	s.mux.Handle("POST "+wire.PathExtrapolate, handleJSON(s, "extrapolate", false, s.extrapolate))
+	s.mux.Handle("POST "+wire.PathSignatures, handleJSON(s, "signatures", false, s.collect))
+	s.mux.HandleFunc("GET "+wire.PathSignaturePrefix+"{key}", s.storeGet)
+	s.mux.HandleFunc("PUT "+wire.PathSignaturePrefix+"{key}", s.storePut)
+	s.mux.HandleFunc("GET "+wire.PathApps, func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, &wire.AppsResponse{Apps: tracex.Apps()})
 	})
-	s.mux.HandleFunc("GET /v1/machines", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{"machines": tracex.Machines()})
+	s.mux.HandleFunc("GET "+wire.PathMachines, func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, &wire.MachinesResponse{Machines: tracex.Machines()})
 	})
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mux.HandleFunc("GET "+wire.PathHealthz, func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: "ok"})
 	})
-	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+	s.mux.HandleFunc("GET "+wire.PathReadyz, func(w http.ResponseWriter, _ *http.Request) {
 		if s.ready.Load() {
-			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			writeJSON(w, http.StatusOK, &wire.HealthResponse{Status: "ready"})
 			return
 		}
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, &wire.HealthResponse{Status: "draining"})
 	})
 	// The metrics snapshot answers both its canonical path and the root
 	// (the pre-daemon `tracex -metrics-addr` endpoint served it at every
 	// path; keeping "/" preserves scrapers pointed at the old URL).
-	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.Handle("GET "+wire.PathMetrics, s.reg.Handler())
 	s.mux.Handle("GET /{$}", s.reg.Handler())
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, notFoundf("no route %s %s", r.Method, r.URL.Path))
@@ -275,11 +373,11 @@ func (s *Server) logf(format string, args ...any) {
 // routeName maps a request path to its metric label.
 func routeName(path string) string {
 	switch path {
-	case "/healthz":
+	case wire.PathHealthz:
 		return "healthz"
-	case "/readyz":
+	case wire.PathReadyz:
 		return "readyz"
-	case "/metrics":
+	case wire.PathMetrics:
 		return "metrics"
 	case "/":
 		return "root"
@@ -340,33 +438,138 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 	})
 }
 
+// tryAcquire claims an in-flight slot if the current limit allows it.
+func (s *Server) tryAcquire() bool {
+	for {
+		cur := s.running.Load()
+		if cur >= s.limit.Load() {
+			return false
+		}
+		if s.running.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// releaseSlot returns an in-flight slot and wakes one queued waiter.
+func (s *Server) releaseSlot() {
+	s.running.Add(-1)
+	s.wakeWaiter()
+}
+
+// wakeWaiter nudges one queued admit, if any is listening.
+func (s *Server) wakeWaiter() {
+	select {
+	case s.slotFreed <- struct{}{}:
+	default:
+	}
+}
+
+// admitPollInterval backstops slot wakeups: a waiter that misses a signal
+// (or is waiting out a limit increase) re-checks at this cadence.
+const admitPollInterval = 10 * time.Millisecond
+
 // admit acquires an in-flight slot, queueing within the configured bounds.
 // The returned release must be called when the work completes. Arrivals
-// beyond MaxInFlight+MaxQueue, and queued requests that outwait QueueWait,
-// fail with errOverloaded (→ 429); a cancelled ctx fails with its error.
+// beyond limit+MaxQueue, and queued requests that outwait QueueWait, fail
+// with errOverloaded (→ 429); a ctx that ends while queued fails with its
+// error without ever holding an in-flight slot.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
-	release = func() { <-s.inflight }
-	select {
-	case s.inflight <- struct{}{}:
-		return release, nil
-	default:
+	if s.tryAcquire() {
+		return s.releaseFn, nil
 	}
 	select {
 	case s.queue <- struct{}{}:
 	default:
 		return nil, fmt.Errorf("server: %w: %d in-flight and %d queued requests",
-			errOverloaded, cap(s.inflight), cap(s.queue))
+			errOverloaded, s.limit.Load(), cap(s.queue))
 	}
 	defer func() { <-s.queue }()
 	timer := time.NewTimer(s.cfg.QueueWait)
 	defer timer.Stop()
-	select {
-	case s.inflight <- struct{}{}:
-		return release, nil
-	case <-timer.C:
-		return nil, fmt.Errorf("server: %w: no free slot within %s", errOverloaded, s.cfg.QueueWait)
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	poll := time.NewTicker(admitPollInterval)
+	defer poll.Stop()
+	for {
+		if s.tryAcquire() {
+			// Chain the wakeup: if capacity remains (several slots freed at
+			// once, or the limit grew), the next waiter should run too.
+			if s.running.Load() < s.limit.Load() {
+				s.wakeWaiter()
+			}
+			return s.releaseFn, nil
+		}
+		select {
+		case <-s.slotFreed:
+		case <-poll.C:
+		case <-timer.C:
+			return nil, fmt.Errorf("server: %w: no free slot within %s", errOverloaded, s.cfg.QueueWait)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// observeService folds one compute request's service time into the
+// auto-tuner.
+func (s *Server) observeService(d time.Duration) {
+	if !s.cfg.AutoTune {
+		return
+	}
+	s.svcEWMA.Observe(d.Seconds())
+	s.maybeTune(time.Now())
+}
+
+// maybeTune applies at most one retune decision per TuneInterval. It
+// compares the service-time EWMA against its value at the previous
+// decision: sustained degradation shrinks the in-flight limit toward the
+// floor, recovery grows it back one slot at a time (AIMD).
+func (s *Server) maybeTune(now time.Time) {
+	if !s.tuneMu.TryLock() {
+		return
+	}
+	defer s.tuneMu.Unlock()
+	if now.Sub(s.lastTune) < s.cfg.TuneInterval {
+		return
+	}
+	s.lastTune = now
+	ewma := s.svcEWMA.Value()
+	prev := s.tunePrev
+	s.tunePrev = ewma
+	if math.IsNaN(ewma) || math.IsNaN(prev) {
+		return
+	}
+	cur := s.limit.Load()
+	next := retune(cur, int64(s.cfg.AutoTuneFloor), int64(s.cfg.MaxInFlight), prev, ewma)
+	if next == cur {
+		return
+	}
+	s.limit.Store(next)
+	if next > cur {
+		s.tuneUp.Inc()
+		// New capacity: wake a queued waiter that would otherwise sit out
+		// a poll interval.
+		s.wakeWaiter()
+	} else {
+		s.tuneDown.Inc()
+	}
+}
+
+// retune is the pure AIMD policy: multiplicative decrease (×4/5, floored)
+// when the service-time EWMA degraded by more than 25% since the last
+// decision, additive increase (+1, capped) when it is within 5% of — or
+// better than — the previous value. In the 5–25% band the limit holds.
+func retune(cur, floor, ceil int64, prev, ewma float64) int64 {
+	switch {
+	case ewma > prev*1.25:
+		next := cur * 4 / 5
+		if next < floor {
+			next = floor
+		}
+		return next
+	case ewma <= prev*1.05 && cur < ceil:
+		return cur + 1
+	default:
+		return cur
 	}
 }
 
@@ -396,9 +599,7 @@ func handleJSON[Req any](s *Server, route string, coalesce bool, impl func(ctx c
 			return
 		}
 		req := new(Req)
-		dec := json.NewDecoder(bytes.NewReader(body))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(req); err != nil {
+		if err := wire.DecodeStrict(bytes.NewReader(body), req); err != nil {
 			s.writeError(w, badRequestf("decoding %s request: %v", route, err))
 			return
 		}
@@ -411,13 +612,15 @@ func handleJSON[Req any](s *Server, route string, coalesce bool, impl func(ctx c
 				return nil, err
 			}
 			defer release()
+			start := time.Now()
 			v, err := impl(ctx, req)
+			s.observeService(time.Since(start))
 			if err != nil {
 				return nil, err
 			}
-			b, err := json.Marshal(v)
+			b, err := encodeResponse(route, v)
 			if err != nil {
-				return nil, fmt.Errorf("server: encoding %s response: %w", route, err)
+				return nil, err
 			}
 			return &flightOut{status: http.StatusOK, body: b}, nil
 		}
@@ -445,20 +648,42 @@ func handleJSON[Req any](s *Server, route string, coalesce bool, impl func(ctx c
 	})
 }
 
-// writeError renders err as the structured ErrorBody, attaching
-// Retry-After on 429.
+// encodeResponse marshals a handler's response, preferring the wire
+// package's allocation-free append encoder when the type has one (predict
+// and study — the hot paths).
+func encodeResponse(route string, v any) ([]byte, error) {
+	if am, ok := v.(wire.AppendMarshaler); ok {
+		return am.AppendJSON(make([]byte, 0, 512)), nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding %s response: %w", route, err)
+	}
+	return b, nil
+}
+
+// writeError renders err as the structured wire.ErrorBody, attaching a
+// jittered Retry-After on 429.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := classify(err)
-	body := ErrorBody{Error: ErrorDetail{Code: code, Message: err.Error(), Status: status}}
+	body := wire.ErrorBody{Error: wire.ErrorDetail{Code: code, Message: err.Error(), Status: status}}
 	if status == http.StatusTooManyRequests {
-		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
+		secs := s.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		body.Error.RetryAfterSeconds = secs
 	}
 	writeJSON(w, status, body)
+}
+
+// retryAfterSeconds draws one jittered Retry-After value: uniform in
+// [0.5×, 1.5×] of the configured base, rounded up to whole seconds,
+// never below 1.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds() * (0.5 + s.jitter())))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // writeJSON marshals v and writes it with the given status.
@@ -529,7 +754,7 @@ func lookupMachine(name string) (tracex.MachineConfig, error) {
 }
 
 // predict implements POST /v1/predict.
-func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) {
+func (s *Server) predict(ctx context.Context, req *wire.PredictRequest) (any, error) {
 	sig := req.Signature
 	// from records which tier produced the signature ("inline" when the
 	// client sent it; otherwise the engine's provenance — memory, disk,
@@ -576,22 +801,14 @@ func (s *Server) predict(ctx context.Context, req *PredictRequest) (any, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &PredictResponse{
-		App:            pred.App,
-		Cores:          pred.CoreCount,
-		Machine:        pred.Machine,
-		RuntimeSeconds: pred.Runtime,
-		ComputeSeconds: pred.ComputeSeconds,
-		CommSeconds:    pred.CommSeconds,
-		MemSeconds:     pred.MemSeconds,
-		FPSeconds:      pred.FPSeconds,
-		From:           from,
-		Model:          model,
-	}, nil
+	resp := wire.PredictionResponse(pred)
+	resp.From = from
+	resp.Model = model
+	return resp, nil
 }
 
 // study implements POST /v1/study.
-func (s *Server) study(ctx context.Context, req *StudyRequest) (any, error) {
+func (s *Server) study(ctx context.Context, req *wire.StudyRequest) (any, error) {
 	app, err := lookupApp(req.App)
 	if err != nil {
 		return nil, err
@@ -617,7 +834,7 @@ func (s *Server) study(ctx context.Context, req *StudyRequest) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StudyResponse{
+	return &wire.StudyResponse{
 		App:         req.App,
 		Machine:     req.Machine,
 		InputCounts: req.InputCounts,
@@ -626,7 +843,7 @@ func (s *Server) study(ctx context.Context, req *StudyRequest) (any, error) {
 }
 
 // extrapolate implements POST /v1/extrapolate.
-func (s *Server) extrapolate(ctx context.Context, req *ExtrapolateRequest) (any, error) {
+func (s *Server) extrapolate(ctx context.Context, req *wire.ExtrapolateRequest) (any, error) {
 	if len(req.Signatures) < 2 {
 		return nil, badRequestf("extrapolate requires at least 2 input signatures, got %d", len(req.Signatures))
 	}
@@ -637,7 +854,7 @@ func (s *Server) extrapolate(ctx context.Context, req *ExtrapolateRequest) (any,
 	if err != nil {
 		return nil, err
 	}
-	return &ExtrapolateResponse{
+	return &wire.ExtrapolateResponse{
 		Signature:     res.Signature,
 		Fits:          len(res.Fits),
 		SkippedBlocks: res.SkippedBlocks,
@@ -645,7 +862,7 @@ func (s *Server) extrapolate(ctx context.Context, req *ExtrapolateRequest) (any,
 }
 
 // collect implements POST /v1/signatures.
-func (s *Server) collect(ctx context.Context, req *SignatureRequest) (any, error) {
+func (s *Server) collect(ctx context.Context, req *wire.SignatureRequest) (any, error) {
 	if req.Cores <= 0 {
 		return nil, badRequestf("signatures requires cores > 0")
 	}
@@ -666,7 +883,7 @@ func (s *Server) collect(ctx context.Context, req *SignatureRequest) (any, error
 		return nil, err
 	}
 	dom := sig.DominantTrace()
-	return &SignatureResponse{
+	return &wire.SignatureResponse{
 		Ranks:        len(sig.Traces),
 		Blocks:       len(dom.Blocks),
 		DominantRank: dom.Rank,

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tracex"
+	"tracex/wire"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -119,7 +120,7 @@ func inlineSig(cores int) *tracex.Signature {
 // inlinePredictBody is the wire body predicting from inlineSig(cores).
 func inlinePredictBody(t *testing.T, cores int) string {
 	t.Helper()
-	b, err := json.Marshal(&PredictRequest{Signature: inlineSig(cores)})
+	b, err := json.Marshal(&wire.PredictRequest{Signature: inlineSig(cores)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestBasicRoutes(t *testing.T) {
 	}
 	// Unknown routes produce the structured error body.
 	resp, body = get(t, base+"/v1/nope")
-	var eb ErrorBody
+	var eb wire.ErrorBody
 	if err := json.Unmarshal(body, &eb); err != nil {
 		t.Fatalf("404 body not structured: %s", body)
 	}
@@ -233,7 +234,7 @@ func TestRequestValidation(t *testing.T) {
 	}
 	for _, c := range cases {
 		resp, body := post(t, base+"/v1/predict", c.body)
-		var eb ErrorBody
+		var eb wire.ErrorBody
 		if err := json.Unmarshal(body, &eb); err != nil {
 			t.Fatalf("%s: unstructured error body %s", c.name, body)
 		}
@@ -245,7 +246,7 @@ func TestRequestValidation(t *testing.T) {
 	// Sentinel mapping: an inline signature with no traces → no_traces.
 	resp, body := post(t, base+"/v1/predict",
 		`{"signature":{"app":"stencil3d","core_count":4,"machine":"bluewaters","traces":[]}}`)
-	var eb ErrorBody
+	var eb wire.ErrorBody
 	if err := json.Unmarshal(body, &eb); err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestPipelineRoutes(t *testing.T) {
 		if resp.StatusCode != 200 {
 			t.Fatalf("signatures@%d: %d %.300s", cores, resp.StatusCode, body)
 		}
-		var sr SignatureResponse
+		var sr wire.SignatureResponse
 		if err := json.Unmarshal(body, &sr); err != nil {
 			t.Fatal(err)
 		}
@@ -279,7 +280,7 @@ func TestPipelineRoutes(t *testing.T) {
 		sigs = append(sigs, sr.Signature)
 	}
 
-	ereq, err := json.Marshal(&ExtrapolateRequest{Signatures: sigs, TargetCores: 512})
+	ereq, err := json.Marshal(&wire.ExtrapolateRequest{Signatures: sigs, TargetCores: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestPipelineRoutes(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("extrapolate: %d %.300s", resp.StatusCode, body)
 	}
-	var er ExtrapolateResponse
+	var er wire.ExtrapolateResponse
 	if err := json.Unmarshal(body, &er); err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestPipelineRoutes(t *testing.T) {
 		t.Fatalf("extrapolate response: %.300s", body)
 	}
 
-	preq, err := json.Marshal(&PredictRequest{Signature: er.Signature})
+	preq, err := json.Marshal(&wire.PredictRequest{Signature: er.Signature})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestPipelineRoutes(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("predict: %d %.300s", resp.StatusCode, body)
 	}
-	var pr PredictResponse
+	var pr wire.PredictResponse
 	if err := json.Unmarshal(body, &pr); err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestStudyRoute(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("study: %d %.300s", resp.StatusCode, body)
 	}
-	var sr StudyResponse
+	var sr wire.StudyResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestCoalescing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reqBody, err := json.Marshal(&PredictRequest{Signature: sig})
+	reqBody, err := json.Marshal(&wire.PredictRequest{Signature: sig})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +433,7 @@ func TestCoalescing(t *testing.T) {
 
 // TestAdmissionControl verifies the bounded in-flight + queue admission:
 // one request executes, one queues, the third is rejected with 429 and a
-// Retry-After header.
+// jittered Retry-After header.
 func TestAdmissionControl(t *testing.T) {
 	real := tracex.NewEngine()
 	bp := newBlockingPredict()
@@ -442,6 +443,8 @@ func TestAdmissionControl(t *testing.T) {
 		QueueWait: 10 * time.Second, RetryAfter: 3 * time.Second,
 		DisableCoalescing: true,
 	})
+	// Pin the jitter at its midpoint: ceil(3s × (0.5 + 0.5)) = 3.
+	s.jitter = func() float64 { return 0.5 }
 
 	// A: occupies the single in-flight slot.
 	doneA := make(chan int, 1)
@@ -463,7 +466,7 @@ func TestAdmissionControl(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "3" {
 		t.Errorf("Retry-After = %q, want \"3\"", ra)
 	}
-	var eb ErrorBody
+	var eb wire.ErrorBody
 	if err := json.Unmarshal(body, &eb); err != nil {
 		t.Fatal(err)
 	}
@@ -640,6 +643,9 @@ func TestErrorBodyGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Pin the Retry-After jitter at its midpoint so the golden is stable:
+	// ceil(2s × (0.5 + 0.5)) = 2.
+	s.jitter = func() float64 { return 0.5 }
 	cases := []struct {
 		name string
 		err  error

@@ -11,6 +11,8 @@ import (
 	"strings"
 
 	"tracex"
+	"tracex/internal/store"
+	"tracex/wire"
 )
 
 // This file implements the persistent signature store's HTTP surface:
@@ -23,6 +25,13 @@ import (
 // which GET resolves to the most recently stored matching signature and
 // PUT checks against the inline signature's own identity. Both routes
 // answer 501 no_store on a daemon started without a store directory.
+//
+// GET is the serving fast path: it never takes compute admission (a read
+// must not queue behind a multi-second collection), resolves the key
+// against the store index only, and serves marshalled bodies from a
+// content-addressed LRU — objects are immutable per hash, so a cached
+// body can never be stale for its key. Only cache misses touch the disk,
+// bounded by their own small semaphore.
 
 // storeKeySep separates the fields of a human-readable store key.
 const storeKeySep = "@"
@@ -63,62 +72,93 @@ func (s *Server) store() (*tracex.SignatureStore, error) {
 	return st, nil
 }
 
-// storeGet implements GET /v1/signatures/{key}.
+// storeGet implements GET /v1/signatures/{key} — the read fast path.
 func (s *Server) storeGet(w http.ResponseWriter, r *http.Request) {
 	st, err := s.store()
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	release, err := s.admit(r.Context())
-	if err != nil {
-		if errors.Is(err, errOverloaded) {
-			s.rejected.Inc()
-		}
-		s.writeError(w, err)
-		return
-	}
-	defer release()
-
 	key := r.PathValue("key")
-	resp := &StoredSignatureResponse{}
-	switch {
-	case isContentHash(key):
-		sig, err := st.GetHash(key)
-		if err != nil {
-			s.writeError(w, notFoundf("no stored signature %s: %v", key, err))
-			return
-		}
-		resp.Signature, resp.Hash = sig, key
-		// Attach manifest metadata when the hash is still referenced.
-		for _, e := range st.Entries() {
-			if e.Hash == key {
-				resp.Bytes, resp.Unix = e.Bytes, e.Unix
-				break
-			}
-		}
-	default:
+
+	// Resolve the key to its content identity via the index alone; no
+	// object bytes move yet.
+	var entry store.Entry
+	hash := key
+	if isContentHash(key) {
+		// An object can outlive its manifest entries; such a fetch still
+		// works, with zero metadata (entry stays unreferenced).
+		entry, _ = st.FindHash(key)
+		entry.Hash = key
+	} else {
 		app, cores, machine, err := parseTripleKey(key)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		sig, entry, ok, err := st.Latest(app, machine, cores)
-		if err != nil {
-			s.writeError(w, fmt.Errorf("server: reading stored signature %s: %w", key, err))
-			return
-		}
+		var ok bool
+		entry, ok = st.LatestEntry(app, machine, cores)
 		if !ok {
 			s.writeError(w, notFoundf("no stored signature for %s", key))
 			return
 		}
-		resp.Signature = sig
-		resp.Hash, resp.Bytes, resp.Unix = entry.Hash, entry.Bytes, entry.Unix
+		hash = entry.Hash
 	}
-	resp.App = resp.Signature.App
-	resp.Machine = resp.Signature.Machine
-	resp.Cores = resp.Signature.CoreCount
-	writeJSON(w, http.StatusOK, resp)
+
+	body, err := s.readSignatureBody(r, st, hash, entry)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, body)
+}
+
+// readSignatureBody returns the marshalled StoredSignatureResponse for one
+// content hash, from the body LRU when possible. The cache key carries the
+// manifest metadata (unix, bytes) alongside the hash so a re-Put of the
+// same content under fresh metadata is a distinct entry.
+func (s *Server) readSignatureBody(r *http.Request, st *tracex.SignatureStore, hash string, entry store.Entry) ([]byte, error) {
+	read := func() ([]byte, error) {
+		// Misses hit the disk; bound them separately from compute
+		// admission so a burst of distinct keys cannot starve predicts,
+		// and predicts cannot starve reads.
+		select {
+		case s.storeReads <- struct{}{}:
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+		defer func() { <-s.storeReads }()
+		sig, err := st.GetHash(hash)
+		if err != nil {
+			return nil, notFoundf("no stored signature %s: %v", hash, err)
+		}
+		resp := &wire.StoredSignatureResponse{
+			App:       sig.App,
+			Machine:   sig.Machine,
+			Cores:     sig.CoreCount,
+			Hash:      hash,
+			Bytes:     entry.Bytes,
+			Unix:      entry.Unix,
+			Signature: sig,
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding stored signature: %w", err)
+		}
+		return b, nil
+	}
+	if s.bodyCache == nil {
+		s.readMisses.Inc()
+		return read()
+	}
+	cacheKey := hash + "|" + strconv.FormatInt(entry.Unix, 10) + "|" + strconv.FormatInt(entry.Bytes, 10)
+	body, hit, err := s.bodyCache.Do(r.Context(), cacheKey, read)
+	if hit {
+		s.readHits.Inc()
+	} else {
+		s.readMisses.Inc()
+	}
+	return body, err
 }
 
 // storePut implements PUT /v1/signatures/{key}: import an inline signature
@@ -136,9 +176,7 @@ func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var sig tracex.Signature
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&sig); err != nil {
+	if err := wire.DecodeStrict(bytes.NewReader(body), &sig); err != nil {
 		s.writeError(w, badRequestf("decoding signature: %v", err))
 		return
 	}
@@ -178,7 +216,7 @@ func (s *Server) storePut(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("server: storing signature: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, &StorePutResponse{
+	writeJSON(w, http.StatusOK, &wire.StorePutResponse{
 		App:     entry.App,
 		Machine: entry.Machine,
 		Cores:   entry.Cores,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tracex"
+	"tracex/wire"
 )
 
 // storeEngine builds a real engine persisting to dir.
@@ -35,7 +36,7 @@ func predictFrom(t *testing.T, base string) string {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("predict: %d %s", resp.StatusCode, body)
 	}
-	var pr PredictResponse
+	var pr wire.PredictResponse
 	if err := json.Unmarshal(body, &pr); err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestStoreRoutesWithoutStore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var eb ErrorBody
+		var eb wire.ErrorBody
 		err = json.NewDecoder(resp.Body).Decode(&eb)
 		resp.Body.Close()
 		if err != nil {
@@ -142,7 +143,7 @@ func TestStoreGetPutRoutes(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET by triple: %d %s", resp.StatusCode, body)
 	}
-	var sr StoredSignatureResponse
+	var sr wire.StoredSignatureResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestStoreGetPutRoutes(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET by hash: %d %s", resp.StatusCode, body)
 	}
-	var hr StoredSignatureResponse
+	var hr wire.StoredSignatureResponse
 	if err := json.Unmarshal(body, &hr); err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestStoreGetPutRoutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer putResp.Body.Close()
-	var pr StorePutResponse
+	var pr wire.StorePutResponse
 	if err := json.NewDecoder(putResp.Body).Decode(&pr); err != nil {
 		t.Fatal(err)
 	}

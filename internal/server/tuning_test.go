@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"encoding/json"
+
+	"tracex"
+	"tracex/wire"
+)
+
+// TestRetryAfterJitter pins the jittered Retry-After contract: draws stay
+// within [ceil(0.5×base), ceil(1.5×base)], actually vary, and the header
+// always equals the body's retry_after_seconds.
+func TestRetryAfterJitter(t *testing.T) {
+	s, err := New(Config{Engine: tracex.NewEngine(), RetryAfter: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		secs := s.retryAfterSeconds()
+		if secs < 2 || secs > 5 {
+			t.Fatalf("retryAfterSeconds = %d, want within [2, 5] for a 3s base", secs)
+		}
+		seen[secs] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("500 draws produced a single value %v; jitter is not applied", seen)
+	}
+
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		s.writeError(rec, fmt.Errorf("server: %w: full", errOverloaded))
+		var eb wire.ErrorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Header().Get("Retry-After"); got != strconv.Itoa(eb.Error.RetryAfterSeconds) {
+			t.Fatalf("Retry-After header %q != body retry_after_seconds %d", got, eb.Error.RetryAfterSeconds)
+		}
+	}
+}
+
+// TestRetunePolicy pins the pure AIMD policy table.
+func TestRetunePolicy(t *testing.T) {
+	cases := []struct {
+		name             string
+		cur, floor, ceil int64
+		prev, ewma       float64
+		want             int64
+	}{
+		{"degraded shrinks 4/5", 10, 2, 16, 1.0, 1.3, 8},
+		{"shrink clamps to floor", 3, 2, 16, 1.0, 10, 2},
+		{"at floor stays", 2, 2, 16, 1.0, 10, 2},
+		{"steady grows by one", 8, 2, 16, 1.0, 1.0, 9},
+		{"improved grows by one", 8, 2, 16, 1.0, 0.5, 9},
+		{"growth capped at ceiling", 16, 2, 16, 1.0, 1.0, 16},
+		{"dead band holds", 8, 2, 16, 1.0, 1.15, 8},
+	}
+	for _, c := range cases {
+		if got := retune(c.cur, c.floor, c.ceil, c.prev, c.ewma); got != c.want {
+			t.Errorf("%s: retune(%d, %d, %d, %g, %g) = %d, want %d",
+				c.name, c.cur, c.floor, c.ceil, c.prev, c.ewma, got, c.want)
+		}
+	}
+}
+
+// TestAutoTune drives the tuner through a full degrade-to-floor and
+// recover-to-ceiling cycle using explicit clock ticks.
+func TestAutoTune(t *testing.T) {
+	s, err := New(Config{
+		Engine: tracex.NewEngine(), AutoTune: true,
+		MaxInFlight: 8, AutoTuneFloor: 2, TuneInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	tick := func(svcSeconds float64) {
+		// Saturate the EWMA at the new service time, then let one tune
+		// decision observe it.
+		for i := 0; i < 60; i++ {
+			s.svcEWMA.Observe(svcSeconds)
+		}
+		now = now.Add(10 * time.Millisecond)
+		s.maybeTune(now)
+	}
+
+	if got := s.limit.Load(); got != 8 {
+		t.Fatalf("initial limit = %d, want 8", got)
+	}
+	tick(0.1) // seeds tunePrev; no decision possible yet
+	for i, want := range []int64{6, 4, 3, 2, 2} {
+		tick(0.1 * math10(i+1)) // 10× worse every round
+		if got := s.limit.Load(); got != want {
+			t.Fatalf("limit after degradation round %d = %d, want %d", i+1, got, want)
+		}
+	}
+	if got := s.reg.Counter("server.tune.down").Value(); got != 4 {
+		t.Errorf("server.tune.down = %d, want 4", got)
+	}
+
+	// Latency stabilizes: the limit recovers one slot per interval, capped
+	// at MaxInFlight.
+	for i := 0; i < 10; i++ {
+		tick(0.1)
+	}
+	if got := s.limit.Load(); got != 8 {
+		t.Errorf("limit after recovery = %d, want 8", got)
+	}
+	if got := s.reg.Counter("server.tune.up").Value(); got == 0 {
+		t.Error("server.tune.up never incremented during recovery")
+	}
+}
+
+// math10 returns 10^n for small n.
+func math10(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 10
+	}
+	return v
+}
+
+// TestQueueDeadlineExpiry covers admission under queue-full with mixed
+// deadlines: a queued request whose deadline expires while waiting is
+// rejected without ever occupying an in-flight slot, while a
+// long-deadline request queued behind it still completes once the slot
+// frees.
+func TestQueueDeadlineExpiry(t *testing.T) {
+	real := tracex.NewEngine()
+	bp := newBlockingPredict()
+	shim := &shimEngine{Engine: real, predict: bp.fn}
+	s, base := newTestServer(t, Config{
+		Engine: shim, MaxInFlight: 1, MaxQueue: 2,
+		QueueWait: 30 * time.Second, DisableCoalescing: true,
+	})
+
+	// A: occupies the single in-flight slot.
+	doneA := make(chan int, 1)
+	bodyA := inlinePredictBody(t, 4)
+	go func() { doneA <- postStatus(base+"/v1/predict", bodyA) }()
+	<-bp.started
+
+	// B: queues with a deadline far shorter than A will block.
+	errB := make(chan error, 1)
+	go func() {
+		// Long enough for C to reliably queue behind B first, short enough
+		// to expire well before A's release.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/predict",
+			strings.NewReader(inlinePredictBody(t, 8)))
+		if err != nil {
+			errB <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request B got status %d, want deadline expiry", resp.StatusCode)
+		}
+		errB <- err
+	}()
+	waitFor(t, 10*time.Second, func() bool { return len(s.queue) == 1 }, "request B to queue")
+
+	// C: queues behind B with a generous deadline.
+	doneC := make(chan int, 1)
+	bodyC := inlinePredictBody(t, 16)
+	go func() { doneC <- postStatus(base+"/v1/predict", bodyC) }()
+	waitFor(t, 10*time.Second, func() bool { return len(s.queue) == 2 }, "request C to queue")
+
+	// B's deadline fires while queued: its transport errors out and its
+	// queue slot drains — without B ever reaching the engine.
+	if err := <-errB; err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("request B: %v, want client deadline expiry", err)
+	}
+	waitFor(t, 10*time.Second, func() bool { return len(s.queue) == 1 }, "request B's queue slot to drain")
+	if calls := bp.calls.Load(); calls != 1 {
+		t.Fatalf("engine saw %d calls while A blocks; expired B must not run", calls)
+	}
+	if got := s.running.Load(); got != 1 {
+		t.Fatalf("running = %d with only A admitted; expired B holds a slot", got)
+	}
+
+	// Release: A completes and C — not the expired B — takes the slot.
+	close(bp.release)
+	if got := <-doneA; got != 200 {
+		t.Errorf("request A finished %d", got)
+	}
+	if got := <-doneC; got != 200 {
+		t.Errorf("request C finished %d", got)
+	}
+	if calls := bp.calls.Load(); calls != 2 {
+		t.Errorf("engine ran %d calls, want 2 (A and C)", calls)
+	}
+	waitFor(t, 10*time.Second, func() bool { return s.running.Load() == 0 && len(s.queue) == 0 }, "slots to drain")
+}

@@ -439,12 +439,15 @@ func (s *Store) Lookup(key Key) (Entry, bool) {
 	return e, ok
 }
 
-// Latest returns the most recently stored signature matching (app,
-// machine name, cores) across all machine fingerprints and collection
-// options — the human-facing lookup behind the HTTP GET and CLI export,
-// where callers name machines, not fingerprints.
-func (s *Store) Latest(app, machine string, cores int) (*trace.Signature, Entry, bool, error) {
+// LatestEntry returns the manifest entry of the most recently stored
+// signature matching (app, machine name, cores) across all machine
+// fingerprints and collection options, without reading the object. It is
+// the index half of Latest, split out so the server's read fast path can
+// resolve a triple key to a content hash (its cache key) before deciding
+// whether the object bytes are needed at all.
+func (s *Store) LatestEntry(app, machine string, cores int) (Entry, bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	var best Entry
 	found := false
 	for _, e := range s.index {
@@ -455,7 +458,29 @@ func (s *Store) Latest(app, machine string, cores int) (*trace.Signature, Entry,
 			best, found = e, true
 		}
 	}
-	s.mu.Unlock()
+	return best, found
+}
+
+// FindHash returns the manifest entry referencing the given content hash,
+// if any (an object can outlive its manifest entries; such hashes are
+// still readable via GetHash but carry no metadata).
+func (s *Store) FindHash(hash string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.index {
+		if e.Hash == hash {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Latest returns the most recently stored signature matching (app,
+// machine name, cores) across all machine fingerprints and collection
+// options — the human-facing lookup behind the HTTP GET and CLI export,
+// where callers name machines, not fingerprints.
+func (s *Store) Latest(app, machine string, cores int) (*trace.Signature, Entry, bool, error) {
+	best, found := s.LatestEntry(app, machine, cores)
 	if !found {
 		s.misses.Inc()
 		return nil, Entry{}, false, nil

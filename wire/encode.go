@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"tracex"
+)
+
+// This file implements allocation-free append-based encoders for the
+// response types on the serving hot path. The output is byte-identical to
+// encoding/json's (same float formatting, same HTML-safe string escaping,
+// same omitempty behavior), pinned by TestAppendJSONMatchesEncodingJSON, so
+// switching a handler between the two encoders can never change the wire
+// contract. The encoders allocate only when the destination slice must
+// grow: with a pre-sized buffer they run at 0 allocs/op (pinned by
+// TestAppendJSONZeroAllocs).
+
+// AppendMarshaler is implemented by wire types with an append-based JSON
+// encoder. The server prefers it over encoding/json on the hot response
+// path.
+type AppendMarshaler interface {
+	// AppendJSON appends the value's JSON encoding to dst and returns the
+	// extended slice.
+	AppendJSON(dst []byte) []byte
+}
+
+// AppendJSON appends r's JSON encoding to dst, byte-identical to
+// json.Marshal(r).
+func (r *PredictResponse) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"app":`...)
+	dst = appendJSONString(dst, r.App)
+	dst = append(dst, `,"cores":`...)
+	dst = strconv.AppendInt(dst, int64(r.Cores), 10)
+	dst = append(dst, `,"machine":`...)
+	dst = appendJSONString(dst, r.Machine)
+	dst = append(dst, `,"runtime_seconds":`...)
+	dst = appendJSONFloat(dst, r.RuntimeSeconds)
+	dst = append(dst, `,"compute_seconds":`...)
+	dst = appendJSONFloat(dst, r.ComputeSeconds)
+	dst = append(dst, `,"comm_seconds":`...)
+	dst = appendJSONFloat(dst, r.CommSeconds)
+	dst = append(dst, `,"mem_seconds":`...)
+	dst = appendJSONFloat(dst, r.MemSeconds)
+	dst = append(dst, `,"fp_seconds":`...)
+	dst = appendJSONFloat(dst, r.FPSeconds)
+	if r.From != "" {
+		dst = append(dst, `,"from":`...)
+		dst = appendJSONString(dst, r.From)
+	}
+	if r.Model != "" {
+		dst = append(dst, `,"model":`...)
+		dst = appendJSONString(dst, r.Model)
+	}
+	return append(dst, '}')
+}
+
+// AppendJSON appends r's JSON encoding to dst, byte-identical to
+// json.Marshal(r).
+func (r *StudyResponse) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"app":`...)
+	dst = appendJSONString(dst, r.App)
+	dst = append(dst, `,"machine":`...)
+	dst = appendJSONString(dst, r.Machine)
+	dst = append(dst, `,"input_counts":`...)
+	dst = appendIntSlice(dst, r.InputCounts)
+	dst = append(dst, `,"rows":`...)
+	dst = appendStudyRows(dst, r.Rows)
+	return append(dst, '}')
+}
+
+// appendIntSlice appends a []int encoding (null for a nil slice, matching
+// encoding/json).
+func appendIntSlice(dst []byte, xs []int) []byte {
+	if xs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(x), 10)
+	}
+	return append(dst, ']')
+}
+
+// appendStudyRows appends a []tracex.StudyRow encoding (null for nil).
+func appendStudyRows(dst []byte, rows []tracex.StudyRow) []byte {
+	if rows == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i := range rows {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		r := &rows[i]
+		dst = append(dst, `{"target_cores":`...)
+		dst = strconv.AppendInt(dst, int64(r.TargetCores), 10)
+		dst = append(dst, `,"predicted_seconds":`...)
+		dst = appendJSONFloat(dst, r.PredictedSeconds)
+		dst = append(dst, `,"actual_seconds":`...)
+		dst = appendJSONFloat(dst, r.ActualSeconds)
+		dst = append(dst, `,"abs_rel_err":`...)
+		dst = appendJSONFloat(dst, r.AbsRelErr)
+		dst = append(dst, '}')
+	}
+	return append(dst, ']')
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64:
+// shortest representation, 'f' format inside [1e-6, 1e21), 'e' outside with
+// a minimal exponent. The pipeline never produces NaN or ±Inf (they are not
+// representable in JSON and json.Marshal would fail); encode them as 0 so
+// the append path cannot corrupt a response mid-buffer.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-0X" to "e-X".
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string exactly as encoding/json's
+// default (HTML-escaping) encoder does: control characters, '"', '\\',
+// '<', '>' and '&' are escaped, invalid UTF-8 becomes U+FFFD, and
+// U+2028/U+2029 are escaped for JS embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

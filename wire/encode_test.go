@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"tracex"
+)
+
+// checkSame asserts the append encoder and encoding/json produce identical
+// bytes for v (an AppendMarshaler).
+func checkSame(t *testing.T, v AppendMarshaler) {
+	t.Helper()
+	want, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	got := v.AppendJSON(nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendJSON diverges from encoding/json:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestAppendJSONMatchesEncodingJSON pins the append encoders byte-identical
+// to encoding/json across representative and adversarial values: the server
+// can switch a route between the two encoders without changing the wire
+// contract.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	floats := []float64{
+		0, 1, -1, 1.5, -1.5, 0.1, 1e-7, -1e-7, 9.999999e20, 1e21, -1e21,
+		1e-300, 1e300, 123456.789, 1.0 / 3.0, math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 5e-324, 2.2250738585072014e-308, 1e-6, 0.000001,
+	}
+	strs := []string{
+		"", "uh3d", "bluewaters", "a b c", `quote"back\slash`,
+		"tabs\tand\nnewlines\rhere", "html<&>escapes", "\x00\x01\x1f",
+		"unicode: héllo, 世界", "bad utf8: \xff\xfe ok", "line seps:   ",
+		strings.Repeat("x", 300),
+	}
+	// fin replaces non-finite derived values (JSON cannot represent them
+	// and json.Marshal rejects them, so they are outside the contract).
+	fin := func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0
+		}
+		return f
+	}
+	for _, f := range floats {
+		for i, s := range strs {
+			checkSame(t, &PredictResponse{
+				App: s, Cores: i*7 - 3, Machine: strs[(i+1)%len(strs)],
+				RuntimeSeconds: f, ComputeSeconds: -f, CommSeconds: f / 3,
+				MemSeconds: fin(f * 1e-9), FPSeconds: fin(f * 1e9),
+				From: strs[(i+2)%len(strs)], Model: strs[(i+3)%len(strs)],
+			})
+		}
+	}
+
+	// omitempty behavior: From and Model absent when empty.
+	b := (&PredictResponse{App: "a", Machine: "m"}).AppendJSON(nil)
+	if bytes.Contains(b, []byte(`"from"`)) || bytes.Contains(b, []byte(`"model"`)) {
+		t.Errorf("empty from/model not omitted: %s", b)
+	}
+
+	// Study responses, including nil vs empty slices (null vs []).
+	for _, sr := range []*StudyResponse{
+		{},
+		{App: "uh3d", Machine: "kraken"},
+		{App: "uh3d", Machine: "kraken", InputCounts: []int{}, Rows: []tracex.StudyRow{}},
+		{App: "uh3d", Machine: "kraken", InputCounts: []int{64, 128, 256}, Rows: []tracex.StudyRow{
+			{TargetCores: 512, PredictedSeconds: 10.5, ActualSeconds: 10, AbsRelErr: 0.05},
+			{TargetCores: 8192, PredictedSeconds: 1234.5678},
+		}},
+	} {
+		checkSame(t, sr)
+	}
+}
+
+// TestAppendJSONMatchesRandomized fuzzes the encoders against
+// encoding/json with random floats and byte strings (valid and invalid
+// UTF-8 alike).
+func TestAppendJSONMatchesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	randStr := func() string {
+		n := rng.IntN(24)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.IntN(256))
+		}
+		return string(b)
+	}
+	randFloat := func() float64 {
+		// Mix magnitudes so both 'f' and 'e' formats are exercised.
+		f := rng.NormFloat64() * math.Pow(10, float64(rng.IntN(50)-25))
+		if rng.IntN(8) == 0 {
+			f = 0
+		}
+		return f
+	}
+	for i := 0; i < 2000; i++ {
+		checkSame(t, &PredictResponse{
+			App: randStr(), Cores: rng.IntN(1 << 20), Machine: randStr(),
+			RuntimeSeconds: randFloat(), ComputeSeconds: randFloat(),
+			CommSeconds: randFloat(), MemSeconds: randFloat(), FPSeconds: randFloat(),
+			From: randStr(), Model: randStr(),
+		})
+		rows := make([]tracex.StudyRow, rng.IntN(4))
+		for j := range rows {
+			rows[j] = tracex.StudyRow{
+				TargetCores: rng.IntN(1 << 16), PredictedSeconds: randFloat(),
+				ActualSeconds: randFloat(), AbsRelErr: randFloat(),
+			}
+		}
+		counts := make([]int, rng.IntN(4))
+		for j := range counts {
+			counts[j] = rng.IntN(1 << 16)
+		}
+		checkSame(t, &StudyResponse{App: randStr(), Machine: randStr(), InputCounts: counts, Rows: rows})
+	}
+}
+
+// TestAppendJSONZeroAllocs is the acceptance alloc guard: encoding a
+// predict response into a pre-sized buffer performs zero allocations, and
+// the study encoder likewise.
+func TestAppendJSONZeroAllocs(t *testing.T) {
+	pr := &PredictResponse{
+		App: "uh3d", Cores: 8192, Machine: "bluewaters",
+		RuntimeSeconds: 1234.5678, ComputeSeconds: 1000.1, CommSeconds: 234.4678,
+		MemSeconds: 600.25, FPSeconds: 399.85, From: "memory", Model: "exact",
+	}
+	buf := make([]byte, 0, 1024)
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = pr.AppendJSON(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("PredictResponse.AppendJSON: %.1f allocs/op, want 0", allocs)
+	}
+
+	sr := &StudyResponse{
+		App: "uh3d", Machine: "bluewaters", InputCounts: []int{1024, 2048, 4096},
+		Rows: []tracex.StudyRow{
+			{TargetCores: 8192, PredictedSeconds: 1234.5678, ActualSeconds: 1300, AbsRelErr: 0.0503},
+			{TargetCores: 16384, PredictedSeconds: 2400.25},
+		},
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = sr.AppendJSON(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("StudyResponse.AppendJSON: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkAppendPredictResponse measures the append encoder against
+// encoding/json on the same value.
+func BenchmarkAppendPredictResponse(b *testing.B) {
+	pr := &PredictResponse{
+		App: "uh3d", Cores: 8192, Machine: "bluewaters",
+		RuntimeSeconds: 1234.5678, ComputeSeconds: 1000.1, CommSeconds: 234.4678,
+		MemSeconds: 600.25, FPSeconds: 399.85, From: "memory", Model: "exact",
+	}
+	b.Run("append", func(b *testing.B) {
+		buf := make([]byte, 0, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = pr.AppendJSON(buf[:0])
+		}
+	})
+	b.Run("encoding_json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(pr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestDecodeStrict pins the canonical decoder's unknown-field rejection.
+func TestDecodeStrict(t *testing.T) {
+	var pr PredictRequest
+	if err := DecodeStrict(strings.NewReader(`{"app":"uh3d","cores":64}`), &pr); err != nil {
+		t.Fatalf("valid body rejected: %v", err)
+	}
+	if pr.App != "uh3d" || pr.Cores != 64 {
+		t.Errorf("decoded %+v", pr)
+	}
+	if err := DecodeStrict(strings.NewReader(`{"app":"uh3d","coresx":64}`), &pr); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

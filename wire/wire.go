@@ -1,20 +1,45 @@
-package server
+// Package wire defines tracexd's versioned HTTP API: the JSON request and
+// response bodies of every /v1 route, the structured error body every
+// failure path renders, and the canonical encoders and decoders for those
+// types. It is the single definition of the wire contract, imported by the
+// server (internal/server), the typed client (tracex/client), the tracex
+// CLI's JSON output paths and the tracexload traffic generator — so the
+// daemon, its clients and its load harness cannot drift apart.
+//
+// Wire types are distinct from the library types so the HTTP contract can
+// stay stable while the library evolves; field order is fixed by struct
+// declaration, which makes the encodings golden-file testable. The package
+// version is carried in the route paths (Path* constants): a breaking
+// change mints /v2 routes and new types rather than mutating these.
+package wire
 
 import (
-	"context"
-	"errors"
-	"fmt"
-	"net/http"
+	"encoding/json"
+	"io"
 
 	"tracex"
 )
 
-// This file defines the service's wire formats: the JSON request and
-// response bodies of every /v1 route, and the structured error body every
-// failure path renders. Wire types are distinct from the library types so
-// the HTTP contract can stay stable while the library evolves; field order
-// is fixed by struct declaration, which makes the encodings golden-file
-// testable.
+// Version is the API version every Path* constant belongs to.
+const Version = "v1"
+
+// Route paths of the versioned API. The server registers its handlers on
+// these constants and clients address them, so a path typo cannot split the
+// two sides.
+const (
+	PathPredict     = "/v1/predict"
+	PathStudy       = "/v1/study"
+	PathExtrapolate = "/v1/extrapolate"
+	PathSignatures  = "/v1/signatures"
+	// PathSignaturePrefix prefixes GET/PUT /v1/signatures/{key}; append the
+	// store key (a 64-hex content hash or "app@cores@machine").
+	PathSignaturePrefix = "/v1/signatures/"
+	PathApps            = "/v1/apps"
+	PathMachines        = "/v1/machines"
+	PathHealthz         = "/healthz"
+	PathReadyz          = "/readyz"
+	PathMetrics         = "/metrics"
+)
 
 // PredictRequest is the body of POST /v1/predict. Either an inline
 // Signature or an (App, Cores, Machine) triple must be supplied; with the
@@ -41,7 +66,8 @@ type PredictRequest struct {
 	Signature *tracex.Signature `json:"signature,omitempty"`
 }
 
-// PredictResponse is the body of a successful POST /v1/predict.
+// PredictResponse is the body of a successful POST /v1/predict. It has an
+// allocation-free AppendJSON encoder because it is the serving hot path.
 type PredictResponse struct {
 	App            string  `json:"app"`
 	Cores          int     `json:"cores"`
@@ -58,6 +84,22 @@ type PredictResponse struct {
 	// Model echoes the cache model that produced the signature's hit rates
 	// ("exact" or "analytical"; empty for inline signatures).
 	Model string `json:"model,omitempty"`
+}
+
+// PredictionResponse converts a library prediction into its wire form.
+// From and Model are left empty for the caller to fill (the server knows
+// the provenance; the CLI's inline path does not).
+func PredictionResponse(p *tracex.Prediction) *PredictResponse {
+	return &PredictResponse{
+		App:            p.App,
+		Cores:          p.CoreCount,
+		Machine:        p.Machine,
+		RuntimeSeconds: p.Runtime,
+		ComputeSeconds: p.ComputeSeconds,
+		CommSeconds:    p.CommSeconds,
+		MemSeconds:     p.MemSeconds,
+		FPSeconds:      p.FPSeconds,
+	}
 }
 
 // StudyRequest is the body of POST /v1/study: the full
@@ -153,6 +195,22 @@ type StorePutResponse struct {
 	Bytes   int64  `json:"bytes"`
 }
 
+// AppsResponse is the body of GET /v1/apps.
+type AppsResponse struct {
+	Apps []string `json:"apps"`
+}
+
+// MachinesResponse is the body of GET /v1/machines.
+type MachinesResponse struct {
+	Machines []string `json:"machines"`
+}
+
+// HealthResponse is the body of GET /healthz and GET /readyz ("ok",
+// "ready" or "draining").
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
 // ErrorBody is the JSON rendering of every failed request. Codes are
 // stable API: clients branch on Code, not Message.
 type ErrorBody struct {
@@ -162,7 +220,8 @@ type ErrorBody struct {
 // ErrorDetail carries one error's machine-readable classification and
 // human-readable context.
 type ErrorDetail struct {
-	// Code is the stable, snake_case error class (see classify).
+	// Code is the stable, snake_case error class (the server's classify
+	// mapping; see tracex/client for the sentinel each code resolves to).
 	Code string `json:"code"`
 	// Message is the underlying error text.
 	Message string `json:"message"`
@@ -170,70 +229,17 @@ type ErrorDetail struct {
 	// body.
 	Status int `json:"status"`
 	// RetryAfterSeconds accompanies 429 responses (it mirrors the
-	// Retry-After header).
+	// Retry-After header). The value is jittered per response so a burst of
+	// rejected clients does not retry in lockstep.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
-// StatusClientClosedRequest reports a request abandoned by its client
-// before a response was produced (nginx's conventional 499; there is no
-// standard code).
-const StatusClientClosedRequest = 499
-
-// Server-side sentinels for request classification. Handlers wrap them so
-// classify can map handler-level failures without string matching.
-var (
-	// errOverloaded reports admission-control rejection: no in-flight or
-	// queue slot within the configured bounds. Mapped to 429.
-	errOverloaded = errors.New("server overloaded")
-	// errNotFound reports an unknown application, machine or route.
-	errNotFound = errors.New("not found")
-	// errBadRequest reports an unparseable or semantically invalid body.
-	errBadRequest = errors.New("bad request")
-	// errNoStore reports a store route on a daemon running without a
-	// persistent store. Mapped to 501.
-	errNoStore = errors.New("no signature store configured")
-)
-
-// badRequestf wraps a formatted message as a 400-classified error.
-func badRequestf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
-}
-
-// notFoundf wraps a formatted message as a 404-classified error.
-func notFoundf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errNotFound, fmt.Sprintf(format, args...))
-}
-
-// classify maps an error from the handler or pipeline to its HTTP status
-// and stable error code. Every exported tracex sentinel has a fixed
-// mapping, so library refactors cannot silently change the API contract.
-func classify(err error) (status int, code string) {
-	switch {
-	case errors.Is(err, errOverloaded):
-		return http.StatusTooManyRequests, "overloaded"
-	case errors.Is(err, errNotFound):
-		return http.StatusNotFound, "not_found"
-	case errors.Is(err, errBadRequest):
-		return http.StatusBadRequest, "bad_request"
-	case errors.Is(err, errNoStore):
-		return http.StatusNotImplemented, "no_store"
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, "deadline_exceeded"
-	case errors.Is(err, context.Canceled):
-		return StatusClientClosedRequest, "client_closed_request"
-	case errors.Is(err, tracex.ErrRankOutOfRange):
-		return http.StatusBadRequest, "rank_out_of_range"
-	case errors.Is(err, tracex.ErrMachineMismatch):
-		return http.StatusConflict, "machine_mismatch"
-	case errors.Is(err, tracex.ErrNoTraces):
-		return http.StatusUnprocessableEntity, "no_traces"
-	case errors.Is(err, tracex.ErrEmptyWorkload):
-		return http.StatusUnprocessableEntity, "empty_workload"
-	case errors.Is(err, tracex.ErrModelUnsupported):
-		return http.StatusUnprocessableEntity, "model_unsupported"
-	case errors.Is(err, tracex.ErrBadParallelism):
-		return http.StatusInternalServerError, "bad_parallelism"
-	default:
-		return http.StatusInternalServerError, "internal"
-	}
+// DecodeStrict decodes one JSON value from r, rejecting unknown fields.
+// It is the canonical request decoder: the server and the load harness both
+// use it, so a body the harness generates is exactly a body the server
+// accepts.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }

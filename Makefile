@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-obs bench-serve bench-serve-smoke bench-server bench-store bench-smoke serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-fleet bench-obs bench-serve bench-serve-smoke bench-server bench-store bench-smoke fleet-smoke serve experiments examples csv clean
 
 all: build vet test
 
@@ -84,6 +84,18 @@ bench-serve:
 # BENCH_serve.json (-out "").
 bench-serve-smoke:
 	$(GO) run ./cmd/tracexload -inprocess -duration 5s -warmup 1s -rate 50 -workers 16 -keys 4 -sample-refs 2000 -out "" -label smoke -assert-min-rps 10 -assert-max-5xx 0
+
+# Distributed acceptance check: three tracexd processes on loopback must
+# collect a shared identity exactly once (on its rendezvous owner), serve
+# it with "peer" provenance on the other two, and degrade to a local
+# collection when the owner dies. Zero 5xx allowed.
+fleet-smoke:
+	$(GO) run ./scripts/fleet-smoke
+
+# Fleet wall-clock measurements (cold fill single-node vs 3-node cluster,
+# warm-start replication of a wiped node), recorded into BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./scripts/fleet-smoke -bench -out BENCH_fleet.json
 
 # Run the prediction daemon with development-friendly defaults.
 serve:

@@ -44,6 +44,10 @@ var (
 	// ErrNoStore reports a store route on a daemon running without a
 	// persistent store (HTTP 501).
 	ErrNoStore = errors.New("tracexd: no signature store configured")
+	// ErrUnavailable reports a temporarily unavailable server (HTTP 503,
+	// e.g. a draining or restarting peer). Like ErrOverloaded it is
+	// transient: WithRetries retries it, honoring any Retry-After.
+	ErrUnavailable = errors.New("tracexd: unavailable")
 )
 
 // APIError is a non-2xx response decoded from the server's wire.ErrorBody.
@@ -81,6 +85,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Status == http.StatusBadRequest
 	case ErrNoStore:
 		return e.Status == http.StatusNotImplemented
+	case ErrUnavailable:
+		return e.Status == http.StatusServiceUnavailable
 	}
 	return false
 }
@@ -94,8 +100,10 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithRetries enables up to n retries of 429-rejected requests. Only
-// overload rejections retry: every other failure class is deterministic and
+// WithRetries enables up to n retries of transient rejections: 429
+// (admission-control overload) and 503 (temporarily unavailable, e.g. a
+// draining peer), both honoring the server's Retry-After under the capped
+// backoff schedule. Every other failure class is deterministic and
 // retrying it would just repeat the error.
 func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
@@ -189,6 +197,40 @@ func (c *Client) GetSignature(ctx context.Context, key string) (*wire.StoredSign
 	return &resp, nil
 }
 
+// SignatureExists calls HEAD /v1/signatures/{key}: a body-free existence
+// probe on the store-read fast path. It reports (true, nil) when the key
+// resolves, (false, nil) when the daemon answers 404, and the error for
+// every other failure (no store configured, transport trouble, ...).
+func (c *Client) SignatureExists(ctx context.Context, key string) (bool, error) {
+	err := c.do(ctx, http.MethodHead, wire.PathSignaturePrefix+key, nil, nil)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	return false, err
+}
+
+// FleetStatus calls GET /v1/fleet/status.
+func (c *Client) FleetStatus(ctx context.Context) (*wire.FleetStatusResponse, error) {
+	var resp wire.FleetStatusResponse
+	if err := c.do(ctx, http.MethodGet, wire.PathFleetStatus, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FleetSync calls POST /v1/fleet/sync: given the keys the caller already
+// has, the daemon answers with the store entries it holds beyond them.
+func (c *Client) FleetSync(ctx context.Context, req *wire.FleetSyncRequest) (*wire.FleetSyncResponse, error) {
+	var resp wire.FleetSyncResponse
+	if err := c.do(ctx, http.MethodPost, wire.PathFleetSync, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // PutSignature calls PUT /v1/signatures/{key} with sig as the body. The key
 // must match the signature's own (app, cores, machine) identity.
 func (c *Client) PutSignature(ctx context.Context, key string, sig *tracex.Signature) (*wire.StorePutResponse, error) {
@@ -246,13 +288,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if apiErr == nil {
 			return nil
 		}
-		if attempt >= c.retries || !errors.Is(apiErr, ErrOverloaded) {
+		if attempt >= c.retries || !retryable(apiErr) {
 			return apiErr
 		}
 		if err := c.sleep(ctx, c.backoff(attempt, apiErr.RetryAfter)); err != nil {
 			return err
 		}
 	}
+}
+
+// / retryable reports whether an API error is transient enough to retry:
+// admission-control overload (429) or temporary unavailability (503).
+func retryable(err *APIError) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable)
 }
 
 // once performs a single HTTP exchange. A non-2xx response comes back as a

@@ -153,6 +153,55 @@ func TestRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryUnavailable drives two 503s then success: WithRetries honors
+// 503 + Retry-After with the same capped backoff as 429.
+func TestRetryUnavailable(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(&wire.ErrorBody{Error: wire.ErrorDetail{
+				Code: "unavailable", Message: "synthetic", Status: 503, RetryAfterSeconds: 2,
+			}})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&wire.AppsResponse{Apps: []string{"stencil3d"}})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(3))
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	apps, err := c.Apps(bg)
+	if err != nil {
+		t.Fatalf("Apps after 503 retries: %v", err)
+	}
+	if len(apps) != 1 || hits.Load() != 3 {
+		t.Errorf("apps %v after %d requests, want 1 app after 3", apps, hits.Load())
+	}
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("sleep schedule %v, want %v", slept, want)
+	}
+}
+
+// TestUnavailableSentinel pins the 503 → ErrUnavailable mapping.
+func TestUnavailableSentinel(t *testing.T) {
+	ts := errorServer(http.StatusServiceUnavailable, "unavailable", "synthetic", 1)
+	defer ts.Close()
+	_, err := New(ts.URL).Apps(bg)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("503: errors.Is(%v, ErrUnavailable) = false", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Errorf("503 must not map to ErrOverloaded: %v", err)
+	}
+}
+
 // TestRetrySkipsDeterministicErrors pins that only 429 retries: a 400 with
 // retries enabled fails immediately.
 func TestRetrySkipsDeterministicErrors(t *testing.T) {
@@ -288,6 +337,12 @@ func TestAgainstServer(t *testing.T) {
 	if _, err := c.GetSignature(bg, Key("nope", 64, "bluewaters")); !errors.Is(err, ErrNotFound) {
 		t.Errorf("missing key: %v, want ErrNotFound", err)
 	}
+	if ok, err := c.SignatureExists(bg, key); err != nil || !ok {
+		t.Errorf("SignatureExists(%s) = %v, %v, want true", key, ok, err)
+	}
+	if ok, err := c.SignatureExists(bg, Key("nope", 64, "bluewaters")); err != nil || ok {
+		t.Errorf("SignatureExists(missing) = %v, %v, want false, nil", ok, err)
+	}
 
 	// Predict from the collected signature.
 	pred, err := c.Predict(bg, &wire.PredictRequest{Signature: coll.Signature})
@@ -317,5 +372,9 @@ func TestNoStoreSentinel(t *testing.T) {
 	c := New("http://" + addr.String())
 	if _, err := c.GetSignature(bg, Key("stencil3d", 64, "bluewaters")); !errors.Is(err, ErrNoStore) {
 		t.Fatalf("storeless GET: %v, want ErrNoStore", err)
+	}
+	// SignatureExists propagates non-404 errors instead of reporting "absent".
+	if _, err := c.SignatureExists(bg, Key("stencil3d", 64, "bluewaters")); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("storeless HEAD: %v, want ErrNoStore", err)
 	}
 }

@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"tracex"
+	"tracex/internal/fleet"
+	"tracex/internal/obs"
 	"tracex/internal/server"
 )
 
@@ -51,6 +53,11 @@ type options struct {
 	autoTuneFloor  int
 	tuneInterval   time.Duration
 	storeReadCache int
+	peers          string
+	advertise      string
+	shardMode      string
+	peersPoll      time.Duration
+	noReplicate    bool
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -74,21 +81,50 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.autoTuneFloor, "auto-tune-floor", 0, "smallest in-flight limit -auto-tune may shrink to (0 = max-inflight/4, at least 1)")
 	fs.DurationVar(&o.tuneInterval, "tune-interval", 250*time.Millisecond, "minimum spacing between -auto-tune adjustments")
 	fs.IntVar(&o.storeReadCache, "store-read-cache", 0, "marshalled signature-GET bodies retained (0 = default 256, <0 disables)")
+	fs.StringVar(&o.peers, "peers", "", "fleet membership: comma-separated peer base URLs, or a file with one per line (reloaded on SIGHUP and every -peers-poll); empty = single node")
+	fs.StringVar(&o.advertise, "advertise", "", "this node's base URL as peers reach it (its consistent-hash ring identity); required with -peers")
+	fs.StringVar(&o.shardMode, "shard-mode", "fetch", "how remote-owned keys are served: \"fetch\" (delegate + fetch from the owner) or \"redirect\" (signature GETs answer 307 to the owner)")
+	fs.DurationVar(&o.peersPoll, "peers-poll", 30*time.Second, "how often a -peers file is re-read for membership changes (0 disables polling; SIGHUP always reloads)")
+	fs.BoolVar(&o.noReplicate, "no-replicate", false, "skip the startup warm-start pull of owned keys from peers")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if len(fs.Args()) != 0 {
 		return nil, fmt.Errorf("tracexd takes no positional arguments, got %q", fs.Args())
 	}
+	if o.peers != "" && o.advertise == "" {
+		return nil, fmt.Errorf("-peers requires -advertise (this node's URL as peers reach it)")
+	}
 	return o, nil
 }
 
-// build constructs the engine and server for o. Configuration errors
-// (e.g. a negative -parallelism) surface here, before any socket opens. The
-// engine is returned alongside the server so main can Close it — releasing
-// the collection arena and the store lock — after the server has drained.
-func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex.Engine, error) {
-	var eopts []tracex.EngineOption
+// build constructs the engine, server and (with -peers) the fleet for o.
+// Configuration errors (e.g. a negative -parallelism) surface here, before
+// any socket opens. The engine is returned alongside the server so main can
+// Close it — releasing the collection arena and the store lock — after the
+// server has drained; the fleet (nil on a single node) is returned so main
+// can reload membership and run the warm-start replicator.
+func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex.Engine, *fleet.Fleet, error) {
+	// One registry shared by the engine and the fleet, so /metrics shows
+	// engine.*, pebil.* and fleet.* side by side.
+	reg := obs.New()
+	var flt *fleet.Fleet
+	if o.peers != "" {
+		peers, err := fleet.LoadPeers(o.peers)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		flt, err = fleet.New(fleet.Config{
+			Self:     o.advertise,
+			Peers:    peers,
+			Mode:     o.shardMode,
+			Registry: reg,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	eopts := []tracex.EngineOption{tracex.WithRegistry(reg)}
 	if o.parallelism != 0 {
 		eopts = append(eopts, tracex.WithParallelism(o.parallelism))
 	}
@@ -96,14 +132,17 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex
 	if o.storeDir != "" {
 		eopts = append(eopts, tracex.WithStore(o.storeDir))
 	}
+	if flt != nil {
+		eopts = append(eopts, tracex.WithRemoteTier(flt))
+	}
 	eng := tracex.NewEngine(eopts...)
 	if err := eng.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if o.quiet {
 		accessLog = nil
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Engine:            eng,
 		MaxInFlight:       o.maxInFlight,
 		MaxQueue:          o.maxQueue,
@@ -118,12 +157,60 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex
 		StoreReadCache:    o.storeReadCache,
 		AccessLog:         accessLog,
 		ErrorLog:          errorLog,
-	})
+	}
+	if flt != nil {
+		// Assigned conditionally: a typed nil in the interface field would
+		// read as "fleet configured".
+		scfg.Fleet = flt
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		eng.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return srv, eng, nil
+	return srv, eng, flt, nil
+}
+
+// fleetLifecycle runs the fleet background work until ctx is cancelled:
+// the one-shot warm-start replication pull (unless -no-replicate) and
+// membership reloads, on SIGHUP and — when -peers names a file — on the
+// -peers-poll ticker.
+func fleetLifecycle(ctx context.Context, o *options, flt *fleet.Fleet, eng *tracex.Engine, logger *log.Logger) {
+	if !o.noReplicate {
+		go func() {
+			pulled, err := flt.Replicate(ctx, eng)
+			if err != nil {
+				logger.Printf("fleet: warm-start replication pulled %d signatures, first error: %v", pulled, err)
+			} else {
+				logger.Printf("fleet: warm-start replication pulled %d signatures", pulled)
+			}
+		}()
+	}
+	sighup := make(chan os.Signal, 1)
+	signal.Notify(sighup, syscall.SIGHUP)
+	defer signal.Stop(sighup)
+	var poll <-chan time.Time
+	if o.peersPoll > 0 {
+		t := time.NewTicker(o.peersPoll)
+		defer t.Stop()
+		poll = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-sighup:
+		case <-poll:
+		}
+		peers, err := fleet.LoadPeers(o.peers)
+		if err != nil {
+			logger.Printf("fleet: reloading -peers %q: %v", o.peers, err)
+			continue
+		}
+		if flt.SetPeers(peers) {
+			logger.Printf("fleet: membership now %d peers, owned share %.3f", flt.Ring().Len(), flt.OwnedShare())
+		}
+	}
 }
 
 func main() {
@@ -132,7 +219,7 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	srv, eng, err := build(o, logger, logger)
+	srv, eng, flt, err := build(o, logger, logger)
 	if err != nil {
 		logger.Printf("configuration: %v", err)
 		os.Exit(1)
@@ -146,6 +233,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if flt != nil {
+		logger.Printf("fleet: %d peers, self %s, shard mode %s", flt.Ring().Len(), flt.Self(), flt.Mode())
+		go fleetLifecycle(ctx, o, flt, eng, logger)
+	}
 	<-ctx.Done()
 	stop() // restore default handling: a second signal kills immediately
 	logger.Printf("signal received; draining (up to %s)", o.drain)

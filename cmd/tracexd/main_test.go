@@ -40,13 +40,91 @@ func TestParseFlags(t *testing.T) {
 	}
 }
 
+func TestParseFleetFlags(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.peers != "" || o.advertise != "" || o.shardMode != "fetch" ||
+		o.peersPoll != 30*time.Second || o.noReplicate {
+		t.Errorf("fleet defaults: %+v", o)
+	}
+
+	o, err = parseFlags([]string{
+		"-peers", "http://a:1,http://b:2", "-advertise", "http://a:1",
+		"-shard-mode", "redirect", "-peers-poll", "5s", "-no-replicate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.peers != "http://a:1,http://b:2" || o.advertise != "http://a:1" ||
+		o.shardMode != "redirect" || o.peersPoll != 5*time.Second || !o.noReplicate {
+		t.Errorf("fleet flags: %+v", o)
+	}
+
+	if _, err := parseFlags([]string{"-peers", "http://a:1"}); err == nil {
+		t.Error("-peers without -advertise accepted")
+	}
+}
+
+// TestBuildFleet wires a two-node membership through build and checks the
+// fleet reaches both the engine (remote tier) and the server (status route).
+func TestBuildFleet(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-quiet", "-peers", "http://a:1,http://b:2", "-advertise", "http://a:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := log.New(io.Discard, "", 0)
+	srv, eng, flt, err := build(o, logger, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if flt == nil {
+		t.Fatal("build returned nil fleet despite -peers")
+	}
+	if got := flt.Ring().Len(); got != 2 {
+		t.Errorf("ring size = %d, want 2", got)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	resp, err := http.Get("http://" + addr.String() + "/v1/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("fleet status: %d", resp.StatusCode)
+	}
+
+	// A bad shard mode is a configuration error, caught before any socket.
+	o2, err := parseFlags([]string{"-peers", "http://a:1", "-advertise", "http://a:1", "-shard-mode", "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := build(o2, logger, logger); err == nil {
+		t.Error("bogus -shard-mode accepted")
+	}
+}
+
 func TestBuildRejectsBadEngineConfig(t *testing.T) {
 	o, err := parseFlags([]string{"-parallelism", "-3"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	logger := log.New(io.Discard, "", 0)
-	if _, _, err := build(o, logger, logger); err == nil {
+	if _, _, _, err := build(o, logger, logger); err == nil {
 		t.Error("negative -parallelism accepted")
 	}
 }
@@ -59,7 +137,7 @@ func TestBuildAndServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	logger := log.New(io.Discard, "", 0)
-	srv, eng, err := build(o, logger, logger)
+	srv, eng, _, err := build(o, logger, logger)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -194,8 +194,10 @@ func (p *keyPicker) pick(r *rand.Rand) int {
 
 // LoadConfig parameterizes one load run.
 type LoadConfig struct {
-	// BaseURL addresses the daemon under load.
-	BaseURL string
+	// Targets addresses the daemons under load; workers round-robin across
+	// them, so a multi-element list spreads one workload over a fleet. A
+	// single element is the classic single-daemon run.
+	Targets []string
 	// Duration is total wall-clock including Warmup; only requests that
 	// complete inside the post-warmup measurement window are recorded.
 	Duration, Warmup time.Duration
@@ -220,8 +222,13 @@ type LoadConfig struct {
 }
 
 func (c LoadConfig) validate() error {
-	if c.BaseURL == "" {
+	if len(c.Targets) == 0 {
 		return errors.New("no target address")
+	}
+	for _, t := range c.Targets {
+		if t == "" {
+			return errors.New("empty target address")
+		}
 	}
 	if c.Duration <= c.Warmup {
 		return fmt.Errorf("duration %s must exceed warmup %s", c.Duration, c.Warmup)
@@ -351,12 +358,20 @@ const (
 // collected through the API (which warms the engine's caches exactly like
 // production traffic would) and seeded into the store so GETs hit.
 type workload struct {
-	cfg   LoadConfig
-	c     *client.Client
-	keys  []string
-	sigs  []*tracex.Signature
-	preds []*wire.PredictRequest
-	study *wire.StudyRequest
+	cfg LoadConfig
+	// clients holds one client per target; worker w drives
+	// clients[w % len(clients)], a static round-robin that keeps each
+	// worker's connection pool pinned to one daemon.
+	clients []*client.Client
+	keys    []string
+	sigs    []*tracex.Signature
+	preds   []*wire.PredictRequest
+	study   *wire.StudyRequest
+}
+
+// client returns the target client for one worker sequence number.
+func (w *workload) client(seq uint64) *client.Client {
+	return w.clients[seq%uint64(len(w.clients))]
 }
 
 // seedConcurrency bounds parallel seeding collections so setup does not
@@ -365,24 +380,28 @@ const seedConcurrency = 4
 
 // newWorkload builds the key space: key k is the identity
 // (stencil3d, loadBaseCores+k, bluewaters). Each key's signature is
-// collected via POST /v1/signatures and imported via PUT, so during the
-// run GETs resolve from the store and triple predicts ride the engine's
-// warm memo — the serving regime, not the collection regime. Seeding is
-// outside the measurement window by construction.
+// collected once via POST /v1/signatures on the first target and imported
+// via PUT into every target, so during the run GETs resolve from each
+// node's store and triple predicts ride the engines' warm memos — the
+// serving regime, not the collection regime. Seeding is outside the
+// measurement window by construction.
 func newWorkload(ctx context.Context, cfg LoadConfig) (*workload, error) {
 	w := &workload{
 		cfg: cfg,
-		// Seeding tolerates its own admission pushback; the load client
-		// built per run in runLoad never retries.
-		c:     client.New(cfg.BaseURL, client.WithRetries(5)),
-		keys:  make([]string, cfg.Keys),
-		sigs:  make([]*tracex.Signature, cfg.Keys),
-		preds: make([]*wire.PredictRequest, cfg.Keys),
+		// Retries tolerate admission pushback, both during seeding bursts
+		// and when a measured run is pushed past a node's capacity.
+		clients: make([]*client.Client, len(cfg.Targets)),
+		keys:    make([]string, cfg.Keys),
+		sigs:    make([]*tracex.Signature, cfg.Keys),
+		preds:   make([]*wire.PredictRequest, cfg.Keys),
 		study: &wire.StudyRequest{
 			App: loadApp, Machine: loadMachine,
 			InputCounts: []int{8, 16}, TargetCores: 32,
 			SampleRefs: cfg.SampleRefs,
 		},
+	}
+	for i, t := range cfg.Targets {
+		w.clients[i] = client.New(t, client.WithRetries(5))
 	}
 	sem := make(chan struct{}, seedConcurrency)
 	errs := make(chan error, cfg.Keys)
@@ -394,7 +413,7 @@ func newWorkload(ctx context.Context, cfg LoadConfig) (*workload, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cores := loadBaseCores + k
-			coll, err := w.c.Collect(ctx, &wire.SignatureRequest{
+			coll, err := w.clients[0].Collect(ctx, &wire.SignatureRequest{
 				App: loadApp, Cores: cores, Machine: loadMachine,
 				SampleRefs: cfg.SampleRefs,
 			})
@@ -403,9 +422,11 @@ func newWorkload(ctx context.Context, cfg LoadConfig) (*workload, error) {
 				return
 			}
 			key := client.Key(loadApp, cores, loadMachine)
-			if _, err := w.c.PutSignature(ctx, key, coll.Signature); err != nil {
-				errs <- fmt.Errorf("seeding put %s: %w", key, err)
-				return
+			for i, cl := range w.clients {
+				if _, err := cl.PutSignature(ctx, key, coll.Signature); err != nil {
+					errs <- fmt.Errorf("seeding put %s to %s: %w", key, cfg.Targets[i], err)
+					return
+				}
 			}
 			w.keys[k] = key
 			w.sigs[k] = coll.Signature
@@ -420,19 +441,23 @@ func newWorkload(ctx context.Context, cfg LoadConfig) (*workload, error) {
 	if err := <-errs; err != nil {
 		return nil, err
 	}
-	// One throwaway predict warms the machine profile: the MultiMAPS
-	// bandwidth surface is lazily built and memoized per machine, and it is
-	// by far the most expensive single computation on the predict path. Paying
-	// it here keeps the measurement window in the serving regime instead of
-	// hiding one giant cold probe inside the first measured predict.
-	if _, err := w.c.Predict(ctx, w.preds[0]); err != nil {
-		return nil, fmt.Errorf("seeding warm predict: %w", err)
+	// One throwaway predict per target warms the machine profile: the
+	// MultiMAPS bandwidth surface is lazily built and memoized per machine,
+	// and it is by far the most expensive single computation on the predict
+	// path. Paying it here keeps the measurement window in the serving
+	// regime instead of hiding one giant cold probe inside each node's
+	// first measured predict.
+	for i, cl := range w.clients {
+		if _, err := cl.Predict(ctx, w.preds[0]); err != nil {
+			return nil, fmt.Errorf("seeding warm predict on %s: %w", cfg.Targets[i], err)
+		}
 	}
 	return w, nil
 }
 
-// issue sends one request and reports its operation, latency and outcome.
-func (w *workload) issue(ctx context.Context, r *rand.Rand, picker *keyPicker) (opKind, time.Duration, error) {
+// issue sends one request through cl and reports its operation, latency
+// and outcome.
+func (w *workload) issue(ctx context.Context, cl *client.Client, r *rand.Rand, picker *keyPicker) (opKind, time.Duration, error) {
 	op := w.cfg.Mix.pick(r)
 	k := picker.pick(r)
 	if d := w.cfg.Deadline.draw(r); d > 0 {
@@ -444,13 +469,13 @@ func (w *workload) issue(ctx context.Context, r *rand.Rand, picker *keyPicker) (
 	var err error
 	switch op {
 	case opPredict:
-		_, err = w.c.Predict(ctx, w.preds[k])
+		_, err = cl.Predict(ctx, w.preds[k])
 	case opGet:
-		_, err = w.c.GetSignature(ctx, w.keys[k])
+		_, err = cl.GetSignature(ctx, w.keys[k])
 	case opPut:
-		_, err = w.c.PutSignature(ctx, w.keys[k], w.sigs[k])
+		_, err = cl.PutSignature(ctx, w.keys[k], w.sigs[k])
 	case opStudy:
-		_, err = w.c.Study(ctx, w.study)
+		_, err = cl.Study(ctx, w.study)
 	}
 	return op, time.Since(start), err
 }
@@ -472,11 +497,12 @@ func runLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
 	var wg sync.WaitGroup
 	worker := func(seq uint64, next func() bool) {
 		defer wg.Done()
+		cl := w.client(seq)
 		r := rand.New(rand.NewPCG(cfg.Seed, seq))
 		picker := newKeyPicker(r, cfg.Keys, cfg.Zipf)
 		for next() {
 			measured := st.measuring.Load()
-			op, d, err := w.issue(runCtx, r, picker)
+			op, d, err := w.issue(runCtx, cl, r, picker)
 			if measured && st.measuring.Load() {
 				st.record(op, d, err)
 			}
@@ -523,10 +549,11 @@ func runLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
 				go func(seq uint64) {
 					defer inner.Done()
 					defer func() { <-sem }()
+					cl := w.client(seq)
 					r := rand.New(rand.NewPCG(cfg.Seed, seq))
 					picker := newKeyPicker(r, cfg.Keys, cfg.Zipf)
 					measured := st.measuring.Load()
-					op, d, err := w.issue(runCtx, r, picker)
+					op, d, err := w.issue(runCtx, cl, r, picker)
 					if measured && st.measuring.Load() {
 						st.record(op, d, err)
 					}
@@ -559,7 +586,7 @@ func runLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
 	}
 
 	rep := &Report{
-		Target: cfg.BaseURL, Mix: cfg.Mix.String(), Workers: cfg.Workers,
+		Target: strings.Join(cfg.Targets, ","), Mix: cfg.Mix.String(), Workers: cfg.Workers,
 		RateRPS: cfg.Rate, Zipf: cfg.Zipf, Keys: cfg.Keys,
 		Deadline: cfg.Deadline.String(), Seed: cfg.Seed,
 		WarmupSeconds: cfg.Warmup.Seconds(), MeasuredSeconds: measured,

@@ -115,7 +115,7 @@ func TestKeyPickerZipf(t *testing.T) {
 
 func TestLoadConfigValidate(t *testing.T) {
 	good := LoadConfig{
-		BaseURL: "http://x", Duration: 2 * time.Second, Warmup: time.Second,
+		Targets: []string{"http://x"}, Duration: 2 * time.Second, Warmup: time.Second,
 		Workers: 4, Keys: 8, Mix: Mix{Weights: [numOps]int{1}, total: 1},
 	}
 	if err := good.validate(); err != nil {
@@ -123,12 +123,13 @@ func TestLoadConfigValidate(t *testing.T) {
 	}
 	bad := []LoadConfig{
 		{}, // no address
-		func(c LoadConfig) LoadConfig { c.Warmup = 3 * time.Second; return c }(good), // warmup >= duration
-		func(c LoadConfig) LoadConfig { c.Workers = 0; return c }(good),              // no workers
-		func(c LoadConfig) LoadConfig { c.Keys = 0; return c }(good),                 // no keys
-		func(c LoadConfig) LoadConfig { c.Keys = loadMaxKeys + 1; return c }(good),   // key space overflow
-		func(c LoadConfig) LoadConfig { c.Zipf = 0.9; return c }(good),               // zipf s must exceed 1
-		func(c LoadConfig) LoadConfig { c.Rate = -1; return c }(good),                // negative rate
+		func(c LoadConfig) LoadConfig { c.Targets = []string{"http://x", ""}; return c }(good), // empty target
+		func(c LoadConfig) LoadConfig { c.Warmup = 3 * time.Second; return c }(good),           // warmup >= duration
+		func(c LoadConfig) LoadConfig { c.Workers = 0; return c }(good),                        // no workers
+		func(c LoadConfig) LoadConfig { c.Keys = 0; return c }(good),                           // no keys
+		func(c LoadConfig) LoadConfig { c.Keys = loadMaxKeys + 1; return c }(good),             // key space overflow
+		func(c LoadConfig) LoadConfig { c.Zipf = 0.9; return c }(good),                         // zipf s must exceed 1
+		func(c LoadConfig) LoadConfig { c.Rate = -1; return c }(good),                          // negative rate
 	}
 	for i, c := range bad {
 		if err := c.validate(); err == nil {
@@ -189,7 +190,7 @@ func TestLoadSmoke(t *testing.T) {
 		duration, warmup, deadline = 6*time.Second, time.Second, 10*time.Second
 	}
 	rep, err := runLoad(context.Background(), LoadConfig{
-		BaseURL:  base,
+		Targets:  []string{base},
 		Duration: duration, Warmup: warmup,
 		Rate: 200, Workers: 32, Mix: mix, Keys: 4,
 		Deadline:   DeadlineDist{Kind: "fixed", Base: deadline},
@@ -209,5 +210,46 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if pr, ok := rep.Ops["predict"]; !ok || pr.Count == 0 {
 		t.Errorf("predict operation unrecorded: %+v", rep.Ops)
+	}
+}
+
+// TestLoadMultiTarget drives two in-process daemons through -targets style
+// round-robin: the run must seed both nodes (collect once, PUT everywhere)
+// and finish without server errors on either.
+func TestLoadMultiTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-target load smoke in -short mode")
+	}
+	var targets []string
+	for i := 0; i < 2; i++ {
+		base, shutdown, err := startInProcess(t.TempDir(), 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer shutdown()
+		targets = append(targets, base)
+	}
+	mix, err := parseMix("predict=3,get=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	duration, warmup := 2*time.Second, 500*time.Millisecond
+	if raceEnabled {
+		duration, warmup = 6*time.Second, time.Second
+	}
+	rep, err := runLoad(context.Background(), LoadConfig{
+		Targets:  targets,
+		Duration: duration, Warmup: warmup,
+		Workers: 4, Mix: mix, Keys: 2,
+		SampleRefs: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Status["5xx"] != 0 || rep.Status["error"] != 0 {
+		t.Fatalf("multi-target run: %d requests, status %v", rep.Requests, rep.Status)
+	}
+	if want := targets[0] + "," + targets[1]; rep.Target != want {
+		t.Errorf("report target %q, want %q", rep.Target, want)
 	}
 }

@@ -16,6 +16,7 @@
 //	tracexload -inprocess -duration 10s -mix predict=6,get=3,put=1 -label closed
 //	tracexload -addr http://127.0.0.1:8080 -rate 500 -zipf 1.2 -label open-zipf
 //	tracexload -inprocess -duration 5s -assert-min-rps 10 -assert-max-5xx 0
+//	tracexload -targets http://10.0.0.1:8321,http://10.0.0.2:8321 -label fleet
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +44,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("tracexload", flag.ExitOnError)
 	addr := fs.String("addr", "", "base URL of a running tracexd (e.g. http://127.0.0.1:8080)")
+	targets := fs.String("targets", "", "comma-separated base URLs of several tracexd nodes; workers round-robin across them (mutually exclusive with -addr and -inprocess)")
 	inprocess := fs.Bool("inprocess", false, "start a tracexd in-process and load it over loopback")
 	storeDir := fs.String("store", "", "in-process store directory (default: a temp dir)")
 	maxInFlight := fs.Int("max-inflight", 0, "in-process server in-flight bound (0 = GOMAXPROCS)")
@@ -75,21 +78,33 @@ func run(args []string, out *os.File) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	base := *addr
-	if *inprocess {
-		if base != "" {
+	var targetList []string
+	switch {
+	case *targets != "":
+		if *addr != "" || *inprocess {
+			return fmt.Errorf("-targets is mutually exclusive with -addr and -inprocess")
+		}
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, t)
+			}
+		}
+	case *inprocess:
+		if *addr != "" {
 			return fmt.Errorf("-addr and -inprocess are mutually exclusive")
 		}
-		var shutdown func()
-		base, shutdown, err = startInProcess(*storeDir, *maxInFlight, *autoTune)
+		base, shutdown, err := startInProcess(*storeDir, *maxInFlight, *autoTune)
 		if err != nil {
 			return err
 		}
 		defer shutdown()
+		targetList = []string{base}
+	case *addr != "":
+		targetList = []string{*addr}
 	}
 
 	cfg := LoadConfig{
-		BaseURL:  base,
+		Targets:  targetList,
 		Duration: *duration, Warmup: *warmup,
 		Rate: *rate, Workers: *workers,
 		Mix: mix, Zipf: *zipf, Keys: *keys,

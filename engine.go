@@ -59,10 +59,13 @@ type Engine struct {
 	sigs        *memo.Cache[sigKey, *Signature]
 	reuse       *memo.Cache[reuseKey, *ReuseSignature]
 	disk        *store.Store
+	remote      RemoteTier
 	reg         *obs.Registry
 	predictions *obs.Counter
 	studies     *obs.Counter
 	putErrors   *obs.Counter
+	peerFetches *obs.Counter
+	peerHits    *obs.Counter
 	closeOnce   sync.Once
 	closed      atomic.Bool
 	closeErr    error
@@ -114,7 +117,22 @@ const (
 	// signature for this geometry — the underlying geometry-free profile
 	// may have come from any tier, but no per-geometry simulation ran.
 	FromAnalytical Provenance = "analytical"
+	// FromPeer: fetched from a remote tier (WithRemoteTier) — another
+	// tracexd that already holds the signature — and written through to
+	// the local disk store; no local simulation ran.
+	FromPeer Provenance = "peer"
 )
+
+// RemoteTier is a remote source of already-collected signatures the engine
+// consults between its disk tier and a fresh collection (see
+// WithRemoteTier). An implementation (internal/fleet) returns the signature
+// for the exact (app, cores, machine, options) identity, (nil, nil) when no
+// remote holds it, or an error for transient trouble; the engine treats
+// both of the latter the same — it falls back to collecting locally, so an
+// unreachable remote never fails a request on its own.
+type RemoteTier interface {
+	FetchSignature(ctx context.Context, app string, cores int, machine string, opt CollectOptions) (*Signature, error)
+}
 
 // SignatureStore is the persistent, content-addressed signature store an
 // Engine warm-starts from (see WithStore and internal/store).
@@ -213,8 +231,10 @@ type EngineStats struct {
 	// ProfileHits counts profile requests served without a sweep;
 	// ProfileEvictions counts cached profiles discarded by LRU pressure.
 	ProfileBuilds, ProfileHits, ProfileEvictions uint64
-	// Collections counts signature collections actually simulated;
-	// CollectionHits counts collection requests served without simulation;
+	// Collections counts collection requests that missed the in-memory
+	// signature cache (disk and peer warm-starts count here too; only
+	// StageSummaries' pebil.* rows prove a simulation actually ran);
+	// CollectionHits counts collection requests served from memory;
 	// SignatureEvictions counts cached signatures discarded by LRU pressure.
 	Collections, CollectionHits, SignatureEvictions uint64
 	// ReuseCollections counts reuse-distance profiles actually recorded;
@@ -230,6 +250,9 @@ type EngineStats struct {
 	// disk; StoreCorruptions counts records that failed checksum or
 	// structural validation and were quarantined.
 	StoreHits, StoreMisses, StorePuts, StoreCorruptions uint64
+	// PeerFetches counts remote-tier lookups attempted (zero without
+	// WithRemoteTier); PeerHits counts the ones that returned a signature.
+	PeerFetches, PeerHits uint64
 	// PoolCapacity is the worker-pool bound; PoolInFlight is how many pool
 	// slots were held when the snapshot was taken.
 	PoolCapacity, PoolInFlight int
@@ -260,6 +283,8 @@ func (e *Engine) Stats() EngineStats {
 	st.StoreMisses = e.reg.Counter("store.misses").Value()
 	st.StorePuts = e.reg.Counter("store.puts").Value()
 	st.StoreCorruptions = e.reg.Counter("store.corruptions").Value()
+	st.PeerFetches = e.peerFetches.Value()
+	st.PeerHits = e.peerHits.Value()
 	return st
 }
 
@@ -312,6 +337,7 @@ type engineConfig struct {
 	collectOpt  CollectOptions
 	model       CacheModel
 	storeDir    string
+	remote      RemoteTier
 	registry    *obs.Registry
 	regSet      bool
 	err         error
@@ -385,6 +411,37 @@ func WithStore(dir string) EngineOption {
 	return func(c *engineConfig) { c.storeDir = dir }
 }
 
+// WithRemoteTier inserts a remote signature source between the engine's
+// disk tier and a fresh collection: a request that misses memory and disk
+// asks the remote tier before simulating, and a successful fetch is served
+// with Provenance "peer" and written through to the local disk store. The
+// tier is strictly best-effort — any fetch error falls back to a local
+// collection — and only applies to the exact-model path (analytical
+// signatures are derived locally from the reuse profile in microseconds).
+// Delegated requests disable the tier via ContextWithoutRemoteTier so two
+// nodes with momentarily disagreeing ring views cannot delegate in a cycle.
+func WithRemoteTier(rt RemoteTier) EngineOption {
+	return func(c *engineConfig) { c.remote = rt }
+}
+
+// noRemoteTierKey marks a context whose work must not consult the remote
+// tier.
+type noRemoteTierKey struct{}
+
+// ContextWithoutRemoteTier returns a context under which the engine
+// collects strictly locally: the remote tier (WithRemoteTier) is skipped.
+// The HTTP service applies it to delegated collection requests, breaking
+// delegation cycles when fleet members briefly disagree on key ownership.
+func ContextWithoutRemoteTier(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noRemoteTierKey{}, true)
+}
+
+// remoteTierDisabled reports whether ctx forbids remote-tier fetches.
+func remoteTierDisabled(ctx context.Context) bool {
+	on, _ := ctx.Value(noRemoteTierKey{}).(bool)
+	return on
+}
+
 // WithRegistry sets the observability registry the engine and the pipeline
 // stages beneath it record into. The default is a fresh registry per
 // engine; pass a shared registry to aggregate several engines, or nil to
@@ -417,10 +474,13 @@ func NewEngine(opts ...EngineOption) *Engine {
 		profiles:    memo.New[string, *Profile](cfg.cacheSize),
 		sigs:        memo.New[sigKey, *Signature](cfg.cacheSize),
 		reuse:       memo.New[reuseKey, *ReuseSignature](cfg.cacheSize),
+		remote:      cfg.remote,
 		reg:         cfg.registry,
 		predictions: cfg.registry.Counter("engine.predictions"),
 		studies:     cfg.registry.Counter("engine.studies"),
 		putErrors:   cfg.registry.Counter("store.put_errors"),
+		peerFetches: cfg.registry.Counter("engine.peer.fetches"),
+		peerHits:    cfg.registry.Counter("engine.peer.hits"),
 	}
 	// The collection arena is shared by every collection the engine runs;
 	// sizing it by the pool bound keeps total simulation concurrency at
@@ -532,10 +592,12 @@ func (e *Engine) CollectSignature(ctx context.Context, app *App, cores int, targ
 
 // CollectSignatureFrom is CollectSignature with provenance: it reports
 // which tier satisfied the request — the in-memory cache, the persistent
-// store (WithStore), or a fresh simulation. The tiers are checked in that
-// order; a simulated signature is written through both on the way out, so
-// the next identical request in this process is a memory hit and the next
-// one in a restarted process is a disk hit.
+// store (WithStore), a fleet peer (WithRemoteTier), or a fresh simulation.
+// The tiers are checked in that order; a simulated signature is written
+// through memory and disk on the way out, so the next identical request in
+// this process is a memory hit and the next one in a restarted process is a
+// disk hit. A peer fetch writes through to disk the same way, and any peer
+// failure silently degrades to a local collection.
 func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, target MachineConfig, opt CollectOptions) (*Signature, Provenance, error) {
 	if err := e.usable(); err != nil {
 		return nil, "", err
@@ -576,6 +638,25 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 				prov = FromDisk
 				return sig, nil
 			}
+		}
+		if e.remote != nil && !remoteTierDisabled(ctx) {
+			e.peerFetches.Inc()
+			if sig, ferr := e.remote.FetchSignature(ctx, app.Name(), cores, target.Name, opt); ferr == nil && sig != nil {
+				e.peerHits.Inc()
+				prov = FromPeer
+				if e.disk != nil {
+					if _, perr := e.disk.Put(sig, StoreKey(app.Name(), cores, target, opt)); perr != nil {
+						e.putErrors.Inc()
+					}
+				}
+				return sig, nil
+			} else if ctx.Err() != nil {
+				// A cancelled request must not mask the cancellation with
+				// a fresh local collection.
+				return nil, ctx.Err()
+			}
+			// Any other fetch failure (peer down, key unowned, not found)
+			// degrades to a local collection below.
 		}
 		sig, err := e.collector.Collect(ctx, app, cores, target, nil, opt)
 		if err == nil && e.disk != nil {

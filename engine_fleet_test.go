@@ -1,0 +1,147 @@
+package tracex
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeRemoteTier is a scriptable RemoteTier: it records every fetch and
+// answers from a fixed signature or error.
+type fakeRemoteTier struct {
+	fetches atomic.Int64
+	sig     *Signature
+	err     error
+}
+
+func (f *fakeRemoteTier) FetchSignature(ctx context.Context, app string, cores int, machine string, opt CollectOptions) (*Signature, error) {
+	f.fetches.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.sig, f.err
+}
+
+// TestEngineRemoteTierHit pins the tier order with a responsive peer: a
+// cold request is served from the remote tier with Provenance "peer", the
+// fetched signature is written through to the local disk store, and a
+// repeat request is a memory hit without another fetch.
+func TestEngineRemoteTierHit(t *testing.T) {
+	app := testApp(t, "stencil3d")
+	target := testMachine(t, "bluewaters")
+
+	// Collect the "peer's" signature once with a plain engine.
+	donor := NewEngine()
+	sig, err := donor.CollectSignature(context.Background(), app, 16, target, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close()
+
+	rt := &fakeRemoteTier{sig: sig}
+	e := NewEngine(WithStore(t.TempDir()), WithRemoteTier(rt))
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	got, prov, err := e.CollectSignatureFrom(context.Background(), app, 16, target, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov != FromPeer {
+		t.Fatalf("provenance = %q, want %q", prov, FromPeer)
+	}
+	if got != sig {
+		t.Error("remote-tier hit did not return the fetched signature")
+	}
+	if n := rt.fetches.Load(); n != 1 {
+		t.Errorf("remote tier saw %d fetches, want 1", n)
+	}
+	st := e.Stats()
+	if st.PeerFetches != 1 || st.PeerHits != 1 {
+		t.Errorf("stats: PeerFetches=%d PeerHits=%d, want 1/1", st.PeerFetches, st.PeerHits)
+	}
+	if st.StorePuts != 1 {
+		t.Errorf("peer hit wrote %d store entries, want 1 (write-through)", st.StorePuts)
+	}
+	// Repeat: memory hit, no second fetch.
+	if _, prov, err = e.CollectSignatureFrom(context.Background(), app, 16, target, smallOpt); err != nil || prov != FromMemory {
+		t.Fatalf("repeat = %q, %v, want memory hit", prov, err)
+	}
+	if n := rt.fetches.Load(); n != 1 {
+		t.Errorf("repeat request fetched again (%d total)", n)
+	}
+	// A restarted engine over the same store dir must warm-start from disk
+	// without touching the remote tier: write-through really persisted.
+	e2 := NewEngine(WithStore(e.Store().Dir()), WithRemoteTier(rt))
+	defer e2.Close()
+	if _, prov, err = e2.CollectSignatureFrom(context.Background(), app, 16, target, smallOpt); err != nil || prov != FromDisk {
+		t.Fatalf("warm restart = %q, %v, want disk hit", prov, err)
+	}
+	if n := rt.fetches.Load(); n != 1 {
+		t.Errorf("disk-tier hit consulted the remote tier (%d fetches)", n)
+	}
+}
+
+// TestEngineRemoteTierFallback pins graceful degradation: a failing remote
+// tier never fails the request — the engine collects locally.
+func TestEngineRemoteTierFallback(t *testing.T) {
+	app := testApp(t, "stencil3d")
+	target := testMachine(t, "bluewaters")
+	rt := &fakeRemoteTier{err: errors.New("peer unreachable")}
+	e := NewEngine(WithRemoteTier(rt))
+	defer e.Close()
+
+	sig, prov, err := e.CollectSignatureFrom(context.Background(), app, 16, target, smallOpt)
+	if err != nil {
+		t.Fatalf("peer failure leaked: %v", err)
+	}
+	if prov != FromCollected || sig == nil {
+		t.Fatalf("fallback provenance = %q, want %q", prov, FromCollected)
+	}
+	st := e.Stats()
+	if st.PeerFetches != 1 || st.PeerHits != 0 {
+		t.Errorf("stats: PeerFetches=%d PeerHits=%d, want 1/0", st.PeerFetches, st.PeerHits)
+	}
+}
+
+// TestEngineRemoteTierDisabled pins ContextWithoutRemoteTier: a delegated
+// request collects strictly locally, never consulting the remote tier.
+func TestEngineRemoteTierDisabled(t *testing.T) {
+	app := testApp(t, "stencil3d")
+	target := testMachine(t, "bluewaters")
+	rt := &fakeRemoteTier{err: errors.New("must not be called")}
+	e := NewEngine(WithRemoteTier(rt))
+	defer e.Close()
+
+	ctx := ContextWithoutRemoteTier(context.Background())
+	_, prov, err := e.CollectSignatureFrom(ctx, app, 16, target, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov != FromCollected {
+		t.Fatalf("provenance = %q, want %q", prov, FromCollected)
+	}
+	if n := rt.fetches.Load(); n != 0 {
+		t.Errorf("delegated request consulted the remote tier %d times", n)
+	}
+}
+
+// TestEngineRemoteTierCancellation pins that a cancelled context surfaces
+// ctx.Err() rather than falling through to a local collection.
+func TestEngineRemoteTierCancellation(t *testing.T) {
+	app := testApp(t, "stencil3d")
+	target := testMachine(t, "bluewaters")
+	rt := &fakeRemoteTier{}
+	e := NewEngine(WithRemoteTier(rt))
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.CollectSignatureFrom(ctx, app, 16, target, smallOpt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

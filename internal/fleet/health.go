@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"tracex/internal/obs"
+)
+
+// Probation tuning. After probationAfter consecutive failures a peer is
+// benched for probationBase, doubling per further failed probe up to
+// probationMax, each interval jittered ±50% so a fleet of clients does not
+// re-probe a recovering peer in lockstep.
+const (
+	probationAfter = 3
+	probationBase  = 500 * time.Millisecond
+	probationMax   = 30 * time.Second
+	// healthAlpha weights the per-peer EWMA error rate: ~0.3 means the
+	// last ~10 exchanges dominate.
+	healthAlpha = 0.3
+)
+
+// peerHealth tracks one peer's observed quality: an EWMA error rate over
+// recent exchanges, a consecutive-failure streak, and the probation
+// (circuit-breaker) window during which the fleet skips the peer entirely
+// and lets the engine collect locally.
+type peerHealth struct {
+	mu sync.Mutex
+	// rate observes 1 per failure, 0 per success.
+	rate *obsEWMA
+	// streak counts consecutive failures; any success resets it.
+	streak int
+	// until is the probation deadline (zero when not on probation);
+	// backoff is the current probation interval before jitter.
+	until   time.Time
+	backoff time.Duration
+	// Cumulative counters, surfaced per peer in FleetStatus.
+	fetches, hits, errors, probations uint64
+}
+
+// obsEWMA aliases the observability EWMA so health.go reads on its own.
+type obsEWMA = obs.EWMA
+
+func newPeerHealth() *peerHealth {
+	return &peerHealth{rate: obs.NewEWMA(healthAlpha)}
+}
+
+// available reports whether the peer may be tried now: true unless a
+// probation window is open. It does not count as a probe.
+func (h *peerHealth) available(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.until.IsZero() || !now.Before(h.until)
+}
+
+// observe records the outcome of one exchange with the peer, reporting
+// whether it opened a probation window. A success clears any probation; a
+// failure extends the streak and, past probationAfter, opens (or doubles)
+// a probation window jittered by the caller-supplied jitter function.
+func (h *peerHealth) observe(ok bool, now time.Time, jitter func(time.Duration) time.Duration) (benched bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fetches++
+	if ok {
+		h.hits++
+		h.rate.Observe(0)
+		h.streak = 0
+		h.until = time.Time{}
+		h.backoff = 0
+		return false
+	}
+	h.errors++
+	h.rate.Observe(1)
+	h.streak++
+	if h.streak < probationAfter {
+		return false
+	}
+	if h.backoff == 0 {
+		h.backoff = probationBase
+	} else if h.backoff < probationMax {
+		h.backoff *= 2
+		if h.backoff > probationMax {
+			h.backoff = probationMax
+		}
+	}
+	h.until = now.Add(jitter(h.backoff))
+	h.probations++
+	return true
+}
+
+// healthSnapshot is a point-in-time copy for FleetStatus.
+type healthSnapshot struct {
+	healthy                           bool
+	errorRate                         float64
+	fetches, hits, errors, probations uint64
+}
+
+// snapshot returns the peer's current state. A peer with no observations
+// yet is healthy with error rate 0.
+func (h *peerHealth) snapshot(now time.Time) healthSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rate := h.rate.Value()
+	if rate != rate { // NaN before the first observation
+		rate = 0
+	}
+	return healthSnapshot{
+		healthy:    h.until.IsZero() || !now.Before(h.until),
+		errorRate:  rate,
+		fetches:    h.fetches,
+		hits:       h.hits,
+		errors:     h.errors,
+		probations: h.probations,
+	}
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// noJitter makes probation windows deterministic.
+func noJitter(d time.Duration) time.Duration { return d }
+
+// TestHealthProbation walks one peer through failure, probation, backoff
+// doubling and recovery.
+func TestHealthProbation(t *testing.T) {
+	h := newPeerHealth()
+	now := time.Unix(1000, 0)
+
+	// Below the streak threshold: failing but still available.
+	for i := 0; i < probationAfter-1; i++ {
+		if h.observe(false, now, noJitter) {
+			t.Fatalf("failure %d opened probation before the threshold", i+1)
+		}
+	}
+	if !h.available(now) {
+		t.Fatal("peer benched before the failure threshold")
+	}
+
+	// Threshold failure benches the peer for the base window.
+	if !h.observe(false, now, noJitter) {
+		t.Fatal("threshold failure did not open probation")
+	}
+	if h.available(now) || h.available(now.Add(probationBase-1)) {
+		t.Error("peer available inside the probation window")
+	}
+	if !h.available(now.Add(probationBase)) {
+		t.Error("peer still benched after the window expired")
+	}
+
+	// A failed re-probe doubles the window.
+	now = now.Add(probationBase)
+	h.observe(false, now, noJitter)
+	if h.available(now.Add(2*probationBase - 1)) {
+		t.Error("second probation did not double")
+	}
+
+	// Backoff saturates at probationMax.
+	for i := 0; i < 20; i++ {
+		now = now.Add(probationMax)
+		h.observe(false, now, noJitter)
+	}
+	if !h.available(now.Add(probationMax)) {
+		t.Error("probation exceeded its cap")
+	}
+
+	// One success clears everything.
+	now = now.Add(probationMax)
+	h.observe(true, now, noJitter)
+	if !h.available(now) {
+		t.Error("success did not lift probation")
+	}
+	snap := h.snapshot(now)
+	if !snap.healthy || snap.hits != 1 {
+		t.Errorf("post-recovery snapshot: %+v", snap)
+	}
+	if snap.probations == 0 {
+		t.Error("probation count lost")
+	}
+}
+
+// TestHealthEWMA pins the error-rate direction: failures raise it toward
+// 1, successes decay it toward 0, and the empty tracker reads 0.
+func TestHealthEWMA(t *testing.T) {
+	h := newPeerHealth()
+	now := time.Unix(1000, 0)
+	if rate := h.snapshot(now).errorRate; rate != 0 {
+		t.Errorf("fresh error rate = %v, want 0", rate)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(false, now, noJitter)
+	}
+	high := h.snapshot(now).errorRate
+	if high < 0.9 {
+		t.Errorf("after 10 failures rate = %v, want > 0.9", high)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(true, now, noJitter)
+	}
+	if low := h.snapshot(now).errorRate; low >= high || low > 0.1 {
+		t.Errorf("after 10 successes rate = %v (was %v)", low, high)
+	}
+}

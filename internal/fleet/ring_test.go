@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testPeers builds n synthetic peer URLs.
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8581", i+1)
+	}
+	return peers
+}
+
+// testKeys builds n synthetic signature keys shaped like real triples.
+func testKeys(n int) []string {
+	apps := []string{"stencil3d", "uh3d", "gups", "milc", "hycom"}
+	machines := []string{"bluewaters", "gordon", "trestles"}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s@%d@%s", apps[i%len(apps)], 1<<(uint(i)%12), machines[i%len(machines)])
+	}
+	// Real fleets key far more identities than app×machine combinations;
+	// add a synthetic spread so balance statistics are meaningful.
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s#%d", keys[i], i)
+	}
+	return keys
+}
+
+// TestRingNormalization pins peer canonicalization: scheme default,
+// trailing slash, whitespace, duplicates and ordering all collapse to one
+// membership.
+func TestRingNormalization(t *testing.T) {
+	a := NewRing([]string{"http://a:1/", " b:2 ", "http://a:1", "b:2"})
+	b := NewRing([]string{"http://b:2", "a:1"})
+	ap, bp := a.Peers(), b.Peers()
+	if len(ap) != 2 || len(bp) != 2 || ap[0] != bp[0] || ap[1] != bp[1] {
+		t.Fatalf("normalized memberships differ: %v vs %v", ap, bp)
+	}
+	if !a.Contains("a:1/") || !a.Contains("http://b:2") {
+		t.Error("Contains must normalize its argument")
+	}
+}
+
+// TestRingBalance pins the balance acceptance bound: at 100k keys over 3–9
+// peers, every peer's share is within ±15% of 1/n.
+func TestRingBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-key distribution in -short mode")
+	}
+	keys := testKeys(100_000)
+	for n := 3; n <= 9; n++ {
+		ring := NewRing(testPeers(n))
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		ideal := float64(len(keys)) / float64(n)
+		for _, p := range ring.Peers() {
+			share := float64(counts[p]) / ideal
+			if share < 0.85 || share > 1.15 {
+				t.Errorf("%d peers: %s owns %.3f of ideal share, want within ±15%%", n, p, share)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemapping pins the rendezvous guarantee: removing a peer
+// moves only that peer's keys (every move lands elsewhere, nothing
+// shuffles between survivors), and adding one steals at most ~1/n plus
+// statistical noise.
+func TestRingMinimalRemapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-key remapping in -short mode")
+	}
+	keys := testKeys(100_000)
+	peers := testPeers(6)
+	full := NewRing(peers)
+	removed := peers[2]
+	smaller := NewRing(append(append([]string{}, peers[:2]...), peers[3:]...))
+
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Owner(k), smaller.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		// Strict HRW property: a key only moves because its owner left.
+		if before != removed {
+			t.Fatalf("key %s moved %s → %s though %s left the ring", k, before, after, removed)
+		}
+	}
+	// The departed peer's keys (~1/6 of the space) must move, nothing more.
+	bound := int(float64(len(keys)) / 6 * 1.15)
+	if moved == 0 || moved > bound {
+		t.Errorf("removal moved %d keys, want (0, %d]", moved, bound)
+	}
+
+	// Adding the peer back restores the original ownership exactly.
+	restored := NewRing(append(append([]string{}, smaller.Peers()...), removed))
+	for _, k := range keys[:1000] {
+		if restored.Owner(k) != full.Owner(k) {
+			t.Fatalf("re-adding %s did not restore ownership of %s", removed, k)
+		}
+	}
+}
+
+// TestRingGolden pins cross-process determinism: ownership of a fixed key
+// set under a fixed membership matches a golden file byte for byte, so two
+// builds (or two machines) can never disagree about who owns a key.
+func TestRingGolden(t *testing.T) {
+	ring := NewRing(testPeers(5))
+	owners := map[string]string{}
+	for _, k := range testKeys(64) {
+		owners[k] = ring.Owner(k)
+	}
+	got, err := json.MarshalIndent(owners, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "ring_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("ring ownership diverged from golden file %s (run with -update if the hash changed intentionally)", golden)
+	}
+}
+
+// TestRingEmptyAndSingle pins the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil).Owner("k"); owner != "" {
+		t.Errorf("empty ring owner = %q, want empty", owner)
+	}
+	one := NewRing([]string{"http://solo:1"})
+	if owner := one.Owner("k"); owner != "http://solo:1" {
+		t.Errorf("single ring owner = %q", owner)
+	}
+	if share := one.OwnedShare("solo:1", 64); share != 1 {
+		t.Errorf("single-ring self share = %v, want 1", share)
+	}
+	if share := one.OwnedShare("other:9", 64); share != 0 {
+		t.Errorf("single-ring foreign share = %v, want 0", share)
+	}
+}
+
+// TestRingOwnedShare pins the share estimate against the balance bound.
+func TestRingOwnedShare(t *testing.T) {
+	peers := testPeers(4)
+	ring := NewRing(peers)
+	total := 0.0
+	for _, p := range peers {
+		s := ring.OwnedShare(p, 4096)
+		if s < 0.25*0.85 || s > 0.25*1.15 {
+			t.Errorf("share of %s = %.3f, want 0.25 ±15%%", p, s)
+		}
+		total += s
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("shares sum to %v, want 1", total)
+	}
+}

@@ -33,6 +33,9 @@ var (
 	// errNoStore reports a store route on a daemon running without a
 	// persistent store. Mapped to 501.
 	errNoStore = errors.New("no signature store configured")
+	// errNoFleet reports a fleet route on a daemon running without peers.
+	// Mapped to 501.
+	errNoFleet = errors.New("no fleet configured")
 )
 
 // badRequestf wraps a formatted message as a 400-classified error.
@@ -58,6 +61,8 @@ func classify(err error) (status int, code string) {
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, errNoStore):
 		return http.StatusNotImplemented, "no_store"
+	case errors.Is(err, errNoFleet):
+		return http.StatusNotImplemented, "no_fleet"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):

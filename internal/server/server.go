@@ -71,11 +71,35 @@ type Engine interface {
 	Registry() *obs.Registry
 }
 
+// Fleet is the sharding layer's server-facing surface, implemented by
+// internal/fleet.Fleet. The server defines the interface (rather than
+// importing the fleet package) so the dependency arrow keeps pointing
+// outward: fleet builds on the client package, whose tests build on this
+// server.
+type Fleet interface {
+	// Self is this node's advertised base URL (its ring identity).
+	Self() string
+	// Mode is the shard mode (wire.FleetModeFetch or
+	// wire.FleetModeRedirect).
+	Mode() string
+	// Owner resolves a signature key's owning peer URL.
+	Owner(key string) string
+	// Status snapshots membership, health and replication progress for
+	// GET /v1/fleet/status.
+	Status() *wire.FleetStatusResponse
+}
+
 // Config parameterizes New. The zero value of every field except Engine is
 // usable; defaults are documented per field.
 type Config struct {
 	// Engine executes the pipeline. Required.
 	Engine Engine
+	// Fleet, when non-nil, enables the distributed routes
+	// (GET /v1/fleet/status, POST /v1/fleet/sync), honors delegated
+	// collection requests, and — in redirect shard mode — answers
+	// signature GETs for remote-owned missing keys with 307 to the owner.
+	// Nil (the default) leaves single-node behavior untouched.
+	Fleet Fleet
 	// MaxInFlight bounds concurrently executing compute requests
 	// (/v1/predict, /v1/study, /v1/extrapolate, /v1/signatures). Health,
 	// listing and metrics routes are never gated; signature GETs take the
@@ -289,6 +313,8 @@ func (s *Server) routes() {
 	s.mux.Handle("POST "+wire.PathSignatures, handleJSON(s, "signatures", false, s.collect))
 	s.mux.HandleFunc("GET "+wire.PathSignaturePrefix+"{key}", s.storeGet)
 	s.mux.HandleFunc("PUT "+wire.PathSignaturePrefix+"{key}", s.storePut)
+	s.mux.HandleFunc("GET "+wire.PathFleetStatus, s.fleetStatus)
+	s.mux.HandleFunc("POST "+wire.PathFleetSync, s.fleetSync)
 	s.mux.HandleFunc("GET "+wire.PathApps, func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, &wire.AppsResponse{Apps: tracex.Apps()})
 	})
@@ -387,7 +413,7 @@ func routeName(path string) string {
 			rest = rest[:i]
 		}
 		switch rest {
-		case "predict", "study", "extrapolate", "signatures", "apps", "machines":
+		case "predict", "study", "extrapolate", "signatures", "apps", "machines", "fleet":
 			return rest
 		}
 	}
@@ -877,6 +903,13 @@ func (s *Server) collect(ctx context.Context, req *wire.SignatureRequest) (any, 
 	opt, err := s.collectOpt(req.SampleRefs, req.Model)
 	if err != nil {
 		return nil, err
+	}
+	if req.Delegated {
+		// A fleet peer delegated this collection because the ring names
+		// this node the key's owner. Collect strictly locally — never via
+		// our own peer tier — so momentarily disagreeing rings cannot
+		// delegate in a cycle.
+		ctx = tracex.ContextWithoutRemoteTier(ctx)
 	}
 	sig, err := s.eng.CollectSignature(ctx, app, req.Cores, cfg, opt)
 	if err != nil {

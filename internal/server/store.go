@@ -99,6 +99,11 @@ func (s *Server) storeGet(w http.ResponseWriter, r *http.Request) {
 		var ok bool
 		entry, ok = st.LatestEntry(app, machine, cores)
 		if !ok {
+			// Redirect shard mode: a remote-owned key this node has never
+			// cached is the owner's to serve.
+			if s.redirectToOwner(w, r, key) {
+				return
+			}
 			s.writeError(w, notFoundf("no stored signature for %s", key))
 			return
 		}

@@ -36,9 +36,29 @@ const (
 	PathSignaturePrefix = "/v1/signatures/"
 	PathApps            = "/v1/apps"
 	PathMachines        = "/v1/machines"
-	PathHealthz         = "/healthz"
-	PathReadyz          = "/readyz"
-	PathMetrics         = "/metrics"
+	// PathFleetStatus reports ring membership, per-peer health and
+	// replication progress on a fleet-configured daemon.
+	PathFleetStatus = "/v1/fleet/status"
+	// PathFleetSync is the warm-start replication diff: the requester posts
+	// the store keys it has and receives the entries the responder holds
+	// beyond them.
+	PathFleetSync = "/v1/fleet/sync"
+	PathHealthz   = "/healthz"
+	PathReadyz    = "/readyz"
+	PathMetrics   = "/metrics"
+)
+
+// Fleet shard modes (FleetStatusResponse.Mode and the tracexd -shard-mode
+// flag): how a node serves a signature key the consistent-hash ring
+// assigns to a peer.
+const (
+	// FleetModeFetch: the non-owner delegates the collection to the owner
+	// and fetches the result, serving it with provenance "peer".
+	FleetModeFetch = "fetch"
+	// FleetModeRedirect: like fetch on the predict path, but a signature
+	// GET for a remote-owned, locally-missing key answers 307 to the
+	// owner instead of proxying the bytes.
+	FleetModeRedirect = "redirect"
 )
 
 // PredictRequest is the body of POST /v1/predict. Either an inline
@@ -79,7 +99,7 @@ type PredictResponse struct {
 	FPSeconds      float64 `json:"fp_seconds"`
 	// From reports where the signature came from: "inline" when the client
 	// supplied it, otherwise the engine cache tier that satisfied the
-	// collection ("memory", "disk", "collected" or "analytical").
+	// collection ("memory", "disk", "peer", "collected" or "analytical").
 	From string `json:"from,omitempty"`
 	// Model echoes the cache model that produced the signature's hit rates
 	// ("exact" or "analytical"; empty for inline signatures).
@@ -161,6 +181,12 @@ type SignatureRequest struct {
 	SampleRefs int    `json:"sample_refs,omitempty"`
 	// Model selects the cache model ("exact" default, or "analytical").
 	Model string `json:"model,omitempty"`
+	// Delegated marks a collection forwarded by a fleet peer to this node
+	// because the consistent-hash ring names it the key's owner. The server
+	// answers it with a strictly local collection (memory→disk→collect,
+	// never the peer tier), which breaks delegation cycles when two nodes
+	// briefly disagree about ring membership during a peers reload.
+	Delegated bool `json:"delegated,omitempty"`
 }
 
 // SignatureResponse is the body of a successful POST /v1/signatures.
@@ -193,6 +219,82 @@ type StorePutResponse struct {
 	Cores   int    `json:"cores"`
 	Hash    string `json:"hash"`
 	Bytes   int64  `json:"bytes"`
+}
+
+// FleetStatusResponse is the body of GET /v1/fleet/status on a daemon
+// running with a peer fleet: the consistent-hash ring membership, this
+// node's share of the key space, per-peer health and warm-start
+// replication progress.
+type FleetStatusResponse struct {
+	// Self is this node's advertised base URL (its ring identity).
+	Self string `json:"self"`
+	// Mode is the shard mode: "fetch" (non-owners delegate collection to
+	// the owner and fetch the result) or "redirect" (signature GETs for
+	// remote keys answer 307 to the owner).
+	Mode string `json:"mode"`
+	// OwnedShare estimates the fraction of the key space this node owns
+	// under the current ring (1/len(peers) when balanced).
+	OwnedShare float64 `json:"owned_share"`
+	// Peers lists every ring member, self included, with health detail.
+	Peers []FleetPeerStatus `json:"peers"`
+	// Replication reports the startup warm-start pull.
+	Replication FleetReplication `json:"replication"`
+}
+
+// FleetPeerStatus is one ring member's health as seen from this node.
+type FleetPeerStatus struct {
+	// URL is the peer's base URL (its ring identity).
+	URL string `json:"url"`
+	// Self marks this node's own entry (health fields are zero: a node
+	// does not dial itself).
+	Self bool `json:"self,omitempty"`
+	// Healthy is false while the peer is in probation: consecutive
+	// failures tripped the breaker and fetches are skipped until the
+	// capped, jittered backoff expires.
+	Healthy bool `json:"healthy"`
+	// ErrorRate is the EWMA of fetch failures in [0, 1] (0 before any
+	// fetch).
+	ErrorRate float64 `json:"error_rate"`
+	// Fetches, Hits and Errors count this node's requests to the peer.
+	Fetches uint64 `json:"fetches"`
+	Hits    uint64 `json:"hits"`
+	Errors  uint64 `json:"errors"`
+	// Probations counts how many times the peer entered probation.
+	Probations uint64 `json:"probations"`
+}
+
+// FleetReplication is the warm-start replication progress of
+// FleetStatusResponse.
+type FleetReplication struct {
+	// Done flips true when the startup pull has visited every peer.
+	Done bool `json:"done"`
+	// Pulled counts signatures copied into the local store; Errors counts
+	// failed pulls (the replicator continues past them).
+	Pulled uint64 `json:"pulled"`
+	Errors uint64 `json:"errors"`
+}
+
+// FleetSyncRequest is the body of POST /v1/fleet/sync: the triple keys
+// ("app@cores@machine") the requester already stores.
+type FleetSyncRequest struct {
+	Have []string `json:"have,omitempty"`
+}
+
+// FleetSyncEntry is one store manifest entry the responder holds and the
+// requester does not.
+type FleetSyncEntry struct {
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	Cores   int    `json:"cores"`
+	// Hash is the object's hex SHA-256 content hash; Bytes its encoded
+	// size.
+	Hash  string `json:"hash"`
+	Bytes int64  `json:"bytes"`
+}
+
+// FleetSyncResponse is the body of a successful POST /v1/fleet/sync.
+type FleetSyncResponse struct {
+	Entries []FleetSyncEntry `json:"entries"`
 }
 
 // AppsResponse is the body of GET /v1/apps.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-fleet bench-obs bench-serve bench-serve-smoke bench-server bench-store bench-smoke fleet-smoke serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-fleet bench-obs bench-serve bench-serve-smoke bench-server bench-store bench-smoke bench-uncert bench-uncert-smoke fleet-smoke serve experiments examples csv clean
 
 all: build vet test
 
@@ -25,9 +25,11 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the signature codec (CI runs the same smoke).
+# Short fuzz passes over the signature codec and the wire strict decoder
+# (CI runs the same smoke).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSignatureDecode -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzDecodeStrict -fuzztime 10s ./wire
 
 # One iteration of every exhibit benchmark (Table/Figure regeneration).
 bench:
@@ -84,6 +86,17 @@ bench-serve:
 # BENCH_serve.json (-out "").
 bench-serve-smoke:
 	$(GO) run ./cmd/tracexload -inprocess -duration 5s -warmup 1s -rate 50 -workers 16 -keys 4 -sample-refs 2000 -out "" -label smoke -assert-min-rps 10 -assert-max-5xx 0
+
+# Held-out interval calibration over the full app × machine matrix,
+# recorded into BENCH_uncert.json under the "full" label. A calibrated
+# posterior shows ~0.9 coverage on the 90% band.
+bench-uncert:
+	$(GO) run ./scripts/uncert-bench -label full
+
+# CI smoke: the reduced matrix must show 90%-band coverage inside the
+# [0.75, 1.0] acceptance band; the run is recorded under the "smoke" label.
+bench-uncert-smoke:
+	$(GO) run ./scripts/uncert-bench -label smoke -apps stencil3d,cgsolve -machines bluewaters,kraken -sample-refs 20000 -assert-min-cov 0.75 -assert-max-cov 1.0
 
 # Distributed acceptance check: three tracexd processes on loopback must
 # collect a shared identity exactly once (on its rendezvous owner), serve

@@ -352,6 +352,49 @@ func TestAgainstServer(t *testing.T) {
 	if pred.RuntimeSeconds <= 0 || pred.From != "inline" {
 		t.Errorf("Predict = %+v", pred)
 	}
+
+	// Interval round-trip: extrapolate with the tri-state knob on, then
+	// predict from the uncertainty-carrying signature. The knob and the
+	// interval fields cross the wire through the typed client structs.
+	sigs := []*tracex.Signature{coll.Signature}
+	for _, cores := range []int{16, 32} {
+		r, err := c.Collect(bg, &wire.SignatureRequest{
+			App: "stencil3d", Cores: cores, Machine: "bluewaters", SampleRefs: 20000,
+		})
+		if err != nil {
+			t.Fatalf("Collect(%d): %v", cores, err)
+		}
+		sigs = append(sigs, r.Signature)
+	}
+	ex, err := c.Extrapolate(bg, &wire.ExtrapolateRequest{
+		Signatures: sigs, TargetCores: 128, Intervals: wire.Bool(true),
+	})
+	if err != nil {
+		t.Fatalf("Extrapolate: %v", err)
+	}
+	if ex.Signature == nil || ex.Signature.Uncertainty == nil {
+		t.Fatalf("extrapolated signature carries no uncertainty: %+v", ex)
+	}
+	ip, err := c.Predict(bg, &wire.PredictRequest{Signature: ex.Signature, Intervals: wire.Bool(true)})
+	if err != nil {
+		t.Fatalf("Predict(intervals): %v", err)
+	}
+	if len(ip.Intervals) == 0 {
+		t.Fatal("Predict with intervals=true returned no intervals")
+	}
+	for _, iv := range ip.Intervals {
+		if !(iv.Lo <= ip.RuntimeSeconds && ip.RuntimeSeconds <= iv.Hi) {
+			t.Errorf("interval %+v does not bracket runtime %.3f", iv, ip.RuntimeSeconds)
+		}
+	}
+	// Absent knob defers to the server default (off here): no intervals.
+	np, err := c.Predict(bg, &wire.PredictRequest{Signature: ex.Signature})
+	if err != nil {
+		t.Fatalf("Predict(default): %v", err)
+	}
+	if len(np.Intervals) != 0 {
+		t.Errorf("default predict carried intervals: %+v", np.Intervals)
+	}
 }
 
 // TestNoStoreSentinel checks the 501 mapping against a storeless daemon.

@@ -296,6 +296,7 @@ func cmdExtrap(ctx context.Context, eng *tracex.Engine, args []string) error {
 	target := fs.Int("target", 0, "target core count")
 	out := fs.String("out", "", "output signature path")
 	extended := fs.Bool("extended", false, "include power and quadratic forms")
+	intervals := fs.Bool("intervals", false, "attach model-averaging uncertainty to the output signature (enables prediction intervals downstream)")
 	verbose := fs.Bool("v", false, "print per-element fits")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -312,7 +313,7 @@ func cmdExtrap(ctx context.Context, eng *tracex.Engine, args []string) error {
 		}
 		inputs = append(inputs, sig)
 	}
-	opt := tracex.ExtrapOptions{}
+	opt := tracex.ExtrapOptions{Intervals: *intervals}
 	if *extended {
 		opt.Forms = tracex.ExtendedForms()
 	}
@@ -323,8 +324,12 @@ func cmdExtrap(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err := trace.Save(res.Signature, *out); err != nil {
 		return err
 	}
-	fmt.Printf("extrapolated %s to %d cores (%d blocks, %d fits) → %s\n",
-		res.Signature.App, *target, len(res.Signature.Traces[0].Blocks), len(res.Fits), *out)
+	note := ""
+	if res.Signature.Uncertainty != nil {
+		note = " with uncertainty"
+	}
+	fmt.Printf("extrapolated %s to %d cores (%d blocks, %d fits%s) → %s\n",
+		res.Signature.App, *target, len(res.Signature.Traces[0].Blocks), len(res.Fits), note, *out)
 	if len(res.SkippedBlocks) > 0 {
 		fmt.Printf("skipped blocks missing from some inputs: %v\n", res.SkippedBlocks)
 	}
@@ -342,6 +347,7 @@ func cmdPredict(ctx context.Context, eng *tracex.Engine, args []string) error {
 	sigPath := fs.String("sig", "", "signature path")
 	appName := fs.String("app", "", "application (for the communication event trace)")
 	profPath := fs.String("profile", "", "machine profile path (default: run MultiMAPS on the signature's machine)")
+	intervals := fs.Bool("intervals", false, "print prediction intervals (requires a signature extrapolated with 'extrap -intervals')")
 	jsonOut := fs.Bool("json", false, "emit the tracexd wire JSON body instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -357,7 +363,7 @@ func cmdPredict(ctx context.Context, eng *tracex.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	req := tracex.PredictRequest{Signature: sig, App: app}
+	req := tracex.PredictRequest{Signature: sig, App: app, Intervals: *intervals}
 	if *profPath != "" {
 		req.Profile, err = machine.LoadProfile(*profPath)
 		if err != nil {
@@ -424,6 +430,9 @@ func printPrediction(kind string, p *tracex.Prediction) {
 		kind, p.App, p.CoreCount, p.Machine, p.Runtime)
 	fmt.Printf("  dominant rank: compute %.2f s (mem %.2f s, fp %.2f s), comm %.2f s\n",
 		p.ComputeSeconds, p.MemSeconds, p.FPSeconds, p.CommSeconds)
+	for _, iv := range p.Intervals {
+		fmt.Printf("  %2.0f%% interval: [%.2f, %.2f] s\n", 100*iv.Level, iv.Lo, iv.Hi)
+	}
 }
 
 func cmdCompare(args []string) error {

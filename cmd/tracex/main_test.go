@@ -71,6 +71,25 @@ func TestCmdTraceAndPredictFlow(t *testing.T) {
 	if err := cmdPredict(bg, testEng, []string{"-sig", out, "-app", "stencil3d"}); err != nil {
 		t.Fatalf("predict: %v", err)
 	}
+	// The -intervals flags thread uncertainty from extrap through predict.
+	outIv := filepath.Join(dir, "sig512iv.json")
+	err = cmdExtrap(bg, testEng, []string{
+		"-in", paths[0] + "," + paths[1] + "," + paths[2],
+		"-target", "512", "-out", outIv, "-intervals",
+	})
+	if err != nil {
+		t.Fatalf("extrap -intervals: %v", err)
+	}
+	ivSig, err := trace.Load(outIv)
+	if err != nil {
+		t.Fatalf("loading interval signature: %v", err)
+	}
+	if ivSig.Uncertainty == nil {
+		t.Fatal("extrap -intervals wrote a signature without uncertainty")
+	}
+	if err := cmdPredict(bg, testEng, []string{"-sig", outIv, "-app", "stencil3d", "-intervals"}); err != nil {
+		t.Fatalf("predict -intervals: %v", err)
+	}
 	// Compare against a collected 512-core signature.
 	real512 := filepath.Join(dir, "real512.json")
 	if err := cmdTrace(bg, testEng, collectArgs(real512, 512)); err != nil {
@@ -198,19 +217,29 @@ func TestCmdReportJSON(t *testing.T) {
 }
 
 // TestCmdStatsWrapper runs a command under the stats wrapper and checks the
-// printed snapshot carries the engine and pipeline metrics.
+// printed snapshot carries the engine and pipeline metrics — including the
+// reuse-profile tier counters.
 func TestCmdStatsWrapper(t *testing.T) {
 	eng := tracex.NewEngine()
 	out := tmp(t, "sig.json")
 	if err := cmdStats(bg, eng, append([]string{"trace"}, collectArgs(out, 64)...)); err != nil {
 		t.Fatalf("stats trace: %v", err)
 	}
+	// A second collection under the analytical model exercises the
+	// reuse-profile tier, so the reuse counters are provably nonzero.
+	prevModel := collectModel
+	collectModel = "analytical"
+	if err := cmdTrace(bg, eng, collectArgs(tmp(t, "sig-analytical.json"), 64)); err != nil {
+		collectModel = prevModel
+		t.Fatalf("analytical trace: %v", err)
+	}
+	collectModel = prevModel
 	var buf strings.Builder
 	printStats(&buf, eng)
 	text := buf.String()
 	for _, want := range []string{
 		"== engine stats ==",
-		"1 collected",
+		"2 collected",
 		"engine.collect",
 		"pebil.collect",
 		"pebil.blocks",
@@ -218,6 +247,14 @@ func TestCmdStatsWrapper(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("stats output missing %q:\n%s", want, text)
 		}
+	}
+	st := eng.Stats()
+	if st.ReuseCollections == 0 {
+		t.Error("analytical collection recorded no reuse profiles")
+	}
+	reuseLine := fmt.Sprintf("reuse:      %d profiles recorded, %d memo hits", st.ReuseCollections, st.ReuseHits)
+	if !strings.Contains(text, reuseLine) {
+		t.Errorf("stats output missing reuse line %q:\n%s", reuseLine, text)
 	}
 
 	// Validation.

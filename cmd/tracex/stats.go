@@ -40,6 +40,8 @@ func printStats(w io.Writer, eng *tracex.Engine) {
 		st.ProfileBuilds, st.ProfileHits, st.ProfileEvictions)
 	fmt.Fprintf(w, "signatures: %d collected, %d cache hits, %d evicted\n",
 		st.Collections, st.CollectionHits, st.SignatureEvictions)
+	fmt.Fprintf(w, "reuse:      %d profiles recorded, %d memo hits\n",
+		st.ReuseCollections, st.ReuseHits)
 	fmt.Fprintf(w, "work:       %d predictions, %d studies; pool %d/%d slots in use\n",
 		st.Predictions, st.Studies, st.PoolInFlight, st.PoolCapacity)
 

@@ -49,6 +49,7 @@ type options struct {
 	quiet          bool
 	storeDir       string
 	cacheModel     string
+	intervals      bool
 	autoTune       bool
 	autoTuneFloor  int
 	tuneInterval   time.Duration
@@ -77,6 +78,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-request access log")
 	fs.StringVar(&o.storeDir, "store-dir", "", "persistent signature store directory; signatures survive restarts and GET/PUT /v1/signatures/{key} are served (empty = disabled)")
 	fs.StringVar(&o.cacheModel, "cache-model", "", "default cache model for collections whose request omits \"model\": \"exact\" (default) or \"analytical\"")
+	fs.BoolVar(&o.intervals, "intervals", false, "attach prediction intervals when a request omits the \"intervals\" knob")
 	fs.BoolVar(&o.autoTune, "auto-tune", false, "adjust the in-flight limit from the observed service-time EWMA (AIMD between -auto-tune-floor and -max-inflight)")
 	fs.IntVar(&o.autoTuneFloor, "auto-tune-floor", 0, "smallest in-flight limit -auto-tune may shrink to (0 = max-inflight/4, at least 1)")
 	fs.DurationVar(&o.tuneInterval, "tune-interval", 250*time.Millisecond, "minimum spacing between -auto-tune adjustments")
@@ -151,6 +153,7 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex
 		RetryAfter:        o.retryAfter,
 		DisableCoalescing: o.noCoalesce,
 		DefaultCacheModel: o.cacheModel,
+		DefaultIntervals:  o.intervals,
 		AutoTune:          o.autoTune,
 		AutoTuneFloor:     o.autoTuneFloor,
 		TuneInterval:      o.tuneInterval,

@@ -785,6 +785,16 @@ type PredictRequest struct {
 	// Prediction. Memory grows with rank count × events — intended for
 	// small-to-moderate replays.
 	WithTimeline bool
+	// Intervals attaches runtime prediction intervals to the returned
+	// Prediction. It requires the signature to carry extrapolation
+	// uncertainty (produced by ExtrapOptions.Intervals); predictions from
+	// collected signatures have no posterior to propagate and return no
+	// intervals.
+	Intervals bool
+	// IntervalLevels are the central interval levels to report; nil
+	// selects DefaultIntervalLevels (50%, 90%, 95%). Values outside
+	// (0, 1) are skipped.
+	IntervalLevels []float64
 }
 
 // Predict produces the PMaC-framework runtime prediction for one request:
@@ -822,9 +832,17 @@ func (e *Engine) Predict(ctx context.Context, req PredictRequest) (*Prediction, 
 			return nil, err
 		}
 	}
-	pred, err := predict(ctx, req.Signature, prof, req.App, req.WithReplay, req.WithTimeline)
+	pred, err := predict(ctx, req.Signature, prof, req.App, predictDetail{
+		withReplay:   req.WithReplay,
+		withTimeline: req.WithTimeline,
+		intervals:    req.Intervals,
+		levels:       req.IntervalLevels,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if len(pred.Intervals) > 0 {
+		e.reg.Counter("uncert.intervals").Inc()
 	}
 	e.predictions.Inc()
 	return pred, nil
@@ -900,6 +918,13 @@ type StudyRequest struct {
 	// WithTruth additionally collects a signature at each target count and
 	// predicts from it — the paper's Table I comparison baseline.
 	WithTruth bool
+	// Intervals runs the extrapolation with posterior model averaging and
+	// attaches runtime prediction intervals to each target's extrapolated
+	// prediction (and StudyRow). Point results are unchanged when false.
+	Intervals bool
+	// IntervalLevels are the central interval levels to report; nil
+	// selects DefaultIntervalLevels (50%, 90%, 95%).
+	IntervalLevels []float64
 }
 
 // targets resolves the request's target core counts: the sorted,
@@ -956,6 +981,10 @@ type StudyRow struct {
 	ActualSeconds float64 `json:"actual_seconds"`
 	// AbsRelErr is |predicted-actual|/actual (0 without truth).
 	AbsRelErr float64 `json:"abs_rel_err"`
+	// Intervals are the runtime prediction intervals on PredictedSeconds,
+	// ascending by level (absent unless the study ran with
+	// StudyRequest.Intervals).
+	Intervals []Interval `json:"intervals,omitempty"`
 }
 
 // StudyResult is the product of an extrapolation study.
@@ -988,6 +1017,7 @@ func (r *StudyResult) Rows() []StudyRow {
 		row := StudyRow{TargetCores: t.TargetCores}
 		if t.Extrapolated != nil {
 			row.PredictedSeconds = t.Extrapolated.Runtime
+			row.Intervals = t.Extrapolated.Intervals
 		}
 		if t.Collected != nil {
 			row.ActualSeconds = t.Collected.Runtime
@@ -1082,13 +1112,18 @@ func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, err
 	// truth baseline) share the inputs and profile and run concurrently.
 	err = e.fanOut(ctx, len(targets), func(ctx context.Context, i int) error {
 		t := &res.Targets[i]
-		ext, err := e.Extrapolate(ctx, res.Inputs, t.TargetCores, req.Extrap)
+		exOpt := req.Extrap
+		if req.Intervals {
+			exOpt.Intervals = true
+		}
+		ext, err := e.Extrapolate(ctx, res.Inputs, t.TargetCores, exOpt)
 		if err != nil {
 			return err
 		}
 		t.Extrapolation = ext
 		t.Extrapolated, err = e.Predict(ctx, PredictRequest{
 			Signature: ext.Signature, App: req.App, Profile: res.Profile,
+			Intervals: req.Intervals, IntervalLevels: req.IntervalLevels,
 		})
 		if err != nil {
 			return err
@@ -1110,10 +1145,20 @@ func (e *Engine) Study(ctx context.Context, req StudyRequest) (*StudyResult, err
 	return res, nil
 }
 
+// predictDetail selects the optional extras of a prediction.
+type predictDetail struct {
+	withReplay, withTimeline bool
+	// intervals propagates the signature's extrapolation uncertainty into
+	// runtime prediction intervals at the given levels (nil = defaults).
+	intervals bool
+	levels    []float64
+}
+
 // predict is the shared prediction implementation: convolve the dominant
 // trace with the profile, then replay the communication event trace with
 // the convolved per-block costs.
-func predict(ctx context.Context, sig *Signature, prof *Profile, app *App, withReplay, withTimeline bool) (*Prediction, error) {
+func predict(ctx context.Context, sig *Signature, prof *Profile, app *App, detail predictDetail) (*Prediction, error) {
+	withReplay, withTimeline := detail.withReplay, detail.withTimeline
 	if sig.Machine != prof.Machine.Name {
 		return nil, fmt.Errorf("tracex: %w: signature simulated %q but profile is for %q",
 			ErrMachineMismatch, sig.Machine, prof.Machine.Name)
@@ -1160,6 +1205,13 @@ func predict(ctx context.Context, sig *Signature, prof *Profile, app *App, withR
 	}
 	if withReplay {
 		pred.Replay = res
+	}
+	if detail.intervals && sig.Uncertainty != nil {
+		ivs, err := runtimeIntervals(ctx, dom, sig.Uncertainty, prof, comp, prog, net, lf, detail.levels)
+		if err != nil {
+			return nil, fmt.Errorf("tracex: propagating prediction intervals: %w", err)
+		}
+		pred.Intervals = ivs
 	}
 	return pred, nil
 }

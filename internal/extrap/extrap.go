@@ -15,7 +15,15 @@ import (
 	"tracex/internal/obs"
 	"tracex/internal/stats"
 	"tracex/internal/trace"
+	"tracex/internal/uncert"
 )
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 // Options tunes the extrapolation.
 type Options struct {
@@ -29,6 +37,13 @@ type Options struct {
 	// high-parameter forms (the future-work polynomial extension) from
 	// overfitting the handful of input counts.
 	CrossValidate bool
+	// Intervals additionally runs posterior model averaging over the
+	// forms (internal/uncert): each element's extrapolated value becomes
+	// the BIC-weighted mixture mean, its predictive variance is recorded
+	// on the synthesized signature (Signature.Uncertainty), and the
+	// per-element fits gain Mean/Var/Weights. With Intervals false the
+	// point-selection path runs exactly as before, bit for bit.
+	Intervals bool
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +81,11 @@ type ElementFit struct {
 	R2, RMSE float64
 	// Extrapolated is the (clamped) value produced at the target count.
 	Extrapolated float64
+	// Mean and Var are the posterior model-averaged prediction and its
+	// predictive variance at the target count; Weights are the posterior
+	// form weights. All three are populated only when Options.Intervals.
+	Mean, Var float64
+	Weights   map[string]float64
 }
 
 // Result is the product of an extrapolation.
@@ -196,6 +216,10 @@ func Extrapolate(ctx context.Context, inputs []*trace.Signature, targetCores int
 		Machine:   first.Machine,
 		Levels:    levels,
 	}
+	var uc *trace.SignatureUncertainty
+	if opt.Intervals {
+		uc = &trace.SignatureUncertainty{Dof: maxInt(1, len(counts)-2)}
+	}
 	for _, id := range ids {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -212,6 +236,10 @@ func Extrapolate(ctx context.Context, inputs []*trace.Signature, targetCores int
 			}
 		}
 		outVals := make([]float64, len(names))
+		var blockVars []float64
+		if opt.Intervals {
+			blockVars = make([]float64, len(names))
+		}
 		for e := range names {
 			var fit stats.FitResult
 			var err error
@@ -224,6 +252,36 @@ func Extrapolate(ctx context.Context, inputs []*trace.Signature, targetCores int
 				return nil, fmt.Errorf("extrap: block %d element %s: %w", id, names[e], err)
 			}
 			v := fit.Model.Eval(float64(targetCores))
+			ef := ElementFit{
+				BlockID: id,
+				Element: names[e],
+				Form:    fit.Model.Name(),
+				Params:  fit.Model.Params(),
+				R2:      fit.R2,
+				RMSE:    fit.RMSE,
+			}
+			if opt.Intervals {
+				// Posterior model averaging: the element's value becomes
+				// the BIC-weighted mixture mean and its predictive
+				// variance rides on the synthesized signature. A series no
+				// form can average (all predictions non-finite at the
+				// target) falls back to the point selection with zero
+				// recorded variance.
+				est, uerr := uncert.Average(opt.Forms, counts, series[e], float64(targetCores))
+				if uerr == nil {
+					v = est.Mean
+					ef.Mean, ef.Var = est.Mean, est.Var
+					ef.Weights = make(map[string]float64, len(est.Forms))
+					for _, fp := range est.Forms {
+						ef.Weights[fp.Form] = fp.Weight
+					}
+					blockVars[e] = est.Var
+					if est.Dof < uc.Dof {
+						uc.Dof = est.Dof
+					}
+					m.Counter("uncert.weights." + est.Top()).Inc()
+				}
+			}
 			if v < cons[e].Min {
 				v = cons[e].Min
 			}
@@ -231,17 +289,13 @@ func Extrapolate(ctx context.Context, inputs []*trace.Signature, targetCores int
 				v = cons[e].Max
 			}
 			outVals[e] = v
+			ef.Extrapolated = v
 			fits.Inc()
 			m.Counter("extrap.form." + fit.Model.Name()).Inc()
-			res.Fits = append(res.Fits, ElementFit{
-				BlockID:      id,
-				Element:      names[e],
-				Form:         fit.Model.Name(),
-				Params:       fit.Model.Params(),
-				R2:           fit.R2,
-				RMSE:         fit.RMSE,
-				Extrapolated: v,
-			})
+			res.Fits = append(res.Fits, ef)
+		}
+		if opt.Intervals {
+			uc.Blocks = append(uc.Blocks, trace.BlockUncertainty{ID: id, Vars: blockVars})
 		}
 		enforceConsistency(outVals, levels)
 		fv, err := trace.FromValues(outVals, levels)
@@ -259,10 +313,11 @@ func Extrapolate(ctx context.Context, inputs []*trace.Signature, targetCores int
 	}
 	outTrace.SortBlocks()
 	res.Signature = &trace.Signature{
-		App:       first.App,
-		CoreCount: targetCores,
-		Machine:   first.Machine,
-		Traces:    []trace.Trace{outTrace},
+		App:         first.App,
+		CoreCount:   targetCores,
+		Machine:     first.Machine,
+		Traces:      []trace.Trace{outTrace},
+		Uncertainty: uc,
 	}
 	if err := res.Signature.Validate(); err != nil {
 		return nil, fmt.Errorf("extrap: synthesized signature invalid: %w", err)

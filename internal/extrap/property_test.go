@@ -73,8 +73,11 @@ func TestExtrapolateRecoversRandomCanonicalLawsProperty(t *testing.T) {
 			return false
 		}
 		// Exact canonical inputs: influential elements should land within
-		// 5 % (the only slack is for near-tie form selection).
-		return MaxInfluentialError(errs) < 0.05
+		// 0.5%. The selector's tied-set tie-break is deterministic and
+		// order-independent, so the only residual slack is a genuinely
+		// ambiguous near-tie resolving to a neighboring form (worst
+		// observed over 500 seeds: 2.4e-4).
+		return MaxInfluentialError(errs) < 0.005
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -62,6 +62,14 @@ func blockTime(fv *trace.FeatureVector, prof *machine.Profile) (BlockTime, error
 	return bt, nil
 }
 
+// BlockCost applies Equation 1 to a single feature vector: the per-block
+// convolution step exposed for sensitivity analysis (uncertainty
+// propagation perturbs one element at a time and re-evaluates the block's
+// time without paying for a full Convolve).
+func BlockCost(fv *trace.FeatureVector, prof *machine.Profile) (BlockTime, error) {
+	return blockTime(fv, prof)
+}
+
 // Convolve maps a single task's trace onto a machine profile, producing the
 // predicted computation time for that task (the sum of Equation 1 over all
 // basic blocks, plus overlapped floating-point time).

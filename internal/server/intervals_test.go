@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"tracex"
+	"tracex/wire"
+)
+
+// TestDefaultIntervalsKnob pins the tri-state resolution of the request
+// "intervals" field against Config.DefaultIntervals: an absent knob takes
+// the server default, a present knob always wins.
+func TestDefaultIntervalsKnob(t *testing.T) {
+	var last atomic.Bool
+	shim := &shimEngine{
+		Engine: sharedEng,
+		predict: func(ctx context.Context, req tracex.PredictRequest) (*tracex.Prediction, error) {
+			last.Store(req.Intervals)
+			return &tracex.Prediction{
+				App: req.Signature.App, CoreCount: req.Signature.CoreCount,
+				Machine: req.Signature.Machine, Runtime: 1.5,
+			}, nil
+		},
+	}
+
+	body := func(knob *bool) string {
+		b, err := json.Marshal(&wire.PredictRequest{Signature: inlineSig(64), Intervals: knob})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	for _, tc := range []struct {
+		name       string
+		serverDflt bool
+		knob       *bool
+		wantEngine bool
+	}{
+		{"absent-defers-to-off", false, nil, false},
+		{"absent-defers-to-on", true, nil, true},
+		{"true-overrides-off", false, wire.Bool(true), true},
+		{"false-overrides-on", true, wire.Bool(false), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// DisableCoalescing keeps each request's effective knob
+			// observable: coalesced requests would share one engine call.
+			_, base := newTestServer(t, Config{
+				Engine: shim, DefaultIntervals: tc.serverDflt, DisableCoalescing: true,
+			})
+			resp, b := post(t, base+"/v1/predict", body(tc.knob))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("predict: %d %s", resp.StatusCode, b)
+			}
+			if got := last.Load(); got != tc.wantEngine {
+				t.Errorf("engine saw Intervals=%v, want %v", got, tc.wantEngine)
+			}
+		})
+	}
+}

@@ -127,6 +127,10 @@ type Config struct {
 	// "model": "exact" (the default) or "analytical". Unknown names fail
 	// New.
 	DefaultCacheModel string
+	// DefaultIntervals enables prediction intervals on /v1/predict,
+	// /v1/study and /v1/extrapolate when a request omits the tri-state
+	// "intervals" knob. A request carrying the knob always wins.
+	DefaultIntervals bool
 	// AutoTune lets the server adjust the effective in-flight limit from
 	// the observed service-time EWMA: sustained degradation shrinks the
 	// limit (never below AutoTuneFloor), recovery grows it back toward
@@ -755,6 +759,15 @@ func extrapOpt(extended bool) tracex.ExtrapOptions {
 	return tracex.ExtrapOptions{}
 }
 
+// intervalsFor resolves a request's tri-state intervals knob against the
+// server default: an absent knob (nil) defers to Config.DefaultIntervals.
+func (s *Server) intervalsFor(knob *bool) bool {
+	if knob != nil {
+		return *knob
+	}
+	return s.cfg.DefaultIntervals
+}
+
 // lookupApp resolves an application name to 404-classified errors.
 func lookupApp(name string) (*tracex.App, error) {
 	if name == "" {
@@ -823,7 +836,11 @@ func (s *Server) predict(ctx context.Context, req *wire.PredictRequest) (any, er
 	if err != nil {
 		return nil, err
 	}
-	pred, err := s.eng.Predict(ctx, tracex.PredictRequest{Signature: sig, App: app})
+	pred, err := s.eng.Predict(ctx, tracex.PredictRequest{
+		Signature: sig,
+		App:       app,
+		Intervals: s.intervalsFor(req.Intervals),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -856,6 +873,7 @@ func (s *Server) study(ctx context.Context, req *wire.StudyRequest) (any, error)
 		Collect:      opt,
 		Extrap:       extrapOpt(req.ExtendedForms),
 		WithTruth:    req.WithTruth,
+		Intervals:    s.intervalsFor(req.Intervals),
 	})
 	if err != nil {
 		return nil, err
@@ -876,7 +894,9 @@ func (s *Server) extrapolate(ctx context.Context, req *wire.ExtrapolateRequest) 
 	if req.TargetCores <= 0 {
 		return nil, badRequestf("extrapolate requires target_cores > 0")
 	}
-	res, err := s.eng.Extrapolate(ctx, req.Signatures, req.TargetCores, extrapOpt(req.ExtendedForms))
+	exOpt := extrapOpt(req.ExtendedForms)
+	exOpt.Intervals = s.intervalsFor(req.Intervals)
+	res, err := s.eng.Extrapolate(ctx, req.Signatures, req.TargetCores, exOpt)
 	if err != nil {
 		return nil, err
 	}

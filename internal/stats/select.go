@@ -19,9 +19,10 @@ type FitResult struct {
 // The zero value is not usable; construct with NewSelector.
 type Selector struct {
 	forms []Form
-	// relTol is the relative SSE slack within which a simpler (earlier)
-	// form wins over a later, marginally better one. The forms slice is
-	// ordered simplest first, so ties resolve toward parsimony.
+	// relTol is the relative SSE slack within which competing forms are
+	// considered tied. Ties resolve toward parsimony (fewest parameters)
+	// and then lexicographic form name — a total order independent of the
+	// forms-slice order, so shuffling the forms cannot change the winner.
 	relTol float64
 }
 
@@ -36,7 +37,7 @@ func NewSelector(forms []Form) *Selector {
 }
 
 // SetTieTolerance overrides the relative SSE tolerance used to prefer
-// simpler forms. Values ≤ 0 disable the preference entirely.
+// simpler forms. Values ≤ 0 restrict the preference to exact SSE ties.
 func (s *Selector) SetTieTolerance(tol float64) { s.relTol = tol }
 
 // Forms returns the forms the selector considers, in tie-break order.
@@ -83,20 +84,16 @@ func (s *Selector) FitAll(xs, ys []float64) (map[string]FitResult, error) {
 	return out, nil
 }
 
-// Select fits every form and returns the best fit: the lowest SSE, with the
-// earlier (simpler) form preferred when SSEs are within the tie tolerance.
-// This mirrors the paper's "the best of those fits is used" rule (Section
-// IV) with a parsimony tie-break for the degenerate exact-fit case that
-// arises when only three observations are available.
+// Select fits every form and returns the best fit: the lowest SSE, with
+// ties within the tolerance resolved toward the simpler form. This mirrors
+// the paper's "the best of those fits is used" rule (Section IV) with a
+// parsimony tie-break for the degenerate exact-fit case that arises when
+// only three observations are available.
 func (s *Selector) Select(xs, ys []float64) (FitResult, error) {
 	all, err := s.FitAll(xs, ys)
 	if err != nil {
 		return FitResult{}, err
 	}
-	var best FitResult
-	haveBest := false
-	// Walk in declared (simplest-first) order so the tolerance favors
-	// earlier forms deterministically.
 	scale := 0.0
 	for _, y := range ys {
 		scale += y * y
@@ -104,20 +101,71 @@ func (s *Selector) Select(xs, ys []float64) (FitResult, error) {
 	if scale == 0 {
 		scale = 1
 	}
-	for _, f := range s.forms {
-		r, ok := all[f.Name()]
-		if !ok {
-			continue
+	// Two-pass selection: find the global minimum SSE, then pick the
+	// winner among every form within the tolerance of it. A sequential
+	// "better than the incumbent minus tol" walk is order-dependent when
+	// three or more forms cluster within multiples of the tolerance; the
+	// tied-set form makes the result a pure function of the fits.
+	minSSE := math.Inf(1)
+	for _, r := range all {
+		if r.SSE < minSSE {
+			minSSE = r.SSE
 		}
-		if !haveBest {
-			best, haveBest = r, true
-			continue
-		}
-		if r.SSE < best.SSE-(s.relTol*scale) {
+	}
+	tol := s.relTol * scale
+	if tol < 0 {
+		tol = 0
+	}
+	best := FitResult{}
+	for _, r := range all {
+		if r.SSE <= minSSE+tol && (best.Model == nil || simplerModel(r.Model, best.Model)) {
 			best = r
 		}
 	}
 	return best, nil
+}
+
+// simplerModel reports whether a should win a tie against b: fewer
+// parameters first (parsimony), then the canonical complexity rank of the
+// form name, then the name itself. This is a strict total order that is a
+// pure function of the competing forms, so tie resolution cannot depend
+// on iteration or declaration order.
+func simplerModel(a, b Model) bool {
+	ka, kb := len(a.Params()), len(b.Params())
+	if ka != kb {
+		return ka < kb
+	}
+	return formNameLess(a.Name(), b.Name())
+}
+
+// formNameLess orders form names for tie-breaking: the in-tree forms rank
+// by their documented simplest-first complexity (the CanonicalForms /
+// ExtendedForms order), and unknown user forms fall back to lexicographic
+// order after them.
+func formNameLess(a, b string) bool {
+	ra, rb := formRank(a), formRank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
+
+func formRank(name string) int {
+	switch name {
+	case "constant":
+		return 0
+	case "linear":
+		return 1
+	case "logarithmic":
+		return 2
+	case "exponential":
+		return 3
+	case "power":
+		return 4
+	case "quadratic":
+		return 5
+	}
+	return 6
 }
 
 // MustSelect is Select but panics on error; convenient in experiment code
@@ -156,6 +204,7 @@ func (s *Selector) SelectCV(xs, ys []float64) (FitResult, error) {
 	type scored struct {
 		form Form
 		cv   float64
+		k    int // fitted parameter count, for the parsimony tie-break
 		ok   bool
 	}
 	scores := make([]scored, 0, len(s.forms))
@@ -177,6 +226,7 @@ func (s *Selector) SelectCV(xs, ys []float64) (FitResult, error) {
 				sc.ok = false
 				break
 			}
+			sc.k = len(m.Params())
 			pred := m.Eval(xs[hold])
 			if math.IsNaN(pred) || math.IsInf(pred, 0) {
 				sc.ok = false
@@ -194,10 +244,26 @@ func (s *Selector) SelectCV(xs, ys []float64) (FitResult, error) {
 		// fall back to training-error selection.
 		return s.Select(xs, ys)
 	}
+	// Same two-pass tied-set selection as Select: global minimum CV score,
+	// then parsimony/name order among the forms within tolerance of it.
+	minCV := math.Inf(1)
+	for _, sc := range scores {
+		if sc.cv < minCV {
+			minCV = sc.cv
+		}
+	}
+	tol := s.relTol * scale
+	if tol < 0 {
+		tol = 0
+	}
 	best := scores[0]
-	for _, sc := range scores[1:] {
-		if sc.cv < best.cv-(s.relTol*scale) {
+	haveBest := false
+	for _, sc := range scores {
+		simpler := !haveBest || sc.k < best.k ||
+			(sc.k == best.k && formNameLess(sc.form.Name(), best.form.Name()))
+		if sc.cv <= minCV+tol && simpler {
 			best = sc
+			haveBest = true
 		}
 	}
 	m, err := best.form.Fit(xs, ys)

@@ -183,6 +183,80 @@ func TestSelectorOptimalityProperty(t *testing.T) {
 	}
 }
 
+// Property: selection is invariant under permutation of the forms slice.
+// The old sequential "beats the incumbent by more than tol" walk failed
+// this whenever three or more forms clustered within multiples of the
+// tolerance (the winner drifted with declaration order); the tied-set
+// selection makes the winner a pure function of the fits.
+func TestSelectorFormOrderInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := []float64{64, 256, 1024, 4096}
+		ys := make([]float64, len(xs))
+		base := r.Float64() * 50
+		slope := r.Float64()
+		for i := range ys {
+			// Trending series with noise small enough that several forms
+			// fit comparably — the regime where near-ties happen.
+			ys[i] = base + slope*math.Log(xs[i]) + r.NormFloat64()*1e-6
+		}
+		forms := ExtendedForms()
+		r.Shuffle(len(forms), func(i, j int) { forms[i], forms[j] = forms[j], forms[i] })
+		a, err1 := NewSelector(ExtendedForms()).Select(xs, ys)
+		b, err2 := NewSelector(forms).Select(xs, ys)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		if a.Model.Name() != b.Model.Name() {
+			return false
+		}
+		ca, err1 := NewSelector(ExtendedForms()).SelectCV(xs, ys)
+		cb, err2 := NewSelector(forms).SelectCV(xs, ys)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return ca.Model.Name() == cb.Model.Name()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectorNearTieOrderIndependence pins the exact regression: three
+// forms with SSEs A, A-1.5tol, A-2.5tol. The sequential walk selected a
+// different winner for the orders (A,B,C) and (A,C,B); the tied-set rule
+// must pick the global minimum's tie group regardless of order.
+func TestSelectorNearTieOrderIndependence(t *testing.T) {
+	// ys chosen so constant/linear/log SSEs land within ~2 tolerances of
+	// each other: scale the tolerance up to force the clustered regime.
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{10, 10.001, 10.0018, 10.0025}
+	orders := [][]Form{
+		{Constant{}, Linear{}, Logarithmic{}},
+		{Logarithmic{}, Linear{}, Constant{}},
+		{Linear{}, Constant{}, Logarithmic{}},
+		{Linear{}, Logarithmic{}, Constant{}},
+	}
+	var names []string
+	for _, fs := range orders {
+		s := NewSelector(fs)
+		s.SetTieTolerance(0.5) // huge: everything ties, tie-break decides
+		r, err := s.Select(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, r.Model.Name())
+	}
+	for _, n := range names[1:] {
+		if n != names[0] {
+			t.Fatalf("winner depends on form order: %v", names)
+		}
+	}
+	if names[0] != "constant" {
+		t.Errorf("all-tied selection should favor the simplest form, got %s", names[0])
+	}
+}
+
 // Property: with the parsimony tolerance enabled, selection is deterministic
 // across repeated calls on the same data.
 func TestSelectorDeterminismProperty(t *testing.T) {

@@ -281,6 +281,46 @@ type Signature struct {
 	CoreCount int     `json:"core_count"`
 	Machine   string  `json:"machine"`
 	Traces    []Trace `json:"traces"`
+	// Uncertainty carries per-element predictive variances when the
+	// signature was synthesized by an uncertainty-aware extrapolation
+	// (extrap.Options.Intervals); nil for collected signatures. It rides
+	// the JSON encoding (omitted when absent, so collected signatures
+	// encode exactly as before) but not the binary store codec: stored
+	// signatures are collected ones, which never carry it.
+	Uncertainty *SignatureUncertainty `json:"uncertainty,omitempty"`
+}
+
+// BlockUncertainty holds one block's per-element predictive variances at
+// the signature's core count, indexed like ElementNames.
+type BlockUncertainty struct {
+	ID   uint64    `json:"id"`
+	Vars []float64 `json:"vars"`
+}
+
+// SignatureUncertainty summarizes the posterior predictive uncertainty of
+// an extrapolated signature: per-block element variances plus the
+// Student-t degrees of freedom the variances were estimated with (small
+// input series ⇒ small dof ⇒ heavy tails).
+type SignatureUncertainty struct {
+	// Dof is the residual degrees of freedom for interval quantiles
+	// (≥ 1).
+	Dof int `json:"dof"`
+	// Blocks holds per-block element variances, ascending by block ID.
+	Blocks []BlockUncertainty `json:"blocks"`
+}
+
+// VarsFor returns the element variances of one block, or nil when the
+// block is unknown.
+func (u *SignatureUncertainty) VarsFor(id uint64) []float64 {
+	if u == nil {
+		return nil
+	}
+	for i := range u.Blocks {
+		if u.Blocks[i].ID == id {
+			return u.Blocks[i].Vars
+		}
+	}
+	return nil
 }
 
 // Validate checks the signature and every contained trace.

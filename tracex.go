@@ -38,6 +38,7 @@ import (
 	"tracex/internal/stats"
 	"tracex/internal/synthapp"
 	"tracex/internal/trace"
+	"tracex/internal/uncert"
 )
 
 // Re-exported data types. Aliases keep the public API nameable by external
@@ -216,6 +217,22 @@ type Prediction struct {
 	// Timeline is the per-rank segment record; populated only when the
 	// prediction was requested with PredictRequest.WithTimeline.
 	Timeline *Timeline
+	// Intervals are the runtime prediction intervals, ascending by level;
+	// populated only when the prediction was requested with
+	// PredictRequest.Intervals from a signature carrying extrapolation
+	// uncertainty.
+	Intervals []Interval
+}
+
+// Interval is one central prediction interval on a predicted runtime (or
+// any other posterior quantity): the value lies in [Lo, Hi] with
+// probability Level.
+type Interval = uncert.Interval
+
+// DefaultIntervalLevels are the interval levels reported when a request
+// does not choose its own: the 50%, 90% and 95% bands.
+func DefaultIntervalLevels() []float64 {
+	return append([]float64(nil), uncert.DefaultLevels...)
 }
 
 // ReplayResult is the discrete-event replay outcome with per-rank detail.

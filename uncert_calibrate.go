@@ -1,0 +1,223 @@
+package tracex
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// This file implements the held-out-core-count calibration harness for
+// prediction intervals: for each (application, machine) cell, signatures
+// are collected at a ladder of core counts, the largest count is held out,
+// the rest are extrapolated to it with model-averaging uncertainty, and the
+// resulting runtime intervals are scored against the prediction from the
+// actually-collected held-out signature. The fraction of cells whose 90%
+// interval covers the held-out runtime is the empirical coverage — a
+// calibrated posterior lands near 0.9. `make bench-uncert` records the
+// full matrix in BENCH_uncert.json; TestCalibrationCoverage pins the
+// acceptance band on a reduced matrix.
+
+// CalibrationConfig parameterizes Engine.CalibrateIntervals. Zero-valued
+// fields take the defaults described on each field.
+type CalibrationConfig struct {
+	// Apps names the applications to calibrate over. Default: uh3d,
+	// stencil3d, cgsolve.
+	Apps []string
+	// Machines names the target machines. Default: kraken, bluewaters.
+	Machines []string
+	// Counts maps an application to its core-count ladder (the largest is
+	// held out, the rest are the extrapolation inputs). Apps missing from
+	// the map use a default ladder inside the app's defined core range.
+	// Each ladder needs at least 3 counts (2 inputs + 1 held out).
+	Counts map[string][]int
+	// Collect tunes signature collection (sample length, cache model, ...).
+	Collect CollectOptions
+	// Levels are the interval levels to calibrate. Default:
+	// DefaultIntervalLevels() — the 50%, 90% and 95% bands.
+	Levels []float64
+}
+
+// CalibrationBand is one interval of a calibration cell, annotated with
+// whether it covered the held-out runtime.
+type CalibrationBand struct {
+	Level   float64 `json:"level"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Covered bool    `json:"covered"`
+}
+
+// CalibrationCell is one (application, machine) trial of the held-out
+// calibration protocol. Predicted is the extrapolated prediction's runtime
+// at the held-out count; Actual is the prediction from the
+// actually-collected held-out signature (the harness's ground truth).
+type CalibrationCell struct {
+	App          string            `json:"app"`
+	Machine      string            `json:"machine"`
+	InputCores   []int             `json:"input_cores"`
+	HeldOutCores int               `json:"held_out_cores"`
+	Predicted    float64           `json:"predicted_seconds"`
+	Actual       float64           `json:"actual_seconds"`
+	Bands        []CalibrationBand `json:"bands"`
+}
+
+// LevelCoverage aggregates one interval level across all cells.
+// MeanRelWidth is the mean of (hi-lo)/actual across cells: how wide the
+// bands are relative to the runtime they bracket.
+type LevelCoverage struct {
+	Level        float64 `json:"level"`
+	Covered      int     `json:"covered"`
+	Cells        int     `json:"cells"`
+	Fraction     float64 `json:"fraction"`
+	MeanRelWidth float64 `json:"mean_rel_width"`
+}
+
+// CalibrationReport is the result of Engine.CalibrateIntervals.
+type CalibrationReport struct {
+	Cells    []CalibrationCell `json:"cells"`
+	Coverage []LevelCoverage   `json:"coverage"`
+}
+
+// CoverageAt returns the empirical coverage fraction at the given level, or
+// -1 when the level was not calibrated.
+func (r *CalibrationReport) CoverageAt(level float64) float64 {
+	for _, c := range r.Coverage {
+		if c.Level == level {
+			return c.Fraction
+		}
+	}
+	return -1
+}
+
+// defaultCalibrationCounts returns a 4-step core-count ladder inside the
+// app's defined range.
+func defaultCalibrationCounts(app string) []int {
+	switch app {
+	case "uh3d":
+		return []int{1024, 2048, 4096, 8192}
+	case "specfem3d":
+		return []int{64, 128, 256, 512}
+	default: // stencil3d, stencil3dweak, cgsolve: defined from 8 cores up
+		return []int{8, 16, 32, 64}
+	}
+}
+
+// CalibrateIntervals runs the held-out-core-count calibration protocol and
+// reports per-level empirical coverage. Collections go through the engine's
+// caches, so repeated calibrations (or a calibration after a study over the
+// same counts) reuse prior simulations.
+func (e *Engine) CalibrateIntervals(ctx context.Context, cfg CalibrationConfig) (*CalibrationReport, error) {
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		apps = []string{"uh3d", "stencil3d", "cgsolve"}
+	}
+	machines := cfg.Machines
+	if len(machines) == 0 {
+		machines = []string{"kraken", "bluewaters"}
+	}
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		levels = DefaultIntervalLevels()
+	}
+
+	rep := &CalibrationReport{}
+	for _, appName := range apps {
+		app, err := LoadApp(appName)
+		if err != nil {
+			return nil, err
+		}
+		counts := cfg.Counts[appName]
+		if len(counts) == 0 {
+			counts = defaultCalibrationCounts(appName)
+		}
+		if len(counts) < 3 {
+			return nil, fmt.Errorf("tracex: calibration for %s needs at least 3 core counts (2 inputs + 1 held out), got %v", appName, counts)
+		}
+		counts = append([]int(nil), counts...)
+		sort.Ints(counts)
+		inputCores, heldOut := counts[:len(counts)-1], counts[len(counts)-1]
+		for _, machineName := range machines {
+			mc, err := LoadMachine(machineName)
+			if err != nil {
+				return nil, err
+			}
+			cell, err := e.calibrateCell(ctx, app, mc, inputCores, heldOut, cfg.Collect, levels)
+			if err != nil {
+				return nil, fmt.Errorf("tracex: calibrating %s on %s: %w", appName, machineName, err)
+			}
+			rep.Cells = append(rep.Cells, *cell)
+		}
+	}
+
+	for _, level := range levels {
+		lc := LevelCoverage{Level: level}
+		for _, cell := range rep.Cells {
+			for _, b := range cell.Bands {
+				if b.Level != level {
+					continue
+				}
+				lc.Cells++
+				if b.Covered {
+					lc.Covered++
+				}
+				if cell.Actual > 0 {
+					lc.MeanRelWidth += (b.Hi - b.Lo) / cell.Actual
+				}
+			}
+		}
+		if lc.Cells > 0 {
+			lc.Fraction = float64(lc.Covered) / float64(lc.Cells)
+			lc.MeanRelWidth /= float64(lc.Cells)
+		}
+		rep.Coverage = append(rep.Coverage, lc)
+	}
+	return rep, nil
+}
+
+// calibrateCell runs one (app, machine) trial: collect the ladder,
+// extrapolate the inputs to the held-out count with uncertainty, and score
+// each interval against the held-out signature's prediction.
+func (e *Engine) calibrateCell(ctx context.Context, app *App, mc MachineConfig, inputCores []int, heldOut int, copt CollectOptions, levels []float64) (*CalibrationCell, error) {
+	inputs := make([]*Signature, 0, len(inputCores))
+	for _, cores := range inputCores {
+		sig, err := e.CollectSignature(ctx, app, cores, mc, copt)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, sig)
+	}
+	heldSig, err := e.CollectSignature(ctx, app, heldOut, mc, copt)
+	if err != nil {
+		return nil, err
+	}
+
+	ex, err := e.Extrapolate(ctx, inputs, heldOut, ExtrapOptions{Intervals: true})
+	if err != nil {
+		return nil, err
+	}
+	pred, err := e.Predict(ctx, PredictRequest{
+		Signature: ex.Signature, App: app, Intervals: true, IntervalLevels: levels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(pred.Intervals) == 0 {
+		return nil, fmt.Errorf("extrapolated prediction carries no intervals")
+	}
+	actual, err := e.Predict(ctx, PredictRequest{Signature: heldSig, App: app})
+	if err != nil {
+		return nil, err
+	}
+
+	cell := &CalibrationCell{
+		App: app.Name(), Machine: mc.Name,
+		InputCores: append([]int(nil), inputCores...), HeldOutCores: heldOut,
+		Predicted: pred.Runtime, Actual: actual.Runtime,
+	}
+	for _, iv := range pred.Intervals {
+		cell.Bands = append(cell.Bands, CalibrationBand{
+			Level: iv.Level, Lo: iv.Lo, Hi: iv.Hi,
+			Covered: iv.Lo <= actual.Runtime && actual.Runtime <= iv.Hi,
+		})
+	}
+	return cell, nil
+}

@@ -53,7 +53,34 @@ func (r *PredictResponse) AppendJSON(dst []byte) []byte {
 		dst = append(dst, `,"model":`...)
 		dst = appendJSONString(dst, r.Model)
 	}
+	if len(r.Intervals) > 0 {
+		dst = append(dst, `,"intervals":`...)
+		dst = appendIntervals(dst, r.Intervals)
+	}
 	return append(dst, '}')
+}
+
+// appendIntervals appends a []tracex.Interval encoding. The callers emit
+// it only under omitempty (len > 0), so the nil/empty distinction never
+// reaches the wire.
+func appendIntervals(dst []byte, ivs []tracex.Interval) []byte {
+	if ivs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i := range ivs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"level":`...)
+		dst = appendJSONFloat(dst, ivs[i].Level)
+		dst = append(dst, `,"lo":`...)
+		dst = appendJSONFloat(dst, ivs[i].Lo)
+		dst = append(dst, `,"hi":`...)
+		dst = appendJSONFloat(dst, ivs[i].Hi)
+		dst = append(dst, '}')
+	}
+	return append(dst, ']')
 }
 
 // AppendJSON appends r's JSON encoding to dst, byte-identical to
@@ -105,6 +132,10 @@ func appendStudyRows(dst []byte, rows []tracex.StudyRow) []byte {
 		dst = appendJSONFloat(dst, r.ActualSeconds)
 		dst = append(dst, `,"abs_rel_err":`...)
 		dst = appendJSONFloat(dst, r.AbsRelErr)
+		if len(r.Intervals) > 0 {
+			dst = append(dst, `,"intervals":`...)
+			dst = appendIntervals(dst, r.Intervals)
+		}
 		dst = append(dst, '}')
 	}
 	return append(dst, ']')

@@ -60,13 +60,26 @@ func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
 		}
 	}
 
-	// omitempty behavior: From and Model absent when empty.
+	// omitempty behavior: From, Model and Intervals absent when empty.
 	b := (&PredictResponse{App: "a", Machine: "m"}).AppendJSON(nil)
 	if bytes.Contains(b, []byte(`"from"`)) || bytes.Contains(b, []byte(`"model"`)) {
 		t.Errorf("empty from/model not omitted: %s", b)
 	}
+	if bytes.Contains(b, []byte(`"intervals"`)) {
+		t.Errorf("empty intervals not omitted: %s", b)
+	}
+	for _, pr := range []*PredictResponse{
+		{App: "a", Machine: "m", Intervals: []tracex.Interval{}},
+		{App: "a", Machine: "m", Intervals: []tracex.Interval{{Level: 0.9, Lo: 1.5, Hi: 2.5}}},
+		{App: "a", Machine: "m", From: "inline", Intervals: []tracex.Interval{
+			{Level: 0.5, Lo: 9.25, Hi: 10.75}, {Level: 0.9, Lo: 7.5, Hi: 12.5}, {Level: 0.95, Lo: 1e-7, Hi: 1e21},
+		}},
+	} {
+		checkSame(t, pr)
+	}
 
-	// Study responses, including nil vs empty slices (null vs []).
+	// Study responses, including nil vs empty slices (null vs []) and
+	// interval-carrying rows.
 	for _, sr := range []*StudyResponse{
 		{},
 		{App: "uh3d", Machine: "kraken"},
@@ -74,6 +87,12 @@ func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
 		{App: "uh3d", Machine: "kraken", InputCounts: []int{64, 128, 256}, Rows: []tracex.StudyRow{
 			{TargetCores: 512, PredictedSeconds: 10.5, ActualSeconds: 10, AbsRelErr: 0.05},
 			{TargetCores: 8192, PredictedSeconds: 1234.5678},
+		}},
+		{App: "uh3d", Machine: "kraken", InputCounts: []int{1024}, Rows: []tracex.StudyRow{
+			{TargetCores: 8192, PredictedSeconds: 361.4, Intervals: []tracex.Interval{
+				{Level: 0.5, Lo: 353.0, Hi: 369.8}, {Level: 0.9, Lo: 308.6, Hi: 414.3},
+			}},
+			{TargetCores: 16384, PredictedSeconds: 700, Intervals: []tracex.Interval{}},
 		}},
 	} {
 		checkSame(t, sr)
@@ -101,18 +120,29 @@ func TestAppendJSONMatchesRandomized(t *testing.T) {
 		}
 		return f
 	}
+	randIntervals := func() []tracex.Interval {
+		if rng.IntN(2) == 0 {
+			return nil
+		}
+		ivs := make([]tracex.Interval, rng.IntN(4))
+		for i := range ivs {
+			ivs[i] = tracex.Interval{Level: randFloat(), Lo: randFloat(), Hi: randFloat()}
+		}
+		return ivs
+	}
 	for i := 0; i < 2000; i++ {
 		checkSame(t, &PredictResponse{
 			App: randStr(), Cores: rng.IntN(1 << 20), Machine: randStr(),
 			RuntimeSeconds: randFloat(), ComputeSeconds: randFloat(),
 			CommSeconds: randFloat(), MemSeconds: randFloat(), FPSeconds: randFloat(),
-			From: randStr(), Model: randStr(),
+			From: randStr(), Model: randStr(), Intervals: randIntervals(),
 		})
 		rows := make([]tracex.StudyRow, rng.IntN(4))
 		for j := range rows {
 			rows[j] = tracex.StudyRow{
 				TargetCores: rng.IntN(1 << 16), PredictedSeconds: randFloat(),
 				ActualSeconds: randFloat(), AbsRelErr: randFloat(),
+				Intervals: randIntervals(),
 			}
 		}
 		counts := make([]int, rng.IntN(4))
@@ -131,6 +161,10 @@ func TestAppendJSONZeroAllocs(t *testing.T) {
 		App: "uh3d", Cores: 8192, Machine: "bluewaters",
 		RuntimeSeconds: 1234.5678, ComputeSeconds: 1000.1, CommSeconds: 234.4678,
 		MemSeconds: 600.25, FPSeconds: 399.85, From: "memory", Model: "exact",
+		Intervals: []tracex.Interval{
+			{Level: 0.5, Lo: 1200.1, Hi: 1269.0}, {Level: 0.9, Lo: 1100.4, Hi: 1368.7},
+			{Level: 0.95, Lo: 1000.9, Hi: 1468.2},
+		},
 	}
 	buf := make([]byte, 0, 1024)
 	if allocs := testing.AllocsPerRun(200, func() {
@@ -142,7 +176,8 @@ func TestAppendJSONZeroAllocs(t *testing.T) {
 	sr := &StudyResponse{
 		App: "uh3d", Machine: "bluewaters", InputCounts: []int{1024, 2048, 4096},
 		Rows: []tracex.StudyRow{
-			{TargetCores: 8192, PredictedSeconds: 1234.5678, ActualSeconds: 1300, AbsRelErr: 0.0503},
+			{TargetCores: 8192, PredictedSeconds: 1234.5678, ActualSeconds: 1300, AbsRelErr: 0.0503,
+				Intervals: []tracex.Interval{{Level: 0.9, Lo: 1100.4, Hi: 1368.7}}},
 			{TargetCores: 16384, PredictedSeconds: 2400.25},
 		},
 	}

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeStrict drives the canonical strict decoder over arbitrary
+// bodies for the predict/study request and response types — including the
+// interval fields — and checks two invariants on every accepted body:
+//
+//  1. Differential re-encode: a decoded response re-encoded with the
+//     zero-alloc AppendJSON encoder is byte-identical to encoding/json
+//     (the same contract the randomized differential tests pin, but over
+//     fuzz-discovered shapes).
+//  2. Self-consistency: the re-encoded bytes decode strictly again —
+//     nothing the encoder emits is an unknown field to the decoder, so
+//     the interval fields cannot drift between the two sides.
+func FuzzDecodeStrict(f *testing.F) {
+	seeds := []string{
+		`{"app":"uh3d","cores":8192,"machine":"kraken","runtime_seconds":361.4,"compute_seconds":300,"comm_seconds":61.4,"mem_seconds":200,"fp_seconds":100}`,
+		`{"app":"uh3d","cores":8192,"machine":"kraken","runtime_seconds":361.4,"compute_seconds":300,"comm_seconds":61.4,"mem_seconds":200,"fp_seconds":100,"from":"inline","intervals":[{"level":0.5,"lo":353,"hi":369.8},{"level":0.9,"lo":308.6,"hi":414.3}]}`,
+		`{"app":"uh3d","machine":"kraken","input_counts":[1024,2048,4096],"rows":[{"target_cores":8192,"predicted_seconds":361.4,"actual_seconds":361.1,"abs_rel_err":0.001,"intervals":[{"level":0.9,"lo":308.6,"hi":414.3}]}]}`,
+		`{"app":"uh3d","cores":64,"machine":"kraken","intervals":true}`,
+		`{"app":"uh3d","cores":64,"machine":"kraken","intervals":false}`,
+		`{"app":"uh3d","cores":64,"machine":"kraken","intervals":null}`,
+		`{"app":"uh3d","machine":"kraken","input_counts":[8,16],"target_cores":64,"intervals":true,"with_truth":true}`,
+		`{"app":"uh3d","cores":64,"intervalz":true}`,
+		`{"intervals":[{"level":0.9,"lo":1,"hi":2,"mid":1.5}]}`,
+		`{"intervals":[]}`,
+		`{"intervals":[{}]}`,
+		`{"rows":[{"intervals":null}]}`,
+		`null`, `[]`, `{}`, ``, `{"app":`, `{"cores":1e999}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pr PredictResponse
+		if err := DecodeStrict(bytes.NewReader(data), &pr); err == nil {
+			checkReencode(t, &pr, func() AppendMarshaler { return new(PredictResponse) })
+		}
+		var sr StudyResponse
+		if err := DecodeStrict(bytes.NewReader(data), &sr); err == nil {
+			checkReencode(t, &sr, func() AppendMarshaler { return new(StudyResponse) })
+		}
+		// Requests have no append encoder; the decoder just must not
+		// panic, and an accepted body must re-marshal.
+		var preq PredictRequest
+		if err := DecodeStrict(bytes.NewReader(data), &preq); err == nil {
+			if _, err := json.Marshal(&preq); err != nil {
+				t.Errorf("accepted predict request failed to re-marshal: %v", err)
+			}
+		}
+		var sreq StudyRequest
+		if err := DecodeStrict(bytes.NewReader(data), &sreq); err == nil {
+			if _, err := json.Marshal(&sreq); err != nil {
+				t.Errorf("accepted study request failed to re-marshal: %v", err)
+			}
+		}
+	})
+}
+
+// checkReencode asserts the append encoder matches encoding/json on v and
+// that its output is strictly decodable into a fresh value of v's type.
+func checkReencode(t *testing.T, v AppendMarshaler, fresh func() AppendMarshaler) {
+	t.Helper()
+	want, err := json.Marshal(v)
+	if err != nil {
+		// Non-finite floats cannot round-trip through JSON; DecodeStrict
+		// can never produce them, so a marshal failure here is a bug.
+		t.Fatalf("decoded value failed to marshal: %v", err)
+	}
+	got := v.AppendJSON(nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendJSON diverges from encoding/json:\n got: %s\nwant: %s", got, want)
+	}
+	if err := DecodeStrict(bytes.NewReader(got), fresh()); err != nil {
+		t.Errorf("encoder output rejected by strict decoder: %v\nbody: %s", err, got)
+	}
+}
+
+// TestDecodeStrictIntervalKnob pins the tri-state interval knob: absent,
+// true and false must be distinguishable after decoding, and misspelled
+// interval fields must be rejected.
+func TestDecodeStrictIntervalKnob(t *testing.T) {
+	var pr PredictRequest
+	if err := DecodeStrict(strings.NewReader(`{"app":"a","cores":1}`), &pr); err != nil || pr.Intervals != nil {
+		t.Errorf("absent knob: err=%v intervals=%v", err, pr.Intervals)
+	}
+	pr = PredictRequest{}
+	if err := DecodeStrict(strings.NewReader(`{"app":"a","intervals":true}`), &pr); err != nil || pr.Intervals == nil || !*pr.Intervals {
+		t.Errorf("true knob: err=%v intervals=%v", err, pr.Intervals)
+	}
+	pr = PredictRequest{}
+	if err := DecodeStrict(strings.NewReader(`{"app":"a","intervals":false}`), &pr); err != nil || pr.Intervals == nil || *pr.Intervals {
+		t.Errorf("false knob: err=%v intervals=%v", err, pr.Intervals)
+	}
+	var sreq StudyRequest
+	if err := DecodeStrict(strings.NewReader(`{"app":"a","intervals":true}`), &sreq); err != nil || sreq.Intervals == nil || !*sreq.Intervals {
+		t.Errorf("study knob: err=%v intervals=%v", err, sreq.Intervals)
+	}
+	if err := DecodeStrict(strings.NewReader(`{"app":"a","interval":true}`), &sreq); err == nil {
+		t.Error("misspelled interval field accepted")
+	}
+	var resp PredictResponse
+	if err := DecodeStrict(strings.NewReader(`{"app":"a","cores":1,"machine":"m","runtime_seconds":1,"compute_seconds":1,"comm_seconds":0,"mem_seconds":1,"fp_seconds":0,"intervals":[{"level":0.9,"lo":0.9,"hi":1.1}]}`), &resp); err != nil {
+		t.Fatalf("interval response rejected: %v", err)
+	}
+	if len(resp.Intervals) != 1 || resp.Intervals[0].Level != 0.9 {
+		t.Errorf("decoded intervals %+v", resp.Intervals)
+	}
+}

@@ -84,7 +84,17 @@ type PredictRequest struct {
 	// Signature predicts from an already-collected (or extrapolated)
 	// signature instead of collecting one.
 	Signature *tracex.Signature `json:"signature,omitempty"`
+	// Intervals asks for runtime prediction intervals (50%/90%/95%
+	// bands). Tri-state: absent defers to the server's -intervals
+	// default, true/false override it per request. Intervals require an
+	// inline extrapolated signature carrying uncertainty (see
+	// /v1/extrapolate with intervals); other predictions return none.
+	Intervals *bool `json:"intervals,omitempty"`
 }
+
+// Bool returns a pointer to b: a literal for the tri-state request knobs
+// (e.g. PredictRequest.Intervals).
+func Bool(b bool) *bool { return &b }
 
 // PredictResponse is the body of a successful POST /v1/predict. It has an
 // allocation-free AppendJSON encoder because it is the serving hot path.
@@ -104,6 +114,10 @@ type PredictResponse struct {
 	// Model echoes the cache model that produced the signature's hit rates
 	// ("exact" or "analytical"; empty for inline signatures).
 	Model string `json:"model,omitempty"`
+	// Intervals are the runtime prediction intervals, ascending by level
+	// (absent unless the request asked for intervals and the signature
+	// carried extrapolation uncertainty).
+	Intervals []tracex.Interval `json:"intervals,omitempty"`
 }
 
 // PredictionResponse converts a library prediction into its wire form.
@@ -119,6 +133,7 @@ func PredictionResponse(p *tracex.Prediction) *PredictResponse {
 		CommSeconds:    p.CommSeconds,
 		MemSeconds:     p.MemSeconds,
 		FPSeconds:      p.FPSeconds,
+		Intervals:      p.Intervals,
 	}
 }
 
@@ -144,6 +159,10 @@ type StudyRequest struct {
 	// WithTruth additionally collects at each target count and predicts
 	// from it (the paper's Table I baseline). Expensive at scale.
 	WithTruth bool `json:"with_truth,omitempty"`
+	// Intervals runs the extrapolation with posterior model averaging and
+	// attaches runtime prediction intervals to each row. Tri-state:
+	// absent defers to the server's -intervals default.
+	Intervals *bool `json:"intervals,omitempty"`
 }
 
 // StudyResponse is the body of a successful POST /v1/study.
@@ -163,6 +182,11 @@ type ExtrapolateRequest struct {
 	TargetCores int `json:"target_cores"`
 	// ExtendedForms adds the power-law and quadratic forms to the fit.
 	ExtendedForms bool `json:"extended_forms,omitempty"`
+	// Intervals extrapolates with posterior model averaging: the returned
+	// signature carries per-element predictive variances ("uncertainty"),
+	// which a later /v1/predict with intervals propagates into runtime
+	// bands. Tri-state: absent defers to the server's -intervals default.
+	Intervals *bool `json:"intervals,omitempty"`
 }
 
 // ExtrapolateResponse is the body of a successful POST /v1/extrapolate.

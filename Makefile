@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-fleet bench-obs bench-serve bench-serve-smoke bench-server bench-store bench-smoke bench-uncert bench-uncert-smoke fleet-smoke serve experiments examples csv clean
+.PHONY: all build vet test test-short test-race fuzz bench bench-cachemodel bench-collect bench-engine bench-fleet bench-obs bench-sampling bench-sampling-smoke bench-serve bench-serve-smoke bench-server bench-store bench-smoke bench-uncert bench-uncert-smoke fleet-smoke serve experiments examples csv clean
 
 all: build vet test
 
@@ -86,6 +86,19 @@ bench-serve:
 # BENCH_serve.json (-out "").
 bench-serve-smoke:
 	$(GO) run ./cmd/tracexload -inprocess -duration 5s -warmup 1s -rate 50 -workers 16 -keys 4 -sample-refs 2000 -out "" -label smoke -assert-min-rps 10 -assert-max-5xx 0
+
+# Adaptive-vs-fixed sampling comparison on the Table I workloads at their
+# paper core counts, recorded into BENCH_collect.json's "sampling" section
+# under the "full" label (the collector microbench results in the same
+# file are preserved).
+bench-sampling:
+	$(GO) run ./scripts/sampling-bench -label full
+
+# CI smoke: the adaptive default must simulate at least 3x fewer
+# references than the fixed default on every Table I app while predicting
+# a runtime within 1% of it; recorded under the "smoke" label.
+bench-sampling-smoke:
+	$(GO) run ./scripts/sampling-bench -label smoke -assert-min-ratio 3 -assert-max-drift 0.01
 
 # Held-out interval calibration over the full app × machine matrix,
 # recorded into BENCH_uncert.json under the "full" label. A calibrated

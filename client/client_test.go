@@ -395,6 +395,44 @@ func TestAgainstServer(t *testing.T) {
 	if len(np.Intervals) != 0 {
 		t.Errorf("default predict carried intervals: %+v", np.Intervals)
 	}
+
+	// Sampling policy round-trip: an adaptive collection succeeds, its
+	// signature carries per-element measurement uncertainty, and a predict
+	// under the same policy echoes the normalized policy string — the
+	// response must report what the collection actually ran with, not what
+	// the request literally said.
+	const adaptivePolicy = "adaptive:0.1,pilot=5000,min=5000,max=50000"
+	asr, err := c.Collect(bg, &wire.SignatureRequest{
+		App: "stencil3d", Cores: 64, Machine: "bluewaters", Sampling: adaptivePolicy,
+	})
+	if err != nil {
+		t.Fatalf("Collect(adaptive): %v", err)
+	}
+	if asr.Signature == nil || asr.Signature.Uncertainty == nil {
+		t.Fatalf("adaptive collection carries no uncertainty: %+v", asr)
+	}
+	ap, err := c.Predict(bg, &wire.PredictRequest{
+		App: "stencil3d", Cores: 64, Machine: "bluewaters", Sampling: adaptivePolicy,
+	})
+	if err != nil {
+		t.Fatalf("Predict(adaptive): %v", err)
+	}
+	if want := adaptivePolicy + ",cluster=on"; ap.Sampling != want {
+		t.Errorf("Predict echoed sampling %q, want %q", ap.Sampling, want)
+	}
+	// A malformed policy maps to the 400 sentinel, and combining the
+	// policy with the legacy knob is rejected rather than silently picked.
+	if _, err := c.Collect(bg, &wire.SignatureRequest{
+		App: "stencil3d", Cores: 64, Machine: "bluewaters", Sampling: "adaptive:nope",
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("malformed sampling: %v, want ErrBadRequest", err)
+	}
+	if _, err := c.Collect(bg, &wire.SignatureRequest{
+		App: "stencil3d", Cores: 64, Machine: "bluewaters",
+		Sampling: "fixed:20000", SampleRefs: 20000,
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("sampling+sample_refs conflict: %v, want ErrBadRequest", err)
+	}
 }
 
 // TestNoStoreSentinel checks the 501 mapping against a storeless daemon.

@@ -68,6 +68,8 @@ func run() int {
 		"addresses simulated per batch during collection (0 = default); results are identical for any value")
 	gfs.StringVar(&collectModel, "cache-model", "",
 		"cache model for signature collection: \"exact\" (default; simulates the target hierarchy) or \"analytical\" (derives hit rates from a machine-independent reuse-distance signature)")
+	gfs.StringVar(&collectSampling, "sampling", "",
+		"sampling policy for signature collection: \"fixed[:SAMPLE][,warm=N]\" (default) or \"adaptive[:RELERR][,pilot=N][,min=N][,max=N][,cluster=on|off]\" (per-block error bounds; see tracex.ParseSamplingPolicy)")
 	_ = gfs.Parse(os.Args[1:]) // ExitOnError: Parse never returns an error
 	rest := gfs.Args()
 	if len(rest) == 0 {
@@ -130,19 +132,29 @@ func run() int {
 // out of cache and store identities); -cache-model selects how hit rates are
 // produced.
 var (
-	collectWorkers, collectBatch int
-	collectModel                 string
+	collectWorkers, collectBatch  int
+	collectModel, collectSampling string
 )
 
 // collectOptions builds a subcommand's collection options from the global
 // tuning flags; sample ≤ 0 keeps the default per-block sample length. The
-// model name is validated here so a typo fails before any simulation.
+// model and sampling-policy names are validated here so a typo fails before
+// any simulation; combining -sampling with a subcommand's -sample surfaces
+// as the options' own conflict error.
 func collectOptions(sample int) (tracex.CollectOptions, error) {
 	m, err := pebil.ParseCacheModel(collectModel)
 	if err != nil {
 		return tracex.CollectOptions{}, err
 	}
-	return tracex.CollectOptions{SampleRefs: sample, Workers: collectWorkers, BatchSize: collectBatch, Model: m}, nil
+	pol, err := tracex.ParseSamplingPolicy(collectSampling)
+	if err != nil {
+		return tracex.CollectOptions{}, err
+	}
+	opt := tracex.CollectOptions{SampleRefs: sample, Workers: collectWorkers, BatchSize: collectBatch, Model: m, Sampling: pol}
+	if err := opt.Validate(); err != nil {
+		return tracex.CollectOptions{}, err
+	}
+	return opt, nil
 }
 
 // dispatch routes one subcommand to its implementation; handled reports
@@ -208,7 +220,8 @@ func serveMetrics(eng *tracex.Engine, addr string) (*server.Server, string, erro
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: tracex [-metrics-addr host:port] [-store-dir dir|off]
               [-collect-workers n] [-collect-batch n]
-              [-cache-model exact|analytical] <command> [flags]
+              [-cache-model exact|analytical]
+              [-sampling fixed:N|adaptive:RELERR] <command> [flags]
 
 commands:
   trace    collect an application signature at one core count

@@ -49,6 +49,7 @@ type options struct {
 	quiet          bool
 	storeDir       string
 	cacheModel     string
+	sampling       string
 	intervals      bool
 	autoTune       bool
 	autoTuneFloor  int
@@ -78,6 +79,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-request access log")
 	fs.StringVar(&o.storeDir, "store-dir", "", "persistent signature store directory; signatures survive restarts and GET/PUT /v1/signatures/{key} are served (empty = disabled)")
 	fs.StringVar(&o.cacheModel, "cache-model", "", "default cache model for collections whose request omits \"model\": \"exact\" (default) or \"analytical\"")
+	fs.StringVar(&o.sampling, "sampling", "", "default sampling policy for collections whose request omits \"sampling\": \"fixed[:SAMPLE][,warm=N]\" or \"adaptive[:RELERR][,pilot=N][,min=N][,max=N][,cluster=on|off]\"")
 	fs.BoolVar(&o.intervals, "intervals", false, "attach prediction intervals when a request omits the \"intervals\" knob")
 	fs.BoolVar(&o.autoTune, "auto-tune", false, "adjust the in-flight limit from the observed service-time EWMA (AIMD between -auto-tune-floor and -max-inflight)")
 	fs.IntVar(&o.autoTuneFloor, "auto-tune-floor", 0, "smallest in-flight limit -auto-tune may shrink to (0 = max-inflight/4, at least 1)")
@@ -153,6 +155,7 @@ func build(o *options, accessLog, errorLog *log.Logger) (*server.Server, *tracex
 		RetryAfter:        o.retryAfter,
 		DisableCoalescing: o.noCoalesce,
 		DefaultCacheModel: o.cacheModel,
+		DefaultSampling:   o.sampling,
 		DefaultIntervals:  o.intervals,
 		AutoTune:          o.autoTune,
 		AutoTuneFloor:     o.autoTuneFloor,

@@ -174,12 +174,18 @@ func ReuseStoreKey(app string, cores int, opt CollectOptions) SignatureKey {
 // form hashed into store keys. For the exact model it reproduces the
 // pre-Model `%+v` rendering of CollectorConfig byte for byte, so stores
 // written before the Model field existed keep resolving under their
-// original keys.
+// original keys. Fixed sampling policies normalize into the legacy
+// SampleRefs/MaxWarmRefs ints (see CollectorConfig.Normalized), so only
+// adaptive policies — which produce different hit rates — extend the
+// identity.
 func optIdentity(n CollectOptions) string {
 	s := fmt.Sprintf("{SampleRefs:%d MaxWarmRefs:%d Workers:0 BatchSize:0 SharedHierarchy:%t}",
 		n.SampleRefs, n.MaxWarmRefs, n.SharedHierarchy)
 	if n.Model != "" && n.Model != ModelExact {
 		s += " Model:" + string(n.Model)
+	}
+	if n.Sampling.IsAdaptive() {
+		s += " Sampling:" + n.Sampling.String()
 	}
 	return s
 }
@@ -633,7 +639,12 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 			prov = FromAnalytical
 			return pebil.SignatureFromReuse(rs, app, target, nil, cache.Analytical{})
 		}
-		if e.disk != nil {
+		// Adaptive collections carry measurement uncertainty, which the
+		// binary store codec does not persist; a disk round-trip would
+		// silently drop it, so adaptive signatures stay in the memory and
+		// peer tiers (peers exchange JSON, which carries it).
+		useDisk := e.disk != nil && !norm.Sampling.IsAdaptive()
+		if useDisk {
 			if sig, ok, _ := e.disk.Get(StoreKey(app.Name(), cores, target, opt)); ok {
 				prov = FromDisk
 				return sig, nil
@@ -644,7 +655,7 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 			if sig, ferr := e.remote.FetchSignature(ctx, app.Name(), cores, target.Name, opt); ferr == nil && sig != nil {
 				e.peerHits.Inc()
 				prov = FromPeer
-				if e.disk != nil {
+				if useDisk {
 					if _, perr := e.disk.Put(sig, StoreKey(app.Name(), cores, target, opt)); perr != nil {
 						e.putErrors.Inc()
 					}
@@ -659,7 +670,7 @@ func (e *Engine) CollectSignatureFrom(ctx context.Context, app *App, cores int, 
 			// degrades to a local collection below.
 		}
 		sig, err := e.collector.Collect(ctx, app, cores, target, nil, opt)
-		if err == nil && e.disk != nil {
+		if err == nil && useDisk {
 			if _, perr := e.disk.Put(sig, StoreKey(app.Name(), cores, target, opt)); perr != nil {
 				// A full or read-only disk must not fail the
 				// collection that just succeeded; the lost write is

@@ -1,0 +1,59 @@
+package tracex
+
+import "testing"
+
+// These tests pin the store-key semantics of the SamplingPolicy redesign:
+// a Fixed policy is the same identity as the legacy SampleRefs/MaxWarmRefs
+// ints (stores written before the policy existed keep resolving), while an
+// adaptive policy — which produces different hit rates — extends the
+// identity string in a pinned, byte-stable way.
+
+func TestOptIdentityFixedPolicyByteCompatible(t *testing.T) {
+	// The default configuration renders exactly the pre-policy identity.
+	def := CollectOptions{}
+	const legacyDefault = "{SampleRefs:400000 MaxWarmRefs:2000000 Workers:0 BatchSize:0 SharedHierarchy:false}"
+	if got := optIdentity(def.Normalized()); got != legacyDefault {
+		t.Errorf("optIdentity(default) = %q, want %q", got, legacyDefault)
+	}
+	// A Fixed policy collapses to the same rendering as the equivalent
+	// legacy ints: byte-identical identity, so byte-identical store keys.
+	legacy := CollectOptions{SampleRefs: 20_000, MaxWarmRefs: 60_000}
+	pol := CollectOptions{Sampling: FixedSampling(20_000, 60_000)}
+	lid, pid := optIdentity(legacy.Normalized()), optIdentity(pol.Normalized())
+	if lid != pid {
+		t.Errorf("fixed policy identity %q != legacy identity %q", pid, lid)
+	}
+	m := testMachine(t, "bluewaters")
+	if StoreKey("uh3d", 256, m, legacy) != StoreKey("uh3d", 256, m, pol) {
+		t.Error("fixed policy and legacy ints produced different store keys")
+	}
+}
+
+func TestOptIdentityAdaptiveExtendsIdentity(t *testing.T) {
+	// The adaptive rendering is pinned: signatures persisted under it must
+	// keep resolving across releases.
+	opt := CollectOptions{Sampling: AdaptiveSampling(0)}
+	// The legacy ints stay zero: adaptive budgeting never resolves them,
+	// and the policy string alone carries the sampling identity.
+	const want = "{SampleRefs:0 MaxWarmRefs:0 Workers:0 BatchSize:0 SharedHierarchy:false}" +
+		" Sampling:adaptive:0.05,pilot=20000,min=20000,max=400000,cluster=on"
+	if got := optIdentity(opt.Normalized()); got != want {
+		t.Errorf("optIdentity(adaptive) = %q, want %q", got, want)
+	}
+	// Adaptive keys are distinct from fixed ones, and distinct between
+	// policies that differ in any parameter.
+	m := testMachine(t, "bluewaters")
+	fixed := CollectOptions{}
+	if StoreKey("uh3d", 256, m, fixed) == StoreKey("uh3d", 256, m, opt) {
+		t.Error("adaptive policy shares the fixed policy's store key")
+	}
+	tighter := CollectOptions{Sampling: AdaptiveSampling(0.01)}
+	if StoreKey("uh3d", 256, m, opt) == StoreKey("uh3d", 256, m, tighter) {
+		t.Error("different relative-error targets share a store key")
+	}
+	noCluster := AdaptiveSampling(0)
+	noCluster.ClusterBlocks = false
+	if StoreKey("uh3d", 256, m, opt) == StoreKey("uh3d", 256, m, CollectOptions{Sampling: noCluster}) {
+		t.Error("cluster=on and cluster=off share a store key")
+	}
+}

@@ -298,14 +298,25 @@ func (f *Fleet) fetchFrom(ctx context.Context, rem remote, key, app string, core
 		// Owner doesn't hold it yet: claim the cluster-wide collection by
 		// delegating to the owner. Its engine memo deduplicates concurrent
 		// claims from every non-owner, so the key is simulated once.
-		resp, err := rem.Collect(ctx, &wire.SignatureRequest{
+		req := &wire.SignatureRequest{
 			App:        app,
 			Cores:      cores,
 			Machine:    machine,
 			SampleRefs: opt.SampleRefs,
 			Model:      string(opt.Model),
 			Delegated:  true,
-		})
+		}
+		switch {
+		case opt.Sampling.IsAdaptive():
+			// Forward the adaptive policy so the owner collects under the
+			// same identity the requester memoizes.
+			req.Sampling = opt.Sampling.String()
+		case opt.Sampling.Mode == tracex.SamplingModeFixed:
+			// A fixed policy collapses into the legacy sample_refs shim —
+			// the owner's store key stays byte-identical either way.
+			req.SampleRefs = opt.Sampling.SampleRefs
+		}
+		resp, err := rem.Collect(ctx, req)
 		if err != nil {
 			return nil, err
 		}

@@ -61,19 +61,30 @@ func ParseCacheModel(s string) (CacheModel, error) {
 // (the Collector does so on every collection). The zero value selects all
 // defaults.
 //
-// SampleRefs, MaxWarmRefs, SharedHierarchy and Model shape the result;
-// Workers and BatchSize only schedule the same simulations differently.
-// Determinism does not depend on either: every (rank, block) work unit
-// draws from its own generator seeded by the block identity, and results
-// are reduced into positions indexed by unit, so any worker interleaving
-// produces bit-identical BlockCounters.
+// Sampling, SharedHierarchy and Model shape the result; Workers and
+// BatchSize only schedule the same simulations differently. Determinism
+// does not depend on either: every (rank, block) work unit draws from its
+// own generator seeded by the block identity, and results are reduced into
+// positions indexed by unit, so any worker interleaving produces
+// bit-identical BlockCounters.
 type CollectorConfig struct {
+	// Sampling is the reference-budget policy (see SamplingPolicy). The
+	// zero value defers to the deprecated SampleRefs/MaxWarmRefs fields
+	// below, which behave as a fixed policy; setting both the policy and
+	// the deprecated fields is a validation error.
+	Sampling SamplingPolicy
 	// SampleRefs is the number of references simulated per block
 	// (default DefaultSampleRefs).
+	//
+	// Deprecated: set Sampling to FixedSampling(n, 0) instead. This field
+	// remains as a one-release shim and is rejected when Sampling is set.
 	SampleRefs int
 	// MaxWarmRefs caps the cache warm-up stream per block (default
 	// DefaultMaxWarmRefs; random patterns over multi-megabyte regions need
 	// a long warm-up before the last-level cache reaches steady state).
+	//
+	// Deprecated: set Sampling to FixedSampling(0, n) instead. This field
+	// remains as a one-release shim and is rejected when Sampling is set.
 	MaxWarmRefs int
 	// Workers bounds concurrent work units for one collection; ≤0 means one
 	// worker per CPU. The collector's arena caps the effective value.
@@ -97,6 +108,12 @@ type CollectorConfig struct {
 // Validate checks the configuration. Zero values are valid (they select
 // defaults); negative tuning values and oversized batches are not.
 func (c CollectorConfig) Validate() error {
+	if err := c.Sampling.Validate(); err != nil {
+		return err
+	}
+	if c.Sampling.Mode != "" && (c.SampleRefs != 0 || c.MaxWarmRefs != 0) {
+		return fmt.Errorf("pebil: both Sampling (%s) and the deprecated SampleRefs/MaxWarmRefs fields are set", c.Sampling.Mode)
+	}
 	if c.SampleRefs < 0 {
 		return fmt.Errorf("pebil: negative SampleRefs %d", c.SampleRefs)
 	}
@@ -119,16 +136,41 @@ func (c CollectorConfig) Validate() error {
 		return fmt.Errorf("pebil: shared-hierarchy collection %w (blocks contend for one cache; use the exact model)",
 			cache.ErrModelUnsupported)
 	}
+	if c.Sampling.IsAdaptive() {
+		if c.SharedHierarchy {
+			return fmt.Errorf("pebil: adaptive sampling is incompatible with SharedHierarchy (interleaved blocks share one stream; use a fixed policy)")
+		}
+		if c.Model == ModelAnalytical {
+			return fmt.Errorf("pebil: adaptive sampling %w (per-block error bounds need the exact simulator)",
+				cache.ErrModelUnsupported)
+		}
+	}
 	return nil
 }
 
-// withDefaults fills unset fields.
+// withDefaults fills unset fields. Fixed sampling policies (and the
+// unset policy with its deprecated int fields) collapse into the resolved
+// SampleRefs/MaxWarmRefs ints with a zero Sampling — the canonical form
+// is the pre-redesign one, so memoization and store keys for every
+// non-adaptive configuration are byte-identical to before the
+// SamplingPolicy API existed. Adaptive policies keep their normalized
+// Sampling and leave the deprecated ints zero.
 func (c CollectorConfig) withDefaults() CollectorConfig {
-	if c.SampleRefs <= 0 {
-		c.SampleRefs = DefaultSampleRefs
+	switch c.Sampling.Mode {
+	case SamplingModeAdaptive:
+		c.Sampling = c.Sampling.normalizedAdaptive()
+	case SamplingModeFixed:
+		c.SampleRefs = c.Sampling.SampleRefs
+		c.MaxWarmRefs = c.Sampling.MaxWarmRefs
+		c.Sampling = SamplingPolicy{}
 	}
-	if c.MaxWarmRefs <= 0 {
-		c.MaxWarmRefs = DefaultMaxWarmRefs
+	if !c.Sampling.IsAdaptive() {
+		if c.SampleRefs <= 0 {
+			c.SampleRefs = DefaultSampleRefs
+		}
+		if c.MaxWarmRefs <= 0 {
+			c.MaxWarmRefs = DefaultMaxWarmRefs
+		}
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -153,6 +195,19 @@ func (c CollectorConfig) Normalized() CollectorConfig {
 	c.Workers = 0
 	c.BatchSize = 0
 	return c
+}
+
+// EffectiveSampling returns the sampling policy the configuration
+// resolves to: the normalized adaptive policy, or a fixed policy carrying
+// the resolved sample length and warm cap (whether they came from a
+// Fixed policy, the deprecated fields, or defaults). Use it for truthful
+// reporting of what a collection ran with.
+func (c CollectorConfig) EffectiveSampling() SamplingPolicy {
+	n := c.Normalized()
+	if n.Sampling.IsAdaptive() {
+		return n.Sampling
+	}
+	return SamplingPolicy{Mode: SamplingModeFixed, SampleRefs: n.SampleRefs, MaxWarmRefs: n.MaxWarmRefs}
 }
 
 // CollectorOption configures a CollectorConfig, mirroring the Engine's
@@ -189,6 +244,12 @@ func WithSharedHierarchy(on bool) CollectorOption {
 // WithCacheModel selects the cache model hit rates come from.
 func WithCacheModel(m CacheModel) CollectorOption {
 	return func(c *CollectorConfig) { c.Model = m }
+}
+
+// WithSamplingPolicy sets the reference-budget policy (see SamplingPolicy,
+// FixedSampling, AdaptiveSampling).
+func WithSamplingPolicy(p SamplingPolicy) CollectorOption {
+	return func(c *CollectorConfig) { c.Sampling = p }
 }
 
 // NewCollectorConfig applies the options to a zero CollectorConfig and

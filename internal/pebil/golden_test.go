@@ -28,21 +28,11 @@ func referenceCounters(t *testing.T, app *synthapp.App, p int, target machine.Co
 		if err != nil {
 			t.Fatal(err)
 		}
-		warm := int(w.WorkingSetBytes / 8)
-		if warm > cfg.MaxWarmRefs {
-			warm = cfg.MaxWarmRefs
-		}
+		warm, sample := cfg.Budget(w.Refs, w.WorkingSetBytes)
 		for j := 0; j < warm; j++ {
 			sim.Access(w.Gen.Next())
 		}
 		sim.ResetCounters()
-		sample := cfg.SampleRefs
-		if full := int(w.Refs); full < sample {
-			sample = full
-		}
-		if sample < 1 {
-			sample = 1
-		}
 		for j := 0; j < sample; j++ {
 			sim.Access(w.Gen.Next())
 		}

@@ -124,9 +124,12 @@ func (c *Collector) resolve(cfg CollectorConfig) (CollectorConfig, error) {
 // oracle the analytical model is validated against — regardless of
 // cfg.Model. Each block is one work unit on the arena: a worker warms a
 // (reused) simulator to steady state and then takes a counted sample,
-// streaming addresses in batches. Results land in slots indexed by block,
-// so any worker interleaving yields bit-identical output. Cancelling ctx
-// stops the simulations promptly and returns ctx.Err().
+// streaming addresses in batches. With an adaptive sampling policy the
+// warm-up, pilot and refinement passes of adaptiveCollect replace the
+// fixed budget (the measurement uncertainty is only surfaced through
+// Collect). Results land in slots indexed by block, so any worker
+// interleaving yields bit-identical output. Cancelling ctx stops the
+// simulations promptly and returns ctx.Err().
 func (c *Collector) Counters(ctx context.Context, app *synthapp.App, p int, target machine.Config, cfg CollectorConfig) ([]BlockCounters, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
@@ -134,6 +137,10 @@ func (c *Collector) Counters(ctx context.Context, app *synthapp.App, p int, targ
 	cfg, err := c.resolve(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sampling.IsAdaptive() {
+		out, _, err := c.adaptiveCollect(ctx, app, p, target, cfg)
+		return out, err
 	}
 	sp := obs.From(ctx).StartSpan("pebil.collect", fmt.Sprintf("%s@%d", app.Name(), p))
 	defer sp.End()
@@ -205,10 +212,7 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 	// Warm-up: touch the working set once (capped). For working sets far
 	// beyond the hierarchy the cap is harmless — steady state is
 	// miss-dominated and reached as soon as the caches fill.
-	warm := int(w.WorkingSetBytes / 8)
-	if warm > cfg.MaxWarmRefs {
-		warm = cfg.MaxWarmRefs
-	}
+	warm, sample := cfg.Budget(w.Refs, w.WorkingSetBytes)
 	warmStart := time.Now()
 	flushes, err := streamRefs(ctx, sim, w.Gen, buf, warm)
 	if err != nil {
@@ -217,13 +221,6 @@ func simulateBlock(ctx context.Context, w *synthapp.Work, target machine.Config,
 	m.Counter("pebil.warm_refs").Add(uint64(warm))
 	m.Histogram("pebil.block_warm_seconds").Observe(time.Since(warmStart).Seconds())
 	sim.ResetCounters()
-	sample := cfg.SampleRefs
-	if full := int(w.Refs); full < sample {
-		sample = full // tiny blocks are simulated exactly
-	}
-	if sample < 1 {
-		sample = 1
-	}
 	sampleStart := time.Now()
 	sampleFlushes, err := streamRefs(ctx, sim, w.Gen, buf, sample)
 	flushes += sampleFlushes
@@ -279,17 +276,33 @@ func featureVector(bc *BlockCounters, loadFactor float64) trace.FeatureVector {
 // With cfg.Model == ModelAnalytical the hit rates come from a collected
 // reuse-distance signature through the analytical cache model instead of
 // per-geometry simulation (see CollectReuse and SignatureFromReuse).
+//
+// With an adaptive sampling policy (SamplingModeAdaptive) the returned
+// signature additionally carries trace.SignatureUncertainty: per-block
+// measurement variances of the sampled elements (hit rates and prefetch
+// fills per reference), which Predict's interval machinery consumes.
 func (c *Collector) Collect(ctx context.Context, app *synthapp.App, p int, target machine.Config, ranks []int, cfg CollectorConfig) (*trace.Signature, error) {
-	if rcfg, err := c.resolve(cfg); err != nil {
+	rcfg, err := c.resolve(cfg)
+	if err != nil {
 		return nil, err
-	} else if rcfg.Model == ModelAnalytical {
+	}
+	if rcfg.Model == ModelAnalytical {
 		rs, err := c.CollectReuse(ctx, app, p, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return SignatureFromReuse(rs, app, target, ranks, cache.Analytical{})
 	}
-	counters, err := c.Counters(ctx, app, p, target, cfg)
+	var counters []BlockCounters
+	var unc *trace.SignatureUncertainty
+	if rcfg.Sampling.IsAdaptive() {
+		if err := target.Validate(); err != nil {
+			return nil, err
+		}
+		counters, unc, err = c.adaptiveCollect(ctx, app, p, target, rcfg)
+	} else {
+		counters, err = c.Counters(ctx, app, p, target, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -307,10 +320,6 @@ func (c *Collector) Collect(ctx context.Context, app *synthapp.App, p int, targe
 			return nil, fmt.Errorf("pebil: duplicate rank %d requested", r)
 		}
 		seen[r] = true
-	}
-	rcfg, err := c.resolve(cfg)
-	if err != nil {
-		return nil, err
 	}
 	traces := make([]trace.Trace, len(ranks))
 	err = c.arena.run(ctx, rcfg.Workers, len(ranks), func(i int, _ *scratch) error {
@@ -341,7 +350,7 @@ func (c *Collector) Collect(ctx context.Context, app *synthapp.App, p int, targe
 	if err != nil {
 		return nil, err
 	}
-	sig := &trace.Signature{App: app.Name(), CoreCount: p, Machine: target.Name, Traces: traces}
+	sig := &trace.Signature{App: app.Name(), CoreCount: p, Machine: target.Name, Traces: traces, Uncertainty: unc}
 	if err := sig.Validate(); err != nil {
 		return nil, fmt.Errorf("pebil: produced invalid signature: %w", err)
 	}

@@ -37,6 +37,10 @@ func (c *Collector) CollectReuse(ctx context.Context, app *synthapp.App, p int, 
 		return nil, fmt.Errorf("pebil: shared-hierarchy collection %w (blocks contend for one cache; use the exact model)",
 			cache.ErrModelUnsupported)
 	}
+	if cfg.Sampling.IsAdaptive() {
+		return nil, fmt.Errorf("pebil: adaptive sampling %w (reuse recording has no per-block error bound; use a fixed policy)",
+			cache.ErrModelUnsupported)
+	}
 	sp := obs.From(ctx).StartSpan("pebil.reuse", fmt.Sprintf("%s@%d", app.Name(), p))
 	defer sp.End()
 	works, err := app.Work(p)
@@ -84,17 +88,7 @@ func (c *Collector) CollectReuse(ctx context.Context, app *synthapp.App, p int, 
 // references unrecorded, then record min(SampleRefs, Refs).
 func recordBlock(ctx context.Context, w *synthapp.Work, cfg CollectorConfig, s *scratch) (trace.ReuseBlock, error) {
 	m := obs.From(ctx)
-	warm := int(w.WorkingSetBytes / 8)
-	if warm > cfg.MaxWarmRefs {
-		warm = cfg.MaxWarmRefs
-	}
-	sample := cfg.SampleRefs
-	if full := int(w.Refs); full < sample {
-		sample = full // tiny blocks are recorded exactly
-	}
-	if sample < 1 {
-		sample = 1
-	}
+	warm, sample := cfg.Budget(w.Refs, w.WorkingSetBytes)
 	rec, err := s.recorder(ReuseLineSize, warm+sample)
 	if err != nil {
 		return trace.ReuseBlock{}, err

@@ -127,6 +127,11 @@ type Config struct {
 	// "model": "exact" (the default) or "analytical". Unknown names fail
 	// New.
 	DefaultCacheModel string
+	// DefaultSampling is the sampling policy used when a request omits
+	// "sampling", in tracex.ParseSamplingPolicy grammar (e.g.
+	// "fixed:400000" or "adaptive:0.05"). Empty keeps the library default
+	// (fixed). Malformed policies fail New.
+	DefaultSampling string
 	// DefaultIntervals enables prediction intervals on /v1/predict,
 	// /v1/study and /v1/extrapolate when a request omits the tri-state
 	// "intervals" knob. A request carrying the knob always wins.
@@ -202,13 +207,14 @@ type flightOut struct {
 // (Handler, Serve, Start) immediately and stops accepting work after
 // Shutdown.
 type Server struct {
-	cfg   Config
-	eng   Engine
-	reg   *obs.Registry
-	hs    *http.Server
-	mux   *http.ServeMux
-	model tracex.CacheModel // resolved DefaultCacheModel
-	ready atomic.Bool
+	cfg      Config
+	eng      Engine
+	reg      *obs.Registry
+	hs       *http.Server
+	mux      *http.ServeMux
+	model    tracex.CacheModel     // resolved DefaultCacheModel
+	sampling tracex.SamplingPolicy // resolved DefaultSampling (zero: library default)
+	ready    atomic.Bool
 
 	// Admission state. The compute limit is an atomic (not a channel
 	// capacity) so AutoTune can move it at runtime; running tracks
@@ -259,12 +265,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	defaultSampling, err := tracex.ParseSamplingPolicy(cfg.DefaultSampling)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
 		eng:       cfg.Engine,
 		reg:       cfg.Engine.Registry(),
 		model:     defaultModel,
+		sampling:  defaultSampling,
 		mux:       http.NewServeMux(),
 		slotFreed: make(chan struct{}, 1),
 		queue:     make(chan struct{}, cfg.MaxQueue),
@@ -738,9 +749,10 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 }
 
 // collectOpt builds the collection options for a wire request: an omitted
-// model selects the server's configured default, and an unknown name is a
-// 400 (the field is client-supplied).
-func (s *Server) collectOpt(sampleRefs int, model string) (tracex.CollectOptions, error) {
+// model or sampling policy selects the server's configured default, and an
+// unknown name, malformed policy or invalid combination is a 400 (the
+// fields are client-supplied).
+func (s *Server) collectOpt(sampleRefs int, model, sampling string) (tracex.CollectOptions, error) {
 	m := s.model
 	if model != "" {
 		var err error
@@ -748,7 +760,24 @@ func (s *Server) collectOpt(sampleRefs int, model string) (tracex.CollectOptions
 			return tracex.CollectOptions{}, badRequestf("%v", err)
 		}
 	}
-	return tracex.CollectOptions{SampleRefs: sampleRefs, Model: m}, nil
+	pol := s.sampling
+	if sampling != "" {
+		var err error
+		if pol, err = tracex.ParseSamplingPolicy(sampling); err != nil {
+			return tracex.CollectOptions{}, badRequestf("%v", err)
+		}
+	} else if sampleRefs != 0 {
+		// The client chose the legacy sample_refs knob explicitly; the
+		// server's default policy must not turn that into a conflict.
+		pol = tracex.SamplingPolicy{}
+	}
+	opt := tracex.CollectOptions{SampleRefs: sampleRefs, Model: m, Sampling: pol}
+	if err := opt.Validate(); err != nil {
+		// A request combining "sample_refs" with a "sampling" policy, or an
+		// adaptive policy with an unsupported model, is a client error.
+		return tracex.CollectOptions{}, badRequestf("%v", err)
+	}
+	return opt, nil
 }
 
 // extrapOpt builds the extrapolation options for a wire request.
@@ -800,6 +829,7 @@ func (s *Server) predict(ctx context.Context, req *wire.PredictRequest) (any, er
 	// collected or analytical).
 	from := "inline"
 	model := ""
+	sampling := ""
 	if sig != nil {
 		if err := sig.Validate(); err != nil {
 			return nil, err
@@ -816,11 +846,12 @@ func (s *Server) predict(ctx context.Context, req *wire.PredictRequest) (any, er
 		if err != nil {
 			return nil, err
 		}
-		opt, err := s.collectOpt(req.SampleRefs, req.Model)
+		opt, err := s.collectOpt(req.SampleRefs, req.Model, req.Sampling)
 		if err != nil {
 			return nil, err
 		}
 		model = string(opt.Model)
+		sampling = opt.EffectiveSampling().String()
 		var prov tracex.Provenance
 		sig, prov, err = s.eng.CollectSignatureFrom(ctx, app, req.Cores, cfg, opt)
 		if err != nil {
@@ -847,6 +878,7 @@ func (s *Server) predict(ctx context.Context, req *wire.PredictRequest) (any, er
 	resp := wire.PredictionResponse(pred)
 	resp.From = from
 	resp.Model = model
+	resp.Sampling = sampling
 	return resp, nil
 }
 
@@ -860,7 +892,7 @@ func (s *Server) study(ctx context.Context, req *wire.StudyRequest) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	opt, err := s.collectOpt(req.SampleRefs, req.Model)
+	opt, err := s.collectOpt(req.SampleRefs, req.Model, req.Sampling)
 	if err != nil {
 		return nil, err
 	}
@@ -920,7 +952,7 @@ func (s *Server) collect(ctx context.Context, req *wire.SignatureRequest) (any, 
 	if err != nil {
 		return nil, err
 	}
-	opt, err := s.collectOpt(req.SampleRefs, req.Model)
+	opt, err := s.collectOpt(req.SampleRefs, req.Model, req.Sampling)
 	if err != nil {
 		return nil, err
 	}

@@ -70,9 +70,17 @@ type (
 	// ExtrapOptions tunes the extrapolation.
 	ExtrapOptions = extrap.Options
 	// CollectOptions tunes signature collection. It aliases
-	// pebil.CollectorConfig: SampleRefs/MaxWarmRefs/SharedHierarchy/Model
-	// shape the result, Workers/BatchSize only schedule it.
+	// pebil.CollectorConfig: Sampling/SharedHierarchy/Model (and the
+	// deprecated SampleRefs/MaxWarmRefs ints) shape the result,
+	// Workers/BatchSize only schedule it.
 	CollectOptions = pebil.CollectorConfig
+	// SamplingPolicy is the typed reference-budget policy on
+	// CollectOptions.Sampling: a fixed per-block budget or adaptive
+	// stratified sampling with per-block error bounds (see FixedSampling,
+	// AdaptiveSampling, ParseSamplingPolicy).
+	SamplingPolicy = pebil.SamplingPolicy
+	// SamplingMode tags a SamplingPolicy as fixed or adaptive.
+	SamplingMode = pebil.SamplingMode
 	// CacheModel selects how per-block hit rates are produced during
 	// collection: ModelExact simulates the target hierarchy, ModelAnalytical
 	// derives the rates from a reuse-distance signature.
@@ -96,7 +104,32 @@ const (
 	// and converts it into per-level hit rates for any geometry
 	// analytically.
 	ModelAnalytical = pebil.ModelAnalytical
+	// SamplingModeFixed selects the fixed per-block budget (the paper's
+	// original collection discipline).
+	SamplingModeFixed = pebil.SamplingModeFixed
+	// SamplingModeAdaptive selects adaptive stratified sampling with
+	// per-block error bounds and cluster representatives.
+	SamplingModeAdaptive = pebil.SamplingModeAdaptive
 )
+
+// FixedSampling returns a fixed sampling policy with the given per-block
+// sample length and warm-up cap (≤ 0 selects the defaults).
+func FixedSampling(sampleRefs, maxWarmRefs int) SamplingPolicy {
+	return pebil.FixedSampling(sampleRefs, maxWarmRefs)
+}
+
+// AdaptiveSampling returns an adaptive sampling policy targeting the given
+// per-block relative standard error (≤ 0 selects the default 0.05), with
+// block clustering enabled.
+func AdaptiveSampling(targetRelErr float64) SamplingPolicy {
+	return pebil.AdaptiveSampling(targetRelErr)
+}
+
+// ParseSamplingPolicy parses the -sampling flag / "sampling" wire syntax,
+// e.g. "fixed:400000" or "adaptive:0.05,pilot=20000,cluster=on".
+func ParseSamplingPolicy(s string) (SamplingPolicy, error) {
+	return pebil.ParseSamplingPolicy(s)
+}
 
 // Sentinel errors for the failure modes callers branch on. Every error
 // returned from the pipeline that stems from one of these conditions wraps

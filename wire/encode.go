@@ -53,6 +53,10 @@ func (r *PredictResponse) AppendJSON(dst []byte) []byte {
 		dst = append(dst, `,"model":`...)
 		dst = appendJSONString(dst, r.Model)
 	}
+	if r.Sampling != "" {
+		dst = append(dst, `,"sampling":`...)
+		dst = appendJSONString(dst, r.Sampling)
+	}
 	if len(r.Intervals) > 0 {
 		dst = append(dst, `,"intervals":`...)
 		dst = appendIntervals(dst, r.Intervals)

@@ -56,14 +56,19 @@ func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
 				RuntimeSeconds: f, ComputeSeconds: -f, CommSeconds: f / 3,
 				MemSeconds: fin(f * 1e-9), FPSeconds: fin(f * 1e9),
 				From: strs[(i+2)%len(strs)], Model: strs[(i+3)%len(strs)],
+				Sampling: strs[(i+4)%len(strs)],
 			})
 		}
 	}
 
-	// omitempty behavior: From, Model and Intervals absent when empty.
+	// omitempty behavior: From, Model, Sampling and Intervals absent when
+	// empty.
 	b := (&PredictResponse{App: "a", Machine: "m"}).AppendJSON(nil)
 	if bytes.Contains(b, []byte(`"from"`)) || bytes.Contains(b, []byte(`"model"`)) {
 		t.Errorf("empty from/model not omitted: %s", b)
+	}
+	if bytes.Contains(b, []byte(`"sampling"`)) {
+		t.Errorf("empty sampling not omitted: %s", b)
 	}
 	if bytes.Contains(b, []byte(`"intervals"`)) {
 		t.Errorf("empty intervals not omitted: %s", b)
@@ -135,7 +140,8 @@ func TestAppendJSONMatchesRandomized(t *testing.T) {
 			App: randStr(), Cores: rng.IntN(1 << 20), Machine: randStr(),
 			RuntimeSeconds: randFloat(), ComputeSeconds: randFloat(),
 			CommSeconds: randFloat(), MemSeconds: randFloat(), FPSeconds: randFloat(),
-			From: randStr(), Model: randStr(), Intervals: randIntervals(),
+			From: randStr(), Model: randStr(), Sampling: randStr(),
+			Intervals: randIntervals(),
 		})
 		rows := make([]tracex.StudyRow, rng.IntN(4))
 		for j := range rows {
@@ -161,6 +167,7 @@ func TestAppendJSONZeroAllocs(t *testing.T) {
 		App: "uh3d", Cores: 8192, Machine: "bluewaters",
 		RuntimeSeconds: 1234.5678, ComputeSeconds: 1000.1, CommSeconds: 234.4678,
 		MemSeconds: 600.25, FPSeconds: 399.85, From: "memory", Model: "exact",
+		Sampling: "adaptive:0.05,pilot=20000,min=20000,max=400000,cluster=on",
 		Intervals: []tracex.Interval{
 			{Level: 0.5, Lo: 1200.1, Hi: 1269.0}, {Level: 0.9, Lo: 1100.4, Hi: 1368.7},
 			{Level: 0.95, Lo: 1000.9, Hi: 1468.2},

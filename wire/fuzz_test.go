@@ -23,11 +23,16 @@ func FuzzDecodeStrict(f *testing.F) {
 		`{"app":"uh3d","cores":8192,"machine":"kraken","runtime_seconds":361.4,"compute_seconds":300,"comm_seconds":61.4,"mem_seconds":200,"fp_seconds":100}`,
 		`{"app":"uh3d","cores":8192,"machine":"kraken","runtime_seconds":361.4,"compute_seconds":300,"comm_seconds":61.4,"mem_seconds":200,"fp_seconds":100,"from":"inline","intervals":[{"level":0.5,"lo":353,"hi":369.8},{"level":0.9,"lo":308.6,"hi":414.3}]}`,
 		`{"app":"uh3d","machine":"kraken","input_counts":[1024,2048,4096],"rows":[{"target_cores":8192,"predicted_seconds":361.4,"actual_seconds":361.1,"abs_rel_err":0.001,"intervals":[{"level":0.9,"lo":308.6,"hi":414.3}]}]}`,
+		`{"app":"uh3d","cores":64,"machine":"kraken","sampling":"adaptive:0.05"}`,
+		`{"app":"uh3d","cores":64,"machine":"kraken","sampling":"fixed:400000,warm=2000000"}`,
+		`{"app":"uh3d","machine":"kraken","input_counts":[8,16],"target_cores":64,"sampling":"adaptive:0.1,pilot=5000,min=5000,max=50000,cluster=off"}`,
+		`{"app":"uh3d","cores":8192,"machine":"kraken","runtime_seconds":361.4,"compute_seconds":300,"comm_seconds":61.4,"mem_seconds":200,"fp_seconds":100,"from":"collected","model":"exact","sampling":"adaptive:0.05,pilot=20000,min=20000,max=400000,cluster=on"}`,
 		`{"app":"uh3d","cores":64,"machine":"kraken","intervals":true}`,
 		`{"app":"uh3d","cores":64,"machine":"kraken","intervals":false}`,
 		`{"app":"uh3d","cores":64,"machine":"kraken","intervals":null}`,
 		`{"app":"uh3d","machine":"kraken","input_counts":[8,16],"target_cores":64,"intervals":true,"with_truth":true}`,
 		`{"app":"uh3d","cores":64,"intervalz":true}`,
+		`{"app":"uh3d","cores":64,"samplign":"fixed:400000"}`,
 		`{"intervals":[{"level":0.9,"lo":1,"hi":2,"mid":1.5}]}`,
 		`{"intervals":[]}`,
 		`{"intervals":[{}]}`,

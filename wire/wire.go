@@ -81,6 +81,11 @@ type PredictRequest struct {
 	// machine-independent reuse-distance signature. Ignored with an inline
 	// signature.
 	Model string `json:"model,omitempty"`
+	// Sampling selects the collection sampling policy ("fixed:400000",
+	// "adaptive:0.05,pilot=20000,min=20000,max=400000,cluster=on"; empty =
+	// server default). Mutually exclusive with SampleRefs. Ignored with an
+	// inline signature.
+	Sampling string `json:"sampling,omitempty"`
 	// Signature predicts from an already-collected (or extrapolated)
 	// signature instead of collecting one.
 	Signature *tracex.Signature `json:"signature,omitempty"`
@@ -114,6 +119,10 @@ type PredictResponse struct {
 	// Model echoes the cache model that produced the signature's hit rates
 	// ("exact" or "analytical"; empty for inline signatures).
 	Model string `json:"model,omitempty"`
+	// Sampling echoes the normalized sampling policy the collection
+	// actually ran with (e.g. "fixed:400000,warm=2000000"; empty for
+	// inline signatures).
+	Sampling string `json:"sampling,omitempty"`
 	// Intervals are the runtime prediction intervals, ascending by level
 	// (absent unless the request asked for intervals and the signature
 	// carried extrapolation uncertainty).
@@ -154,6 +163,9 @@ type StudyRequest struct {
 	// Model selects the cache model for every collection in the study
 	// ("exact" default, or "analytical").
 	Model string `json:"model,omitempty"`
+	// Sampling selects the sampling policy for every collection in the
+	// study (empty = server default; mutually exclusive with SampleRefs).
+	Sampling string `json:"sampling,omitempty"`
 	// ExtendedForms adds the power-law and quadratic forms to the fit.
 	ExtendedForms bool `json:"extended_forms,omitempty"`
 	// WithTruth additionally collects at each target count and predicts
@@ -205,6 +217,11 @@ type SignatureRequest struct {
 	SampleRefs int    `json:"sample_refs,omitempty"`
 	// Model selects the cache model ("exact" default, or "analytical").
 	Model string `json:"model,omitempty"`
+	// Sampling selects the sampling policy (empty = server default;
+	// mutually exclusive with SampleRefs). A fleet peer delegating a
+	// collection forwards its policy here so the owner collects under the
+	// same identity.
+	Sampling string `json:"sampling,omitempty"`
 	// Delegated marks a collection forwarded by a fleet peer to this node
 	// because the consistent-hash ring names it the key's owner. The server
 	// answers it with a strictly local collection (memory→disk→collect,
